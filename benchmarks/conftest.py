@@ -1,0 +1,41 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark writes its rendered table/figure to
+``benchmarks/results/<name>.txt`` (and prints it), so the paper-vs-measured
+comparison in EXPERIMENTS.md can be regenerated from these files.
+
+Set ``REPRO_FULL=1`` to run the full-size sweeps (all 30 PolyBench kernels
+in Figure 9, more repetitions); the default configuration finishes in a few
+minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_report(results_dir):
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        print(f"[report written to {path}]")
+
+    return write

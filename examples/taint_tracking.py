@@ -1,0 +1,82 @@
+"""Dynamic taint analysis with memory shadowing (paper §2.3, §4.2).
+
+The heavyweight analysis of the paper: every value carries a taint set,
+propagated through arithmetic, locals, globals, calls, and linear memory —
+the shadow memory lives entirely in the analysis (the program's own memory
+is untouched, §1). We model a web-app scenario: a secret from
+``env.read_credential`` must not reach ``env.network_send``, even after
+being copied through memory and mangled by arithmetic.
+
+Run:  python examples/taint_tracking.py
+"""
+
+from repro import analyze
+from repro.analyses import TaintAnalysis
+from repro.interp import Linker
+from repro.minic import compile_source
+from repro.wasm.types import I32, FuncType
+
+APP = """
+import func read_credential() -> i32;
+import func read_public_config() -> i32;
+import func network_send(x: i32);
+import func local_log(x: i32);
+memory 1;
+
+func obfuscate(x: i32) -> i32 {
+    return (x ^ 0x5a5a5a5a) + 17;
+}
+
+export func main() -> i32 {
+    var secret: i32 = read_credential();
+    var config: i32 = read_public_config();
+
+    // the secret takes a detour through linear memory and a helper
+    mem_i32[8] = obfuscate(secret);
+    var staged: i32 = mem_i32[8] * 3;
+
+    local_log(staged);        // allowed: logging stays on the device
+    network_send(config);     // allowed: public data may leave
+    network_send(staged - 1); // VIOLATION: derived from the credential
+    return staged;
+}
+"""
+
+
+def main():
+    module = compile_source(APP, "webapp")
+
+    taint = TaintAnalysis()
+    taint.add_source_function("env.read_credential", "credential")
+    taint.add_sink_function("env.network_send")
+
+    sent = []
+    linker = Linker()
+    linker.define_function("env", "read_credential", FuncType((), (I32,)),
+                           lambda args: 0xC0FFEE)
+    linker.define_function("env", "read_public_config", FuncType((), (I32,)),
+                           lambda args: 80)
+    linker.define_function("env", "network_send", FuncType((I32,), ()),
+                           lambda args: sent.append(args[0]))
+    linker.define_function("env", "local_log", FuncType((I32,), ()),
+                           lambda args: None)
+
+    session = analyze(module, taint, linker=linker)
+    taint.bind_module_info(session.module_info)
+    session.invoke("main")
+
+    print(f"values sent to the network: {sent}")
+    print(f"tainted shadow-memory bytes: {taint.tainted_memory_bytes()}")
+    print(f"detected flows: {len(taint.flows)}")
+    for flow in taint.flows:
+        sink_name = session.module_info.func_name(flow.sink)
+        print(f"  labels {set(flow.labels)} reached sink '{sink_name}' "
+              f"(argument {flow.arg_index}) at call site {flow.location}")
+
+    assert len(taint.flows) == 1, "exactly the one illegal flow"
+    assert taint.underflows == 0, "shadow stack stayed aligned"
+    print("\nthe credential leak was caught; the public send was not flagged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of "Wasabi: A Framework for Dynamically Analyzing
+WebAssembly" (Lehmann & Pradel, ASPLOS 2019).
+
+Public API overview:
+
+* :mod:`repro.wasm` — WebAssembly toolkit (modules, binary format, validation)
+* :mod:`repro.interp` — WebAssembly interpreter (the execution substrate)
+* :mod:`repro.core` — Wasabi: analysis API, instrumenter, runtime
+* :mod:`repro.analyses` — the paper's eight example analyses
+* :mod:`repro.minic` — a small C-like language compiling to Wasm
+* :mod:`repro.workloads` — PolyBench kernels and synthetic binaries
+* :mod:`repro.eval` — the evaluation harness behind the benchmarks
+"""
+
+from .core import (Analysis, AnalysisSession, BranchTarget, Location, MemArg,
+                   analyze, instrument_module, used_groups)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analysis", "AnalysisSession", "BranchTarget", "Location", "MemArg",
+    "analyze", "instrument_module", "used_groups", "__version__",
+]

@@ -1,0 +1,49 @@
+"""The paper's eight example analyses (Table 4), built on the Wasabi API.
+
+=====================  ==========================================  ====
+Analysis               Hooks used                                  Ref
+=====================  ==========================================  ====
+InstructionMixAnalysis all                                         §4.2
+BasicBlockProfiler     begin                                       §4.2
+InstructionCoverage    all                                         §4.2
+BranchCoverage         if, br_if, br_table, select                 Fig 7
+CallGraphAnalysis      call_pre                                    §4.2
+TaintAnalysis          all                                         §4.2
+CryptominerDetector    binary                                      Fig 1
+MemoryTracer           load, store                                 §4.2
+=====================  ==========================================  ====
+"""
+
+from .basic_blocks import BasicBlockProfiler
+from .boundary import BoundaryCrossing, HostBoundaryAnalysis
+from .heap_profile import GrowEvent, HeapProfiler
+from .hot_loops import HotLoopAnalysis, LoopStats
+from .shadow import ShadowMemory, access_width
+from .tracer import Event, ExecutionTracer
+from .call_graph import CallGraphAnalysis
+from .coverage import BranchCoverage, InstructionCoverage
+from .cryptominer import SIGNATURE_OPS, CryptominerDetector
+from .instruction_mix import InstructionMixAnalysis
+from .memory_tracing import Access, MemoryTracer
+from .taint import CLEAN, TaintAnalysis, TaintFlow
+
+#: The Table-4 inventory: (analysis class, hooks description).
+ALL_ANALYSES = [
+    (InstructionMixAnalysis, "all"),
+    (BasicBlockProfiler, "begin"),
+    (InstructionCoverage, "all"),
+    (BranchCoverage, "if, br_if, br_table, select"),
+    (CallGraphAnalysis, "call_pre"),
+    (TaintAnalysis, "all"),
+    (CryptominerDetector, "binary"),
+    (MemoryTracer, "load, store"),
+]
+
+__all__ = [
+    "ALL_ANALYSES", "Access", "BasicBlockProfiler", "BranchCoverage",
+    "BoundaryCrossing", "CLEAN", "CallGraphAnalysis", "CryptominerDetector",
+    "Event", "GrowEvent", "HeapProfiler", "HostBoundaryAnalysis",
+    "HotLoopAnalysis", "LoopStats", "ShadowMemory", "access_width",
+    "ExecutionTracer", "InstructionCoverage", "InstructionMixAnalysis",
+    "MemoryTracer", "SIGNATURE_OPS", "TaintAnalysis", "TaintFlow",
+]

@@ -1,0 +1,103 @@
+"""Host-boundary (cross-language) interaction analysis.
+
+The paper's future-work section (§6) envisions *cross-language dynamic
+analysis* for applications that span WebAssembly and its JavaScript host.
+The part observable from the WebAssembly side is the host boundary, and
+this analysis profiles it: every call into an imported (host) function,
+the values that cross, and the linear-memory regions the program touches
+around those calls — the data a cross-language analysis would join with a
+host-side trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.analysis import Analysis, Location
+from ..core.metadata import ModuleInfo
+
+
+@dataclass
+class BoundaryCrossing:
+    """One call from WebAssembly into the host."""
+
+    location: Location
+    callee: int
+    callee_name: str
+    args: tuple
+    results: tuple | None = None    # filled by the matching call_post
+
+
+class HostBoundaryAnalysis(Analysis):
+    """Profiles Wasm→host calls and the memory activity between them.
+
+    ``module_info`` must be bound (before or right after the session is
+    created) so imported functions can be distinguished from defined ones.
+    """
+
+    def __init__(self, module_info: ModuleInfo | None = None):
+        self.module_info = module_info
+        self.crossings: list[BoundaryCrossing] = []
+        self.calls_per_import: Counter[str] = Counter()
+        self._pending: list[BoundaryCrossing | None] = []
+        #: bytes of memory written since the previous host call — a proxy
+        #: for "data prepared for the host" (e.g. buffers passed by pointer)
+        self._bytes_since_crossing = 0
+        self.bytes_written_between_crossings: list[int] = []
+
+    def bind_module_info(self, module_info: ModuleInfo) -> None:
+        self.module_info = module_info
+
+    def _is_import(self, func: int) -> bool:
+        if self.module_info is None or func < 0:
+            return False
+        functions = self.module_info.functions
+        return 0 <= func < len(functions) and functions[func].imported
+
+    def call_pre(self, location, func, args, table_index):
+        if self._is_import(func):
+            crossing = BoundaryCrossing(
+                location, func, self.module_info.func_name(func), tuple(args))
+            self.crossings.append(crossing)
+            self.calls_per_import[crossing.callee_name] += 1
+            self.bytes_written_between_crossings.append(self._bytes_since_crossing)
+            self._bytes_since_crossing = 0
+            self._pending.append(crossing)
+        else:
+            self._pending.append(None)
+
+    def call_post(self, location, results):
+        if self._pending:
+            crossing = self._pending.pop()
+            if crossing is not None:
+                crossing.results = tuple(results)
+
+    def store(self, location, op, memarg, value):
+        width = 4
+        if op.endswith(("8",)):
+            width = 1
+        elif op.endswith("16"):
+            width = 2
+        elif op.startswith(("i64", "f64")) and not op.endswith("32"):
+            width = 8
+        self._bytes_since_crossing += width
+
+    # -- reporting ------------------------------------------------------------
+
+    def total_crossings(self) -> int:
+        return len(self.crossings)
+
+    def values_passed_to_host(self) -> int:
+        return sum(len(c.args) for c in self.crossings)
+
+    def chattiest_imports(self, n: int = 5) -> list[tuple[str, int]]:
+        return self.calls_per_import.most_common(n)
+
+    def report(self) -> str:
+        lines = [f"host-boundary crossings: {self.total_crossings()}"]
+        for name, count in self.calls_per_import.most_common():
+            lines.append(f"  {name}: {count} calls")
+        lines.append(f"values passed to host: {self.values_passed_to_host()}")
+        return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Instruction and branch coverage (paper Table 4, rows 3-4).
+
+Instruction coverage records which instructions executed at least once;
+branch coverage records, per conditional location, which directions were
+taken (cf. the paper's Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.analysis import Analysis, Location
+from ..core.metadata import ModuleInfo
+
+
+class InstructionCoverage(Analysis):
+    """Marks every executed instruction location. Uses all hooks."""
+
+    def __init__(self):
+        self.covered: set[Location] = set()
+
+    def _mark(self, location: Location) -> None:
+        if location.instr >= 0:  # skip the synthetic function-begin location
+            self.covered.add(location)
+
+    def const_(self, location, value): self._mark(location)
+    def drop(self, location, value): self._mark(location)
+    def select(self, location, condition, first, second): self._mark(location)
+    def unary(self, location, op, input, result): self._mark(location)
+    def binary(self, location, op, first, second, result): self._mark(location)
+    def local(self, location, op, index, value): self._mark(location)
+    def global_(self, location, op, index, value): self._mark(location)
+    def load(self, location, op, memarg, value): self._mark(location)
+    def store(self, location, op, memarg, value): self._mark(location)
+    def memory_size(self, location, size): self._mark(location)
+    def memory_grow(self, location, delta, previous): self._mark(location)
+    def call_pre(self, location, func, args, table_index): self._mark(location)
+    def return_(self, location, results): self._mark(location)
+    def br(self, location, target): self._mark(location)
+    def br_if(self, location, target, condition): self._mark(location)
+    def br_table(self, location, table, default, index): self._mark(location)
+    def if_(self, location, condition): self._mark(location)
+    def begin(self, location, block_type): self._mark(location)
+    def end(self, location, block_type, begin_location): self._mark(location)
+    def nop(self, location): self._mark(location)
+    def unreachable(self, location): self._mark(location)
+
+    # reporting ----------------------------------------------------------------
+
+    def covered_in(self, func_idx: int) -> int:
+        return sum(1 for loc in self.covered if loc.func == func_idx)
+
+    def ratio(self, module_info: ModuleInfo) -> float:
+        """Fraction of instructions (over defined functions) executed."""
+        total = sum(f.instr_count for f in module_info.functions if not f.imported)
+        return len(self.covered) / total if total else 0.0
+
+
+class BranchCoverage(Analysis):
+    """Records taken branch directions, as in the paper's Figure 7.
+
+    Implements exactly the four hooks of the figure: ``if_``, ``br_if``,
+    ``br_table``, and ``select``.
+    """
+
+    def __init__(self):
+        #: per conditional location, the set of observed outcomes
+        self.branches: dict[Location, set[int]] = defaultdict(set)
+
+    def _add(self, location: Location, branch: int) -> None:
+        self.branches[location].add(branch)
+
+    def if_(self, location, condition):
+        self._add(location, int(condition))
+
+    def br_if(self, location, target, condition):
+        self._add(location, int(condition))
+
+    def br_table(self, location, table, default_target, table_index):
+        self._add(location, table_index)
+
+    def select(self, location, condition, first, second):
+        self._add(location, int(condition))
+
+    # reporting -----------------------------------------------------------------
+
+    def fully_covered(self) -> set[Location]:
+        """Two-way conditionals where both directions were observed."""
+        return {loc for loc, outcomes in self.branches.items()
+                if {0, 1} <= outcomes or len(outcomes) >= 2}
+
+    def partially_covered(self) -> set[Location]:
+        return {loc for loc, outcomes in self.branches.items()
+                if len(outcomes) == 1}
+
+    def ratio(self) -> float:
+        if not self.branches:
+            return 0.0
+        return len(self.fully_covered()) / len(self.branches)

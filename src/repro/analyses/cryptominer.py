@@ -1,0 +1,44 @@
+"""Cryptominer detection by instruction profiling (paper Figure 1).
+
+The re-implementation of the profiling part of SEISMIC [Wang et al. 2018]:
+mining algorithms have a distinctive signature of integer binary
+instructions (add/and/shl/shr_u/xor). Ten lines of analysis logic in the
+paper; the rest here is reporting.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import Analysis
+
+#: The instruction signature monitored in the paper's Figure 1.
+SIGNATURE_OPS = ("i32.add", "i32.and", "i32.shl", "i32.shr_u", "i32.xor")
+
+
+class CryptominerDetector(Analysis):
+    """Gathers the Figure-1 signature from the ``binary`` hook."""
+
+    def __init__(self, threshold: float = 0.5, min_total: int = 1000):
+        self.signature: dict[str, int] = {}
+        self.total_binary = 0
+        self.threshold = threshold
+        self.min_total = min_total
+
+    def binary(self, location, op, first, second, result):
+        self.total_binary += 1
+        if op in SIGNATURE_OPS:
+            self.signature[op] = self.signature.get(op, 0) + 1
+
+    # reporting ------------------------------------------------------------------
+
+    @property
+    def signature_fraction(self) -> float:
+        if self.total_binary == 0:
+            return 0.0
+        return sum(self.signature.values()) / self.total_binary
+
+    def is_suspicious(self) -> bool:
+        """A mining-like profile: mostly hash-style integer ops, and *all*
+        five signature instructions present (hash rounds use every one)."""
+        return (self.total_binary >= self.min_total
+                and self.signature_fraction >= self.threshold
+                and all(op in self.signature for op in SIGNATURE_OPS))

@@ -1,0 +1,75 @@
+"""Heap / memory-usage profiling (extension in the spirit of §4.2).
+
+Tracks ``memory.grow``/``memory.size`` plus the working set of touched
+addresses — the kind of memory profiler the paper says Wasabi's
+memory-behaviour preservation enables ("useful, e.g., to implement memory
+profilers", §1). Reports peak memory, grow events, undefined reads (loads
+from bytes never stored to by the program — data segments can be
+pre-registered), and the written working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.analysis import Analysis, Location
+from .shadow import ShadowMemory, access_width
+
+
+@dataclass
+class GrowEvent:
+    location: Location
+    delta_pages: int
+    previous_pages: int
+
+    @property
+    def failed(self) -> bool:
+        return self.previous_pages == 0xFFFFFFFF
+
+
+class HeapProfiler(Analysis):
+    """Memory profiler: grow events, working set, undefined reads."""
+
+    def __init__(self, initial_data: list[tuple[int, int]] | None = None):
+        #: addresses initialized by data segments: list of (offset, length)
+        self.defined = ShadowMemory(default=False, merge=lambda a, b: a or b)
+        for offset, length in initial_data or []:
+            self.defined.write(offset, length, True)
+        self.grow_events: list[GrowEvent] = []
+        self.undefined_reads: list[tuple[Location, str, int]] = []
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.peak_pages = 0
+
+    def load(self, location, op, memarg, value):
+        addr = memarg.addr + memarg.offset
+        width = access_width(op)
+        self.bytes_read += width
+        if not self.defined.read(addr, width):
+            self.undefined_reads.append((location, op, addr))
+
+    def store(self, location, op, memarg, value):
+        addr = memarg.addr + memarg.offset
+        width = access_width(op)
+        self.bytes_written += width
+        self.defined.write(addr, width, True)
+
+    def memory_grow(self, location, delta, previous):
+        self.grow_events.append(GrowEvent(location, delta, previous))
+        if previous != 0xFFFFFFFF:
+            self.peak_pages = max(self.peak_pages, previous + delta)
+
+    def memory_size(self, location, current_size_pages):
+        self.peak_pages = max(self.peak_pages, current_size_pages)
+
+    # -- reporting -----------------------------------------------------------
+
+    def working_set_bytes(self) -> int:
+        """Bytes the program actually wrote."""
+        return self.defined.shadowed_bytes()
+
+    def written_regions(self) -> list[tuple[int, int]]:
+        return [(start, length) for start, length, _ in self.defined.regions()]
+
+    def failed_grows(self) -> list[GrowEvent]:
+        return [event for event in self.grow_events if event.failed]

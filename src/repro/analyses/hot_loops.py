@@ -1,0 +1,67 @@
+"""Hot-loop and hot-path detection (extension, built on block profiling).
+
+Combines the begin hook (iteration counts) with branch hooks (loop-exit
+behaviour) to find the loops where a program spends its trips — the "hot
+code" use case the paper names for basic block profiling, taken one step
+further: per-loop trip-count distributions, which feed unroll/JIT-tier
+decisions in real toolchains.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.analysis import Analysis, Location
+
+
+@dataclass
+class LoopStats:
+    header: Location
+    entries: int                 # times the loop was entered from outside
+    iterations: int              # total header executions
+
+    @property
+    def average_trip_count(self) -> float:
+        return self.iterations / self.entries if self.entries else 0.0
+
+
+class HotLoopAnalysis(Analysis):
+    """Per-loop entry and iteration counts via begin/end events.
+
+    Wasabi's semantics (§2.4.5) balance loop begin/end *per iteration*: a
+    back-branch to the loop header first fires the loop's end hook, then
+    the header's begin hook fires again — the two events are adjacent in
+    the stream. A ``begin('loop')`` therefore starts a *new* dynamic entry
+    exactly when the immediately preceding event was not that same loop's
+    end (i.e. control arrived from outside, not via a back-branch).
+    """
+
+    def __init__(self):
+        self.iterations: Counter[Location] = Counter()
+        self.entries: Counter[Location] = Counter()
+        self._last_event: tuple[str, Location] | None = None
+
+    def begin(self, location, block_type):
+        if block_type == "loop":
+            self.iterations[location] += 1
+            if self._last_event != ("end", location):
+                self.entries[location] += 1
+        self._last_event = ("begin", location)
+
+    def end(self, location, block_type, begin_location):
+        self._last_event = ("end", begin_location)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> list[LoopStats]:
+        return sorted(
+            (LoopStats(header, self.entries[header], self.iterations[header])
+             for header in self.iterations),
+            key=lambda s: -s.iterations)
+
+    def hottest(self, n: int = 5) -> list[LoopStats]:
+        return self.stats()[:n]
+
+    def total_loop_iterations(self) -> int:
+        return sum(self.iterations.values())

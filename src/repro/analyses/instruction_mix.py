@@ -1,0 +1,104 @@
+"""Instruction mix analysis (paper Table 4, row 1).
+
+Counts how often each kind of instruction is executed — the basis for
+performance and security analyses. Uses *all* hooks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..core.analysis import Analysis, BranchTarget, Location, MemArg
+
+
+class InstructionMixAnalysis(Analysis):
+    """Counts executed instructions by mnemonic (or hook kind)."""
+
+    def __init__(self):
+        self.counts: Counter[str] = Counter()
+
+    def _bump(self, key: str) -> None:
+        self.counts[key] += 1
+
+    # stack manipulation
+    def const_(self, location, value):
+        self._bump("const")
+
+    def drop(self, location, value):
+        self._bump("drop")
+
+    def select(self, location, condition, first, second):
+        self._bump("select")
+
+    # operations
+    def unary(self, location, op, input, result):
+        self._bump(op)
+
+    def binary(self, location, op, first, second, result):
+        self._bump(op)
+
+    # register and memory
+    def local(self, location, op, index, value):
+        self._bump(op)
+
+    def global_(self, location, op, index, value):
+        self._bump(op)
+
+    def load(self, location, op, memarg, value):
+        self._bump(op)
+
+    def store(self, location, op, memarg, value):
+        self._bump(op)
+
+    def memory_size(self, location, current_size_pages):
+        self._bump("memory.size")
+
+    def memory_grow(self, location, delta, previous_size_pages):
+        self._bump("memory.grow")
+
+    # calls
+    def call_pre(self, location, func, args, table_index):
+        self._bump("call" if table_index is None else "call_indirect")
+
+    def return_(self, location, results):
+        self._bump("return")
+
+    # control flow
+    def br(self, location, target):
+        self._bump("br")
+
+    def br_if(self, location, target, condition):
+        self._bump("br_if")
+
+    def br_table(self, location, table, default_target, table_index):
+        self._bump("br_table")
+
+    def if_(self, location, condition):
+        self._bump("if")
+
+    def begin(self, location, block_type):
+        self._bump(f"begin_{block_type}")
+
+    def end(self, location, block_type, begin_location):
+        self._bump(f"end_{block_type}")
+
+    def nop(self, location):
+        self._bump("nop")
+
+    def unreachable(self, location):
+        self._bump("unreachable")
+
+    # reporting -----------------------------------------------------------------
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def top(self, n: int = 10) -> list[tuple[str, int]]:
+        return self.counts.most_common(n)
+
+    def report(self) -> str:
+        lines = ["instruction mix:"]
+        for name, count in self.counts.most_common():
+            lines.append(f"  {name:<24} {count}")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Memory access tracing (paper Table 4, row 8).
+
+Records all loads and stores for later offline analysis, e.g. to detect
+cache-unfriendly access patterns. Uses only the ``load`` and ``store``
+hooks (11 LOC in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.analysis import Analysis, Location, MemArg
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded memory access."""
+
+    kind: str            # 'load' | 'store'
+    op: str              # e.g. 'f64.load'
+    address: int         # effective address (addr + offset)
+    value: int | float
+    location: Location
+
+
+class MemoryTracer(Analysis):
+    """Appends every access to an in-memory trace."""
+
+    def __init__(self, max_accesses: int | None = None):
+        self.trace: list[Access] = []
+        self.max_accesses = max_accesses
+        self.truncated = False
+
+    def _record(self, kind: str, location: Location, op: str,
+                memarg: MemArg, value: int | float) -> None:
+        if self.max_accesses is not None and len(self.trace) >= self.max_accesses:
+            self.truncated = True
+            return
+        self.trace.append(Access(kind, op, memarg.addr + memarg.offset,
+                                 value, location))
+
+    def load(self, location, op, memarg, value):
+        self._record("load", location, op, memarg, value)
+
+    def store(self, location, op, memarg, value):
+        self._record("store", location, op, memarg, value)
+
+    # offline analysis helpers ---------------------------------------------------
+
+    def unique_addresses(self) -> int:
+        return len({access.address for access in self.trace})
+
+    def read_write_ratio(self) -> float:
+        reads = sum(1 for a in self.trace if a.kind == "load")
+        writes = len(self.trace) - reads
+        return reads / writes if writes else float("inf")
+
+    def stride_histogram(self) -> dict[int, int]:
+        """Distribution of address deltas between consecutive accesses —
+        small strides indicate cache-friendly sequential access."""
+        histogram: dict[int, int] = {}
+        for prev, curr in zip(self.trace, self.trace[1:]):
+            stride = curr.address - prev.address
+            histogram[stride] = histogram.get(stride, 0) + 1
+        return histogram
+
+    def hot_addresses(self, n: int = 10) -> list[tuple[int, int]]:
+        counts: dict[int, int] = {}
+        for access in self.trace:
+            counts[access.address] = counts.get(access.address, 0) + 1
+        return sorted(counts.items(), key=lambda kv: -kv[1])[:n]

@@ -1,0 +1,87 @@
+"""Reusable memory shadowing (paper §2.3).
+
+The paper highlights that Wasabi makes memory shadowing — associating
+meta-information with every memory value — straightforward: "all an
+analysis must do is to maintain a map of memory locations to
+meta-information". This module packages that map as a reusable component
+(the analogue of Umbra's shadow memory, which the paper cites), so
+analyses like taint tracking, definedness checking, or origin tracking
+don't each reinvent it.
+
+The shadow lives entirely on the analysis side; the program's own linear
+memory is never touched (§1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+def access_width(op: str) -> int:
+    """Byte width accessed by a load/store mnemonic."""
+    if op.endswith(("8_s", "8_u", "store8")):
+        return 1
+    if op.endswith(("16_s", "16_u", "store16")):
+        return 2
+    if op.endswith(("32_s", "32_u", "store32")):
+        return 4
+    return 4 if op.startswith(("i32", "f32")) else 8
+
+
+class ShadowMemory(Generic[T]):
+    """A byte-granular map from addresses to meta-values.
+
+    Sparse: untouched bytes return ``default``. ``merge`` combines the
+    per-byte meta-values of a multi-byte read (defaults to set-union-like
+    behaviour via the provided callable).
+    """
+
+    def __init__(self, default: T, merge: Callable[[T, T], T]):
+        self._bytes: dict[int, T] = {}
+        self.default = default
+        self.merge = merge
+
+    def write(self, addr: int, width: int, meta: T) -> None:
+        if meta == self.default:
+            for offset in range(width):
+                self._bytes.pop(addr + offset, None)
+        else:
+            for offset in range(width):
+                self._bytes[addr + offset] = meta
+
+    def read(self, addr: int, width: int) -> T:
+        meta = self.default
+        for offset in range(width):
+            meta = self.merge(meta, self._bytes.get(addr + offset, self.default))
+        return meta
+
+    def write_for(self, op: str, addr: int, meta: T) -> None:
+        self.write(addr, access_width(op), meta)
+
+    def read_for(self, op: str, addr: int) -> T:
+        return self.read(addr, access_width(op))
+
+    def clear(self, addr: int, width: int) -> None:
+        self.write(addr, width, self.default)
+
+    def shadowed_bytes(self) -> int:
+        return len(self._bytes)
+
+    def regions(self) -> Iterator[tuple[int, int, T]]:
+        """Yield maximal runs ``(start, length, meta)`` of equal meta-values."""
+        addresses = sorted(self._bytes)
+        run_start = None
+        run_meta = None
+        prev = None
+        for addr in addresses:
+            meta = self._bytes[addr]
+            if run_start is not None and addr == prev + 1 and meta == run_meta:
+                prev = addr
+                continue
+            if run_start is not None:
+                yield run_start, prev - run_start + 1, run_meta
+            run_start, run_meta, prev = addr, meta, addr
+        if run_start is not None:
+            yield run_start, prev - run_start + 1, run_meta

@@ -1,0 +1,284 @@
+"""Dynamic taint analysis (paper Table 4, row 6).
+
+Associates a set of taint labels with every value and tracks propagation
+through instructions, locals, globals, function calls, and linear memory,
+detecting illegal flows from *sources* to *sinks*.
+
+This is the paper's flagship "heavyweight" example: it implements memory
+shadowing (§2.3) purely in the analysis language — a shadow value stack per
+frame, shadow locals, shadow globals, and a per-byte shadow memory that
+never touches the program's own linear memory (preserving the program's
+memory behaviour, §1).
+
+Shadow-stack reconstruction exploits the begin/end hooks: ``begin`` records
+the stack height at block entry, and every ``end`` re-synchronizes the
+shadow stack to that height (plus at most one block result), so the shadow
+stack cannot drift across branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.analysis import Analysis, Location
+from ..core.metadata import ModuleInfo
+
+Taint = frozenset
+CLEAN: Taint = frozenset()
+
+
+@dataclass
+class TaintFlow:
+    """A detected source→sink flow."""
+
+    labels: Taint
+    sink: int                 # sink function index
+    location: Location        # call site
+    arg_index: int
+
+
+@dataclass
+class _PendingCall:
+    args: list[Taint]
+    callee: int
+    entered: bool = False
+    result_taint: Taint = CLEAN
+
+
+class _Frame:
+    __slots__ = ("stack", "locals", "block_heights", "return_taint", "pending")
+
+    def __init__(self, arg_taints: list[Taint] | None = None,
+                 pending: _PendingCall | None = None):
+        self.stack: list[Taint] = []
+        self.locals: dict[int, Taint] = dict(enumerate(arg_taints or []))
+        self.block_heights: dict[Location, int] = {}
+        self.return_taint: Taint = CLEAN
+        self.pending = pending
+
+
+def _access_width(op: str) -> int:
+    """Byte width of a load/store mnemonic."""
+    if op.endswith(("8_s", "8_u", "store8")):
+        return 1
+    if op.endswith(("16_s", "16_u", "store16")):
+        return 2
+    if op.endswith(("32_s", "32_u", "store32")):
+        return 4
+    return 4 if op.startswith(("i32", "f32")) else 8
+
+
+class TaintAnalysis(Analysis):
+    """Forward taint tracking with configurable sources and sinks.
+
+    Sources: results of designated functions, or explicitly tainted memory
+    ranges. Sinks: arguments of designated functions. Pointer taint does
+    not propagate into loaded values by default (``propagate_addresses``).
+    """
+
+    def __init__(self, propagate_addresses: bool = False):
+        self.propagate_addresses = propagate_addresses
+        self.frames: list[_Frame] = [_Frame()]
+        self.calls: list[_PendingCall] = []
+        self.shadow_memory: dict[int, Taint] = {}
+        self.shadow_globals: dict[int, Taint] = {}
+        self.source_funcs: dict[int, str] = {}
+        self.sink_funcs: set[int] = set()
+        self._source_names: dict[str, str] = {}
+        self._sink_names: set[str] = set()
+        self.flows: list[TaintFlow] = []
+        self.underflows = 0
+
+    # -- policy configuration ---------------------------------------------------
+
+    def add_source_function(self, func: int | str, label: str) -> None:
+        """Results of calls to ``func`` become tainted with ``label``."""
+        if isinstance(func, int):
+            self.source_funcs[func] = label
+        else:
+            self._source_names[func] = label
+
+    def add_sink_function(self, func: int | str) -> None:
+        """Tainted arguments reaching ``func`` are reported as flows."""
+        if isinstance(func, int):
+            self.sink_funcs.add(func)
+        else:
+            self._sink_names.add(func)
+
+    def bind_module_info(self, module_info: ModuleInfo) -> None:
+        """Resolve source/sink names registered before the module was known."""
+        for info in module_info.functions:
+            names = {info.name, *info.export_names}
+            for name in names:
+                if name in self._source_names:
+                    self.source_funcs[info.idx] = self._source_names[name]
+                if name in self._sink_names:
+                    self.sink_funcs.add(info.idx)
+
+    def taint_memory(self, addr: int, size: int, label: str) -> None:
+        """Explicitly taint a memory range (an input-buffer source)."""
+        taint = frozenset({label})
+        for offset in range(size):
+            self.shadow_memory[addr + offset] = \
+                self.shadow_memory.get(addr + offset, CLEAN) | taint
+
+    def memory_taint(self, addr: int, size: int = 1) -> Taint:
+        out = CLEAN
+        for offset in range(size):
+            out |= self.shadow_memory.get(addr + offset, CLEAN)
+        return out
+
+    # -- shadow stack primitives -----------------------------------------------
+
+    @property
+    def _frame(self) -> _Frame:
+        return self.frames[-1]
+
+    def _push(self, taint: Taint) -> None:
+        self._frame.stack.append(taint)
+
+    def _pop(self) -> Taint:
+        stack = self._frame.stack
+        if not stack:
+            self.underflows += 1
+            return CLEAN
+        return stack.pop()
+
+    # -- value-producing / consuming hooks ------------------------------------------
+
+    def const_(self, location, value):
+        self._push(CLEAN)
+
+    def drop(self, location, value):
+        self._pop()
+
+    def select(self, location, condition, first, second):
+        cond_taint = self._pop()
+        second_taint = self._pop()
+        first_taint = self._pop()
+        chosen = first_taint if condition else second_taint
+        self._push(chosen | cond_taint)
+
+    def unary(self, location, op, input, result):
+        self._push(self._pop())
+
+    def binary(self, location, op, first, second, result):
+        second_taint = self._pop()
+        first_taint = self._pop()
+        self._push(first_taint | second_taint)
+
+    def local(self, location, op, index, value):
+        frame = self._frame
+        if op == "get_local":
+            self._push(frame.locals.get(index, CLEAN))
+        elif op == "set_local":
+            frame.locals[index] = self._pop()
+        else:  # tee_local
+            frame.locals[index] = frame.stack[-1] if frame.stack else CLEAN
+
+    def global_(self, location, op, index, value):
+        if op == "get_global":
+            self._push(self.shadow_globals.get(index, CLEAN))
+        else:
+            self.shadow_globals[index] = self._pop()
+
+    def load(self, location, op, memarg, value):
+        addr_taint = self._pop()
+        effective = memarg.addr + memarg.offset
+        taint = self.memory_taint(effective, _access_width(op))
+        if self.propagate_addresses:
+            taint |= addr_taint
+        self._push(taint)
+
+    def store(self, location, op, memarg, value):
+        value_taint = self._pop()
+        self._pop()  # address operand
+        effective = memarg.addr + memarg.offset
+        for offset in range(_access_width(op)):
+            if value_taint:
+                self.shadow_memory[effective + offset] = value_taint
+            else:
+                self.shadow_memory.pop(effective + offset, None)
+
+    def memory_size(self, location, size):
+        self._push(CLEAN)
+
+    def memory_grow(self, location, delta, previous):
+        self._push(self._pop())
+
+    # -- calls and frames -----------------------------------------------------------
+
+    def call_pre(self, location, func, args, table_index):
+        if table_index is not None:
+            self._pop()  # the dynamic table index operand
+        arg_taints = [self._pop() for _ in args][::-1]
+        if func in self.sink_funcs:
+            for arg_index, taint in enumerate(arg_taints):
+                if taint:
+                    self.flows.append(TaintFlow(taint, func, location, arg_index))
+        self.calls.append(_PendingCall(arg_taints, func))
+
+    def call_post(self, location, results):
+        result_taint = CLEAN
+        if self.calls:
+            pending = self.calls.pop()
+            result_taint = pending.result_taint
+            label = self.source_funcs.get(pending.callee)
+            if label is not None:
+                result_taint |= frozenset({label})
+        for _ in results:
+            self._push(result_taint)
+
+    def return_(self, location, results):
+        if results and self._frame.stack:
+            self._frame.return_taint |= self._frame.stack[-1]
+
+    # -- blocks: shadow stack resynchronization -----------------------------------------
+
+    def begin(self, location, block_type):
+        if block_type == "function":
+            pending = None
+            if self.calls and not self.calls[-1].entered:
+                pending = self.calls[-1]
+                pending.entered = True
+            self.frames.append(_Frame(pending.args if pending else None, pending))
+            return
+        self._frame.block_heights[location] = len(self._frame.stack)
+
+    def end(self, location, block_type, begin_location):
+        frame = self._frame
+        if block_type == "function":
+            if len(self.frames) > 1:
+                finished = self.frames.pop()
+                if finished.pending is not None:
+                    finished.pending.result_taint = finished.return_taint
+            return
+        target = frame.block_heights.get(begin_location)
+        if target is None:
+            return
+        if len(frame.stack) > target:
+            # keep at most one value: the block result
+            frame.stack[target:] = [frame.stack[-1]]
+
+    # -- condition-consuming control flow ---------------------------------------------
+
+    def if_(self, location, condition):
+        self._pop()
+
+    def br_if(self, location, target, condition):
+        self._pop()
+
+    def br_table(self, location, table, default_target, table_index):
+        self._pop()
+
+    # br and nop have no stack effect; unreachable traps.
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def tainted_memory_bytes(self) -> int:
+        return len(self.shadow_memory)
+
+    def has_flow(self, label: str | None = None) -> bool:
+        if label is None:
+            return bool(self.flows)
+        return any(label in flow.labels for flow in self.flows)

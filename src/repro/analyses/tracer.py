@@ -1,0 +1,87 @@
+"""Structured execution tracing (extension).
+
+Records the full event stream as structured records and can export it as
+JSON lines for offline analysis — the "record" half of the record-replay
+workflow the paper cites from Jalangi. Useful for differential debugging
+of engines and for building offline analyses without re-running the
+program.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..core.analysis import Analysis, Location
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded hook event."""
+
+    kind: str
+    location: Location
+    payload: tuple = ()
+
+    def to_json(self) -> str:
+        return json.dumps({"kind": self.kind, "func": self.location.func,
+                           "instr": self.location.instr,
+                           "payload": list(self.payload)})
+
+
+class ExecutionTracer(Analysis):
+    """Appends every event; optionally filtered by a predicate."""
+
+    def __init__(self, keep: Callable[[Event], bool] | None = None,
+                 max_events: int | None = None):
+        self.events: list[Event] = []
+        self.keep = keep
+        self.max_events = max_events
+        self.dropped = 0
+
+    def _rec(self, kind: str, location: Location, *payload) -> None:
+        event = Event(kind, location, payload)
+        if self.keep is not None and not self.keep(event):
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def const_(self, loc, v): self._rec("const", loc, v)
+    def drop(self, loc, v): self._rec("drop", loc, v)
+    def select(self, loc, c, a, b): self._rec("select", loc, c, a, b)
+    def unary(self, loc, op, i, r): self._rec("unary", loc, op, i, r)
+    def binary(self, loc, op, a, b, r): self._rec("binary", loc, op, a, b, r)
+    def local(self, loc, op, i, v): self._rec("local", loc, op, i, v)
+    def global_(self, loc, op, i, v): self._rec("global", loc, op, i, v)
+    def load(self, loc, op, m, v): self._rec("load", loc, op, m.addr + m.offset, v)
+    def store(self, loc, op, m, v): self._rec("store", loc, op, m.addr + m.offset, v)
+    def memory_size(self, loc, s): self._rec("memory_size", loc, s)
+    def memory_grow(self, loc, d, p): self._rec("memory_grow", loc, d, p)
+    def call_pre(self, loc, f, args, t): self._rec("call_pre", loc, f, tuple(args), t)
+    def call_post(self, loc, r): self._rec("call_post", loc, tuple(r))
+    def return_(self, loc, r): self._rec("return", loc, tuple(r))
+    def br(self, loc, t): self._rec("br", loc, t.location.instr)
+    def br_if(self, loc, t, c): self._rec("br_if", loc, t.location.instr, c)
+    def br_table(self, loc, tbl, d, i): self._rec("br_table", loc, i)
+    def if_(self, loc, c): self._rec("if", loc, c)
+    def begin(self, loc, k): self._rec("begin", loc, k)
+    def end(self, loc, k, b): self._rec("end", loc, k, (b.func, b.instr))
+    def nop(self, loc): self._rec("nop", loc)
+    def unreachable(self, loc): self._rec("unreachable", loc)
+
+    # -- export / query -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(event.to_json() for event in self.events)
+
+    def slice_by_function(self, func_idx: int) -> list[Event]:
+        return [e for e in self.events if e.location.func == func_idx]
+
+    def kinds(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

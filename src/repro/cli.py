@@ -1,0 +1,220 @@
+"""Command-line interface, mirroring the Wasabi tool's workflow.
+
+The original Wasabi ships a CLI that takes a ``.wasm`` file and produces an
+instrumented binary plus generated hook/metadata files. This module offers
+the equivalent, plus the usual binary-toolkit conveniences:
+
+  python -m repro instrument app.wasm -o app.instr.wasm --hooks call,return
+  python -m repro validate app.wasm
+  python -m repro objdump app.wasm            # WAT-style disassembly
+  python -m repro compile kernel.mc -o kernel.wasm
+  python -m repro run app.wasm main 1 2 --analysis mix
+  python -m repro stats app.wasm              # sizes, sections, instr mix
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analyses import (BasicBlockProfiler, BranchCoverage, CallGraphAnalysis,
+                       CryptominerDetector, InstructionCoverage,
+                       InstructionMixAnalysis, MemoryTracer)
+from .core import ALL_GROUPS, Analysis, AnalysisSession, instrument_module
+from .interp import Linker, Machine
+from .minic import compile_source
+from .wasm import (decode_module, encode_module, format_module,
+                   validate_module)
+from .wasm.types import F64, I32, FuncType
+
+ANALYSES = {
+    "mix": InstructionMixAnalysis,
+    "blocks": BasicBlockProfiler,
+    "coverage": InstructionCoverage,
+    "branches": BranchCoverage,
+    "callgraph": CallGraphAnalysis,
+    "cryptominer": CryptominerDetector,
+    "memtrace": MemoryTracer,
+    "none": Analysis,
+}
+
+
+def _load(path: str):
+    return decode_module(Path(path).read_bytes())
+
+
+def _default_linker(printed: list | None = None) -> Linker:
+    """Host imports that MiniC-compiled programs conventionally use."""
+    sink = printed if printed is not None else []
+    linker = Linker()
+    linker.define_function("env", "print_f64", FuncType((F64,), ()),
+                           lambda args: sink.append(args[0]))
+    linker.define_function("env", "print_i32", FuncType((I32,), ()),
+                           lambda args: sink.append(args[0]))
+    return linker
+
+
+def cmd_instrument(args: argparse.Namespace) -> int:
+    module = _load(args.input)
+    groups = None
+    if args.hooks != "all":
+        groups = frozenset(args.hooks.split(","))
+        unknown = groups - ALL_GROUPS
+        if unknown:
+            print(f"unknown hooks: {', '.join(sorted(unknown))}; "
+                  f"available: {', '.join(sorted(ALL_GROUPS))}", file=sys.stderr)
+            return 2
+    result = instrument_module(module, groups=groups)
+    raw = encode_module(result.module)
+    output = args.output or (Path(args.input).stem + ".instrumented.wasm")
+    Path(output).write_bytes(raw)
+    original_size = Path(args.input).stat().st_size
+    print(f"instrumented {args.input} -> {output}")
+    print(f"  hooks generated: {result.hook_count}")
+    print(f"  size: {original_size} -> {len(raw)} bytes "
+          f"({100 * (len(raw) - original_size) / original_size:+.1f}%)")
+    if args.metadata:
+        meta = {
+            "hooks": [{"name": spec.name, "kind": spec.kind,
+                       "params": [t.value for t in spec.wasm_params]}
+                      for spec in result.info.hooks],
+            "functions": [{"idx": f.idx, "name": f.name,
+                           "type": str(f.type), "imported": f.imported}
+                          for f in result.info.module_info.functions],
+        }
+        Path(args.metadata).write_text(json.dumps(meta, indent=2))
+        print(f"  metadata: {args.metadata}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        validate_module(_load(args.input))
+    except Exception as exc:
+        print(f"{args.input}: INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.input}: ok")
+    return 0
+
+
+def cmd_objdump(args: argparse.Namespace) -> int:
+    print(format_module(_load(args.input)))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Compile MiniC (``.mc``) or WAT text (``.wat``) to a binary."""
+    source = Path(args.input).read_text()
+    if args.input.endswith(".wat") or source.lstrip().startswith("(module"):
+        from .wasm import parse_wat
+        module = parse_wat(source)
+    else:
+        module = compile_source(source, Path(args.input).stem)
+    validate_module(module)
+    output = args.output or (Path(args.input).stem + ".wasm")
+    raw = encode_module(module)
+    Path(output).write_bytes(raw)
+    print(f"compiled {args.input} -> {output} ({len(raw)} bytes, "
+          f"{module.instruction_count()} instructions)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _load(args.input)
+    call_args = [float(a) if "." in a else int(a) for a in args.args]
+    printed: list = []
+    linker = _default_linker(printed)
+    if args.analysis == "none" and not args.instrument:
+        machine = Machine()
+        instance = machine.instantiate(module, linker)
+        result = instance.invoke(args.entry, call_args)
+    else:
+        analysis = ANALYSES[args.analysis]()
+        session = AnalysisSession(module, analysis, linker=linker)
+        result = session.invoke(args.entry, call_args)
+        if isinstance(analysis, InstructionMixAnalysis):
+            print(analysis.report())
+        elif isinstance(analysis, CryptominerDetector):
+            print(f"signature fraction: {analysis.signature_fraction:.2%}; "
+                  f"suspicious: {analysis.is_suspicious()}")
+        elif isinstance(analysis, MemoryTracer):
+            print(f"{len(analysis.trace)} accesses, "
+                  f"{analysis.unique_addresses()} unique addresses")
+        elif isinstance(analysis, BasicBlockProfiler):
+            for (loc, kind), count in analysis.hottest(10):
+                print(f"  {kind:<9} {loc}: {count}")
+    for value in printed:
+        print(f"[print] {value}")
+    print(f"{args.entry}({', '.join(map(str, call_args))}) = {result}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    module = _load(args.input)
+    size = Path(args.input).stat().st_size
+    print(f"{args.input}: {size} bytes")
+    print(f"  types: {len(module.types)}")
+    print(f"  imports: {len(module.imports)} "
+          f"({module.num_imported_functions} functions)")
+    print(f"  functions: {len(module.functions)} defined")
+    print(f"  instructions: {module.instruction_count()}")
+    print(f"  exports: {', '.join(e.name for e in module.exports) or '-'}")
+    from collections import Counter
+    groups = Counter(i.info.group.value for _, _, i in module.iter_instructions()
+                     if i.info.group)
+    print("  static instruction mix:")
+    for group, count in groups.most_common(8):
+        print(f"    {group:<12} {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Wasabi (reproduction) WebAssembly toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("instrument", help="instrument a .wasm binary")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.add_argument("--hooks", default="all",
+                   help="comma-separated hook groups (default: all)")
+    p.add_argument("--metadata", help="write hook/function metadata JSON")
+    p.set_defaults(fn=cmd_instrument)
+
+    p = sub.add_parser("validate", help="type check a .wasm binary")
+    p.add_argument("input")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("objdump", help="disassemble to WAT-style text")
+    p.add_argument("input")
+    p.set_defaults(fn=cmd_objdump)
+
+    p = sub.add_parser("compile", help="compile MiniC source to .wasm")
+    p.add_argument("input")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="run an exported function")
+    p.add_argument("input")
+    p.add_argument("entry")
+    p.add_argument("args", nargs="*")
+    p.add_argument("--analysis", choices=sorted(ANALYSES), default="none")
+    p.add_argument("--instrument", action="store_true",
+                   help="instrument even without an analysis")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("stats", help="summarize a .wasm binary")
+    p.add_argument("input")
+    p.set_defaults(fn=cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Wasabi's core: analysis API, binary instrumenter, and runtime."""
+
+from .analysis import (ALL_GROUPS, Analysis, BranchTarget, Location, MemArg,
+                       used_groups)
+from .composite import CompositeAnalysis
+from .control import ControlFrame, ControlStack
+from .hooks import HOOK_MODULE, HookRegistry, HookSpec, eager_hook_count
+from .instrument import (InstrumentationConfig, InstrumentationResult,
+                         instrument_module)
+from .metadata import (BrTableInfo, EndEvent, FunctionInfo, ModuleInfo,
+                       StaticInfo)
+from .runtime import WasabiRuntime
+from .session import AnalysisSession, analyze
+
+__all__ = [
+    "ALL_GROUPS", "Analysis", "AnalysisSession", "BranchTarget",
+    "BrTableInfo", "CompositeAnalysis", "ControlFrame", "ControlStack", "EndEvent", "FunctionInfo",
+    "HOOK_MODULE", "HookRegistry", "HookSpec", "InstrumentationConfig",
+    "InstrumentationResult", "Location", "MemArg", "ModuleInfo", "StaticInfo",
+    "WasabiRuntime", "analyze", "eager_hook_count", "instrument_module",
+    "used_groups",
+]

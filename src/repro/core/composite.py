@@ -1,0 +1,44 @@
+"""Running several analyses in one instrumented execution.
+
+Wasabi instruments for the *union* of the hooks the analyses implement and
+fans every event out to each analysis that implements it. Selective
+instrumentation still applies: an instruction class is only instrumented
+if at least one member analysis observes it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .analysis import Analysis, HOOK_METHOD_TO_GROUP, used_groups
+
+
+class CompositeAnalysis(Analysis):
+    """Fans hook events out to several member analyses."""
+
+    def __init__(self, analyses: Sequence[Analysis]):
+        self.analyses = list(analyses)
+        hook_methods = list(HOOK_METHOD_TO_GROUP) + ["start"]
+        for method in hook_methods:
+            receivers = [getattr(analysis, method) for analysis in self.analyses
+                         if getattr(type(analysis), method)
+                         is not getattr(Analysis, method)]
+            if receivers:
+                setattr(self, method, _fan_out(receivers))
+
+    def groups(self) -> frozenset[str]:
+        out: set[str] = set()
+        for analysis in self.analyses:
+            out |= used_groups(analysis)
+        return frozenset(out)
+
+
+def _fan_out(receivers):
+    if len(receivers) == 1:
+        return receivers[0]
+
+    def dispatch(*args, **kwargs):
+        for receiver in receivers:
+            receiver(*args, **kwargs)
+
+    return dispatch

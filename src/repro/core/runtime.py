@@ -1,0 +1,262 @@
+"""The Wasabi runtime: generated low-level hooks dispatching to the analysis.
+
+For every :class:`HookSpec` the instrumenter generated, the runtime creates
+a host function (the analogue of the paper's generated JavaScript low-level
+hooks). These functions
+
+* re-join split i64 halves into full-width integers (§2.4.6),
+* convert raw i32 condition values to booleans (Figure 5),
+* attach pre-computed static information — resolved branch targets, memory
+  offsets, variable indices, call targets (§2.3 "pre-computed information"),
+* resolve indirect-call table indices to the actually called function by
+  reading the live table (§2.3), and
+* for ``br_table``, select the taken entry and fire the end hooks of all
+  traversed blocks at runtime (§2.4.5),
+
+before invoking the user's high-level hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..interp.host import HostFunction
+from ..interp.machine import Instance
+from ..wasm.numeric import to_signed
+from ..wasm.types import I64, ValType
+from .analysis import Analysis, Location, MemArg
+from .hooks import HookSpec, split_i64
+from .instrument import InstrumentationResult
+from .metadata import StaticInfo
+
+
+def _present(valtype: ValType, raw: int | float) -> int | float:
+    """Convert a canonical runtime value to its analysis-facing form.
+
+    Integers become signed Python ints (the JavaScript ``number`` /
+    long.js view of the paper's Figure 5); floats pass through.
+    """
+    if valtype is ValType.I32:
+        return to_signed(raw, 32)
+    if valtype is ValType.I64:
+        return to_signed(raw, 64)
+    return raw
+
+
+class WasabiRuntime:
+    """Builds and owns the low-level hook host functions for one analysis."""
+
+    def __init__(self, result: InstrumentationResult, analysis: Analysis):
+        self.info: StaticInfo = result.info
+        self.analysis = analysis
+        self.instance: Instance | None = None
+        self._num_original_imports = sum(
+            1 for f in self.info.module_info.functions if f.imported)
+        self._num_hooks = len(self.info.hooks)
+        self._with_locations = True
+        if self.info.hooks:
+            # all hooks share the location convention
+            first = self.info.hooks[0]
+            self._with_locations = (len(first.wasm_params)
+                                    == len(split_i64(first.value_types)) + 2)
+        self.enabled = True  # allows pausing an analysis mid-run
+
+    def bind(self, instance: Instance) -> None:
+        """Attach the instrumented instance (needed for table lookups)."""
+        self.instance = instance
+
+    # -- host function generation ----------------------------------------------
+
+    def host_functions(self) -> dict[str, HostFunction]:
+        """One generated host function per low-level hook."""
+        return {spec.name: HostFunction(spec.functype,
+                                        self._make_dispatcher(spec),
+                                        name=spec.name)
+                for spec in self.info.hooks}
+
+    def _split_args(self, spec: HookSpec,
+                    raw: list[int | float]) -> tuple[Location, list[int | float]]:
+        if self._with_locations:
+            func_idx = raw[-2]
+            instr_idx = to_signed(raw[-1], 32)
+            raw = raw[:-2]
+        else:
+            func_idx, instr_idx = -1, -1
+        location = Location(func_idx, instr_idx)
+        values: list[int | float] = []
+        cursor = 0
+        for valtype in spec.value_types:
+            if valtype is I64:
+                low, high = raw[cursor], raw[cursor + 1]
+                values.append(low | (high << 32))
+                cursor += 2
+            else:
+                values.append(raw[cursor])
+                cursor += 1
+        return location, values
+
+    def _original_func_idx(self, instrumented_idx: int) -> int:
+        """Map a function index of the instrumented module back to the
+        original index space (inverse of the instrumenter's remapping)."""
+        if instrumented_idx < self._num_original_imports:
+            return instrumented_idx
+        return instrumented_idx - self._num_hooks
+
+    def _make_dispatcher(self, spec: HookSpec) -> Callable[[list], None]:
+        analysis = self.analysis
+        kind = spec.kind
+        payload = spec.payload
+        info = self.info
+
+        def loc_and_vals(args: list) -> tuple[Location, list]:
+            return self._split_args(spec, args)
+
+        if kind == "const":
+            valtype = payload[0]
+            def dispatch(args: list) -> None:
+                loc, (value,) = loc_and_vals(args)
+                analysis.const_(loc, _present(valtype, value))
+        elif kind == "drop":
+            valtype = payload[0]
+            def dispatch(args: list) -> None:
+                loc, (value,) = loc_and_vals(args)
+                analysis.drop(loc, _present(valtype, value))
+        elif kind == "select":
+            valtype = payload[0]
+            def dispatch(args: list) -> None:
+                loc, (first, second, condition) = loc_and_vals(args)
+                analysis.select(loc, bool(condition),
+                                _present(valtype, first),
+                                _present(valtype, second))
+        elif kind in ("unary", "binary"):
+            op = payload[0]
+            from ..wasm.opcodes import BY_NAME
+            params, results = BY_NAME[op].signature
+            if kind == "unary":
+                def dispatch(args: list) -> None:
+                    loc, (inp, res) = loc_and_vals(args)
+                    analysis.unary(loc, op, _present(params[0], inp),
+                                   _present(results[0], res))
+            else:
+                def dispatch(args: list) -> None:
+                    loc, (first, second, res) = loc_and_vals(args)
+                    analysis.binary(loc, op, _present(params[0], first),
+                                    _present(params[1], second),
+                                    _present(results[0], res))
+        elif kind == "load":
+            op = payload[0]
+            from ..wasm.opcodes import BY_NAME
+            valtype = BY_NAME[op].signature[1][0]
+            def dispatch(args: list) -> None:
+                loc, (addr, value) = loc_and_vals(args)
+                offset = info.memarg_offsets.get((loc.func, loc.instr), 0)
+                analysis.load(loc, op, MemArg(addr, offset),
+                              _present(valtype, value))
+        elif kind == "store":
+            op = payload[0]
+            from ..wasm.opcodes import BY_NAME
+            valtype = BY_NAME[op].signature[0][1]
+            def dispatch(args: list) -> None:
+                loc, (addr, value) = loc_and_vals(args)
+                offset = info.memarg_offsets.get((loc.func, loc.instr), 0)
+                analysis.store(loc, op, MemArg(addr, offset),
+                               _present(valtype, value))
+        elif kind == "local":
+            op, valtype = payload
+            def dispatch(args: list) -> None:
+                loc, (value,) = loc_and_vals(args)
+                index = info.var_indices[(loc.func, loc.instr)]
+                analysis.local(loc, op, index, _present(valtype, value))
+        elif kind == "global":
+            op, valtype = payload
+            def dispatch(args: list) -> None:
+                loc, (value,) = loc_and_vals(args)
+                index = info.var_indices[(loc.func, loc.instr)]
+                analysis.global_(loc, op, index, _present(valtype, value))
+        elif kind == "memory_size":
+            def dispatch(args: list) -> None:
+                loc, (size,) = loc_and_vals(args)
+                analysis.memory_size(loc, size)
+        elif kind == "memory_grow":
+            def dispatch(args: list) -> None:
+                loc, (delta, previous) = loc_and_vals(args)
+                analysis.memory_grow(loc, delta, previous)
+        elif kind == "call_pre":
+            indirect = payload[0] == "indirect"
+            param_types = payload[1:]
+            if indirect:
+                def dispatch(args: list) -> None:
+                    loc, values = loc_and_vals(args)
+                    table_index = values[0]
+                    call_args = [_present(t, v)
+                                 for t, v in zip(param_types, values[1:])]
+                    target = -1
+                    if self.instance is not None and self.instance.table is not None:
+                        entry = self.instance.table.lookup(table_index)
+                        if entry is not None:
+                            target = self._original_func_idx(entry)
+                    analysis.call_pre(loc, target, call_args, table_index)
+            else:
+                def dispatch(args: list) -> None:
+                    loc, values = loc_and_vals(args)
+                    call_args = [_present(t, v)
+                                 for t, v in zip(param_types, values)]
+                    target = info.call_targets[(loc.func, loc.instr)]
+                    analysis.call_pre(loc, target, call_args, None)
+        elif kind == "call_post":
+            result_types = payload
+            def dispatch(args: list) -> None:
+                loc, values = loc_and_vals(args)
+                analysis.call_post(
+                    loc, [_present(t, v) for t, v in zip(result_types, values)])
+        elif kind == "return":
+            result_types = payload
+            def dispatch(args: list) -> None:
+                loc, values = loc_and_vals(args)
+                analysis.return_(
+                    loc, [_present(t, v) for t, v in zip(result_types, values)])
+        elif kind == "br":
+            def dispatch(args: list) -> None:
+                loc, _ = loc_and_vals(args)
+                analysis.br(loc, info.br_targets[(loc.func, loc.instr)])
+        elif kind == "br_if":
+            def dispatch(args: list) -> None:
+                loc, (condition,) = loc_and_vals(args)
+                analysis.br_if(loc, info.br_targets[(loc.func, loc.instr)],
+                               bool(condition))
+        elif kind == "br_table":
+            def dispatch(args: list) -> None:
+                loc, (table_index,) = loc_and_vals(args)
+                table_info = info.br_tables[(loc.func, loc.instr)]
+                analysis.br_table(loc, table_info.targets, table_info.default,
+                                  table_index)
+                _, ended = table_info.select(table_index)
+                for event in ended:
+                    analysis.end(event.end, event.kind, event.begin)
+        elif kind == "if":
+            def dispatch(args: list) -> None:
+                loc, (condition,) = loc_and_vals(args)
+                analysis.if_(loc, bool(condition))
+        elif kind == "begin":
+            block_type = payload[0]
+            def dispatch(args: list) -> None:
+                loc, _ = loc_and_vals(args)
+                analysis.begin(loc, block_type)
+        elif kind == "end":
+            block_type = payload[0]
+            def dispatch(args: list) -> None:
+                loc, _ = loc_and_vals(args)
+                begin = info.begin_of_end[(loc.func, loc.instr, block_type)]
+                analysis.end(loc, block_type, begin)
+        elif kind == "nop":
+            def dispatch(args: list) -> None:
+                loc, _ = loc_and_vals(args)
+                analysis.nop(loc)
+        elif kind == "unreachable":
+            def dispatch(args: list) -> None:
+                loc, _ = loc_and_vals(args)
+                analysis.unreachable(loc)
+        else:  # pragma: no cover - registry only produces known kinds
+            raise ValueError(f"unknown hook kind {kind!r}")
+
+        return dispatch

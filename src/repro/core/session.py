@@ -1,0 +1,78 @@
+"""One-call convenience for instrumenting and running a module under an analysis.
+
+Mirrors the end-to-end flow of the paper's Figure 2: instrument the binary,
+generate the low-level hooks, link everything, and execute — with selective
+instrumentation derived automatically from which hooks the analysis
+overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..interp.host import Linker
+from ..interp.machine import Instance, Machine
+from ..wasm.module import Module
+from .analysis import ALL_GROUPS, Analysis, used_groups
+from .hooks import HOOK_MODULE
+from .instrument import (InstrumentationConfig, InstrumentationResult,
+                         instrument_module)
+from .runtime import WasabiRuntime
+
+
+class AnalysisSession:
+    """An instrumented module instance wired to an analysis."""
+
+    def __init__(self, module: Module, analysis: Analysis,
+                 linker: Linker | None = None,
+                 groups: frozenset[str] | set[str] | None = None,
+                 config: InstrumentationConfig | None = None,
+                 machine: Machine | None = None,
+                 run_start: bool = True):
+        self.original = module
+        self.analysis = analysis
+        if groups is None:
+            groups = used_groups(analysis)
+        self.result: InstrumentationResult = instrument_module(
+            module, groups=groups, config=config)
+        self.runtime = WasabiRuntime(self.result, analysis)
+
+        linker = linker or Linker()
+        for name, host_func in self.runtime.host_functions().items():
+            linker.define(HOOK_MODULE, name, host_func)
+
+        self.machine = machine or Machine()
+        # Instantiate without running start: the runtime must be bound (and
+        # the high-level start hook fired) before any hook executes.
+        self.instance: Instance = self.machine.instantiate(
+            self.result.module, linker, run_start=False)
+        self.runtime.bind(self.instance)
+        if run_start and self.result.module.start is not None:
+            analysis.start()
+            self.machine.call(self.instance, self.result.module.start, [])
+
+    @property
+    def module_info(self):
+        """Static module info exposed to analyses (``Wasabi.module.info``)."""
+        return self.result.info.module_info
+
+    def invoke(self, export_name: str,
+               args: Sequence[int | float] = ()) -> list[int | float]:
+        """Call an exported function of the instrumented instance."""
+        return self.instance.invoke(export_name, args)
+
+
+def analyze(module: Module, analysis: Analysis,
+            linker: Linker | None = None,
+            entry: str | None = None,
+            args: Sequence[int | float] = (),
+            **session_kwargs) -> AnalysisSession:
+    """Instrument ``module`` for ``analysis``, optionally invoking ``entry``.
+
+    Returns the session so callers can inspect the analysis state or invoke
+    further exports.
+    """
+    session = AnalysisSession(module, analysis, linker=linker, **session_kwargs)
+    if entry is not None:
+        session.invoke(entry, args)
+    return session

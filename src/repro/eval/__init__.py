@@ -1,0 +1,28 @@
+"""Evaluation harness: workloads, per-hook sweeps, and report rendering.
+
+The pytest benchmarks under ``benchmarks/`` are thin drivers around this
+package; everything here is importable for ad-hoc experimentation too.
+"""
+
+from .faithfulness import (FaithfulnessResult, check_workload, run_instrumented,
+                           run_original)
+from .hooks_matrix import (FIGURE_GROUPS, make_full_analysis,
+                           make_group_analysis)
+from .overhead import (OverheadReport, baseline_runtime, instrumented_runtime,
+                       overhead_sweep)
+from .report import render_fig8, render_fig9, render_table, render_table5
+from .sizes import SizeReport, measure_size, size_sweep
+from .timing import TimingReport, instrument_binary, time_instrumentation
+from .workloads import (POLYBENCH_FAST_SUBSET, Workload, default_workloads,
+                        polybench_workloads, realworld_workloads)
+
+__all__ = [
+    "FIGURE_GROUPS", "FaithfulnessResult", "OverheadReport",
+    "POLYBENCH_FAST_SUBSET", "SizeReport", "TimingReport", "Workload",
+    "baseline_runtime", "check_workload", "default_workloads",
+    "instrument_binary", "instrumented_runtime", "make_full_analysis",
+    "make_group_analysis", "measure_size", "overhead_sweep",
+    "polybench_workloads", "realworld_workloads", "render_fig8",
+    "render_fig9", "render_table", "render_table5", "run_instrumented",
+    "run_original", "size_sweep", "time_instrumentation",
+]

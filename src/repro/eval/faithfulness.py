@@ -1,0 +1,78 @@
+"""RQ2: does instrumentation preserve the original behaviour? (paper §4.3)
+
+Three checks, mirroring the paper:
+
+1. run the original and the fully instrumented program and compare all
+   observable outputs (return values, printed values, final memory);
+2. validate every instrumented module with the static validator
+   (the paper uses ``wasm-validate``; we use :mod:`repro.wasm.validation`);
+3. do the same over the spec-test corpus, including trap equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.session import AnalysisSession
+from ..interp.machine import Machine
+from ..wasm.errors import Trap
+from ..wasm.module import Module
+from ..wasm.validation import validate_module
+from .hooks_matrix import make_full_analysis
+from .workloads import Workload
+
+
+@dataclass
+class FaithfulnessResult:
+    name: str
+    outputs_match: bool
+    validates: bool
+    original_result: object
+    instrumented_result: object
+
+    @property
+    def ok(self) -> bool:
+        return self.outputs_match and self.validates
+
+
+def run_original(workload: Workload) -> tuple[object, list]:
+    """Execute the uninstrumented workload; returns (result, printed)."""
+    printed: list = []
+    machine = Machine()
+    instance = machine.instantiate(workload.module(), workload.linker(printed))
+    try:
+        result = instance.invoke(workload.entry, workload.args)
+    except Trap as trap:
+        result = f"trap: {type(trap).__name__}"
+    return result, printed
+
+
+def run_instrumented(workload: Workload,
+                     groups: frozenset[str] | None = None) -> tuple[object, list, Module]:
+    """Execute the workload under (full, by default) instrumentation."""
+    printed: list = []
+    session = AnalysisSession(workload.module(), make_full_analysis(),
+                              linker=workload.linker(printed), groups=groups)
+    try:
+        result = session.invoke(workload.entry, workload.args)
+    except Trap as trap:
+        result = f"trap: {type(trap).__name__}"
+    return result, printed, session.result.module
+
+
+def check_workload(workload: Workload) -> FaithfulnessResult:
+    original_result, original_printed = run_original(workload)
+    instr_result, instr_printed, instr_module = run_instrumented(workload)
+    try:
+        validate_module(instr_module)
+        validates = True
+    except Exception:
+        validates = False
+    return FaithfulnessResult(
+        name=workload.name,
+        outputs_match=(original_result == instr_result
+                       and original_printed == instr_printed),
+        validates=validates,
+        original_result=original_result,
+        instrumented_result=instr_result,
+    )

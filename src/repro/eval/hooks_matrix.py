@@ -1,0 +1,44 @@
+"""Per-hook-group analyses for the Figures 8/9 sweeps.
+
+The paper's RQ4/RQ5 instrument each program once per hook group (selective
+instrumentation) and once for all hooks. The helpers below build "empty"
+analyses — hooks that are called but do nothing, mirroring the empty
+analyses used to measure framework overhead in Jalangi/RoadRunner — that
+trigger instrumentation of exactly one group (or all of them).
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import ALL_GROUPS, HOOK_METHOD_TO_GROUP, Analysis
+
+#: The x-axis order of the paper's Figures 8 and 9.
+FIGURE_GROUPS = [
+    "nop", "unreachable", "memory_size", "memory_grow", "select", "drop",
+    "load", "store", "call", "return", "const", "unary", "binary", "global",
+    "local", "begin", "end", "if", "br", "br_if", "br_table",
+]
+
+assert set(FIGURE_GROUPS) == set(ALL_GROUPS)
+
+_GROUP_TO_METHODS: dict[str, list[str]] = {}
+for _method, _group in HOOK_METHOD_TO_GROUP.items():
+    _GROUP_TO_METHODS.setdefault(_group, []).append(_method)
+
+
+def _noop_hook(*args, **kwargs) -> None:
+    pass
+
+
+def make_group_analysis(group: str) -> Analysis:
+    """An analysis that implements exactly the hooks of one group (no-ops)."""
+    methods = _GROUP_TO_METHODS[group]
+    cls = type(f"Empty_{group}_Analysis", (Analysis,),
+               {method: _noop_hook for method in methods})
+    return cls()
+
+
+def make_full_analysis() -> Analysis:
+    """An empty analysis implementing *all* hooks (the paper's "all" bars)."""
+    cls = type("EmptyFullAnalysis", (Analysis,),
+               {method: _noop_hook for method in HOOK_METHOD_TO_GROUP})
+    return cls()

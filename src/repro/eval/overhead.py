@@ -1,0 +1,78 @@
+"""RQ5: runtime overhead per hook group (paper Figure 9).
+
+Runs each workload uninstrumented and once per instrumentation
+configuration (each hook group alone, plus all hooks), with empty
+analyses attached — measuring the cost of the instrumentation machinery
+itself, exactly as the paper (and Jalangi's / RoadRunner's empty-analysis
+baselines) do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.session import AnalysisSession
+from ..interp.machine import Machine
+from .hooks_matrix import FIGURE_GROUPS, make_full_analysis, make_group_analysis
+from .workloads import Workload
+
+
+@dataclass
+class OverheadReport:
+    name: str
+    config: str
+    baseline_seconds: float
+    instrumented_seconds: float
+
+    @property
+    def relative_runtime(self) -> float:
+        """1.0x = no overhead (the paper's y-axis)."""
+        if self.baseline_seconds == 0:
+            return float("inf")
+        return self.instrumented_seconds / self.baseline_seconds
+
+
+def _time_run(invoke, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        invoke()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def baseline_runtime(workload: Workload, repeats: int = 3) -> float:
+    machine = Machine()
+    instance = machine.instantiate(workload.module(), workload.linker())
+    return _time_run(lambda: instance.invoke(workload.entry, workload.args),
+                     repeats)
+
+
+def instrumented_runtime(workload: Workload, config: str,
+                         repeats: int = 3) -> float:
+    if config == "all":
+        analysis = make_full_analysis()
+        groups = None
+    else:
+        analysis = make_group_analysis(config)
+        groups = frozenset({config})
+    session = AnalysisSession(workload.module(), analysis,
+                              linker=workload.linker(), groups=groups)
+    return _time_run(lambda: session.invoke(workload.entry, workload.args),
+                     repeats)
+
+
+def overhead_sweep(workload: Workload, configs: list[str] | None = None,
+                   repeats: int = 3, include_all: bool = True
+                   ) -> list[OverheadReport]:
+    """Relative runtime for every hook group (Figure 9's x-axis)."""
+    baseline = baseline_runtime(workload, repeats)
+    reports = []
+    for config in (configs or FIGURE_GROUPS):
+        elapsed = instrumented_runtime(workload, config, repeats)
+        reports.append(OverheadReport(workload.name, config, baseline, elapsed))
+    if include_all:
+        elapsed = instrumented_runtime(workload, "all", repeats)
+        reports.append(OverheadReport(workload.name, "all", baseline, elapsed))
+    return reports

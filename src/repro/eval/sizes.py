@@ -1,0 +1,55 @@
+"""RQ4: binary code size increase per hook group (paper Figure 8, §4.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instrument import instrument_module
+from ..wasm.encoder import encode_module
+from ..wasm.module import Module
+from .hooks_matrix import FIGURE_GROUPS
+
+
+@dataclass
+class SizeReport:
+    """Size metrics of one program under one instrumentation configuration."""
+
+    name: str
+    config: str                   # hook group, or 'all'
+    original_bytes: int
+    instrumented_bytes: int
+    hook_count: int
+
+    @property
+    def increase_percent(self) -> float:
+        """0% = unchanged; may be slightly negative thanks to canonical
+        LEB128 re-encoding (paper footnote 13)."""
+        return 100.0 * (self.instrumented_bytes - self.original_bytes) \
+            / self.original_bytes
+
+
+def measure_size(name: str, module: Module,
+                 groups: frozenset[str] | None,
+                 config_name: str,
+                 original_bytes: int | None = None) -> SizeReport:
+    if original_bytes is None:
+        original_bytes = len(encode_module(module))
+    result = instrument_module(module, groups=groups)
+    return SizeReport(name=name, config=config_name,
+                      original_bytes=original_bytes,
+                      instrumented_bytes=len(encode_module(result.module)),
+                      hook_count=result.hook_count)
+
+
+def size_sweep(name: str, module: Module,
+               groups: list[str] | None = None,
+               include_all: bool = True) -> list[SizeReport]:
+    """Measure size increase for every hook group (Figure 8's x-axis)."""
+    original_bytes = len(encode_module(module))
+    reports = []
+    for group in (groups or FIGURE_GROUPS):
+        reports.append(measure_size(name, module, frozenset({group}), group,
+                                    original_bytes))
+    if include_all:
+        reports.append(measure_size(name, module, None, "all", original_bytes))
+    return reports

@@ -1,0 +1,54 @@
+"""RQ3: time to instrument (paper Table 5).
+
+Measures the full binary→binary pipeline: decode the ``.wasm`` bytes,
+instrument for all hooks, re-encode — the same work Wasabi's CLI does.
+Reports mean ± stddev over repetitions, and throughput in MB/s.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from ..core.instrument import InstrumentationConfig, instrument_module
+from ..wasm.decoder import decode_module
+from ..wasm.encoder import encode_module
+from ..wasm.module import Module
+
+
+@dataclass
+class TimingReport:
+    name: str
+    binary_bytes: int
+    mean_seconds: float
+    stdev_seconds: float
+    repeats: int
+
+    @property
+    def throughput_mb_per_s(self) -> float:
+        return (self.binary_bytes / 1e6) / self.mean_seconds
+
+
+def instrument_binary(raw: bytes,
+                      config: InstrumentationConfig | None = None) -> bytes:
+    """The binary→binary pipeline being timed."""
+    module = decode_module(raw)
+    result = instrument_module(module, config=config)
+    return encode_module(result.module)
+
+
+def time_instrumentation(name: str, module: Module, repeats: int = 5,
+                         config: InstrumentationConfig | None = None
+                         ) -> TimingReport:
+    raw = encode_module(module)
+    samples: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        instrument_binary(raw, config)
+        samples.append(time.perf_counter() - start)
+    return TimingReport(
+        name=name, binary_bytes=len(raw),
+        mean_seconds=statistics.mean(samples),
+        stdev_seconds=statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        repeats=repeats)

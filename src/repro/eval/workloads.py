@@ -1,0 +1,80 @@
+"""Uniform workload abstraction for the evaluation harness.
+
+Wraps the PolyBench kernels and the synthetic real-world stand-ins behind a
+single interface: a module, an entry point, arguments, and the host imports
+the program needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..interp.host import Linker
+from ..wasm.module import Module
+from ..wasm.types import F64, FuncType
+from ..workloads import engine_demo, pdf_toolkit
+from ..workloads.polybench import compile_kernel, kernel_names
+
+
+@dataclass
+class Workload:
+    """One benchmark program plus how to run it."""
+
+    name: str
+    group: str                       # 'polybench' | 'pdf_toolkit' | 'engine_demo'
+    module_fn: Callable[[], Module]
+    entry: str = "main"
+    args: tuple = ()
+    needs_print: bool = True
+
+    def module(self) -> Module:
+        return self.module_fn()
+
+    def linker(self, sink: list | None = None) -> Linker:
+        """A fresh linker with this workload's host imports.
+
+        ``sink`` collects printed values (for output comparison); pass None
+        to discard them.
+        """
+        linker = Linker()
+        if self.needs_print:
+            if sink is None:
+                printer = lambda args: None
+            else:
+                printer = lambda args: sink.append(args[0])
+            linker.define_function("env", "print_f64", FuncType((F64,), ()),
+                                   printer)
+        return linker
+
+
+def polybench_workloads(names: Sequence[str] | None = None,
+                        n: int | None = None) -> list[Workload]:
+    """The PolyBench workloads (all 30 by default)."""
+    selected = list(names) if names is not None else kernel_names()
+    return [Workload(name=name, group="polybench",
+                     module_fn=(lambda name=name: compile_kernel(name, n)))
+            for name in selected]
+
+
+#: A representative PolyBench subset for the (slow) runtime-overhead sweep.
+POLYBENCH_FAST_SUBSET = ["gemm", "jacobi-1d", "trisolv", "durbin",
+                         "floyd-warshall", "bicg"]
+
+
+def realworld_workloads(engine_scale: float = 1.0,
+                        pdf_scale: float = 1.0,
+                        rounds: int = 3) -> list[Workload]:
+    """The two real-world stand-ins (paper: PSPDFKit, Unreal Engine 4)."""
+    return [
+        Workload(name="pdf_toolkit", group="pdf_toolkit",
+                 module_fn=lambda: pdf_toolkit(pdf_scale),
+                 args=(rounds,), needs_print=False),
+        Workload(name="engine_demo", group="engine_demo",
+                 module_fn=lambda: engine_demo(engine_scale),
+                 args=(rounds,), needs_print=False),
+    ]
+
+
+def default_workloads() -> list[Workload]:
+    return polybench_workloads() + realworld_workloads()

@@ -1,0 +1,15 @@
+"""A WebAssembly interpreter with exact MVP semantics.
+
+Stands in for the browser engine the paper runs instrumented binaries on.
+"""
+
+from .host import GlobalInstance, HostFunction, Linker
+from .machine import (DEFAULT_MAX_CALL_DEPTH, Instance, Machine, WasmFunction,
+                      instantiate)
+from .memory import Memory
+from .table import Table
+
+__all__ = [
+    "DEFAULT_MAX_CALL_DEPTH", "GlobalInstance", "HostFunction", "Instance",
+    "Linker", "Machine", "Memory", "Table", "WasmFunction", "instantiate",
+]

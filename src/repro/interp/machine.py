@@ -1,0 +1,426 @@
+"""The WebAssembly interpreter (our stand-in for the browser engine).
+
+Executes validated modules with exact value semantics. Function bodies are
+flat instruction lists; a per-function *matching table* precomputed at
+instantiation maps each ``block``/``loop``/``if``/``else`` to its matching
+``end`` (and ``else``), so structured branches are O(1) jumps.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+from ..wasm.errors import ExhaustionError, Trap, WasmError
+from ..wasm.module import Function, Instr, Module
+from ..wasm.numeric import f32_round
+from ..wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+from .host import GlobalInstance, HostFunction, Linker
+from .memory import Memory
+from .table import Table
+from .values import BINOPS, MASK32, MASK64, UNOPS, default_value
+
+#: Maximum nesting of WebAssembly calls before an exhaustion trap.
+DEFAULT_MAX_CALL_DEPTH = 700
+
+
+class BlockMatching:
+    """For one body: maps block-start indices to their ``else``/``end``."""
+
+    __slots__ = ("end_of", "else_of")
+
+    def __init__(self, body: list[Instr]):
+        self.end_of: dict[int, int] = {}
+        self.else_of: dict[int, int | None] = {}
+        open_blocks: list[int] = []
+        for idx, instr in enumerate(body):
+            op = instr.op
+            if op in ("block", "loop", "if"):
+                open_blocks.append(idx)
+                self.else_of[idx] = None
+            elif op == "else":
+                if not open_blocks:
+                    raise WasmError("else outside any block")
+                start = open_blocks[-1]
+                self.else_of[start] = idx
+                # the else "opens" the second arm; it shares the if's end
+                self.end_of[idx] = -1  # patched when the end is found
+            elif op == "end":
+                if open_blocks:
+                    start = open_blocks.pop()
+                    self.end_of[start] = idx
+                    else_idx = self.else_of.get(start)
+                    if else_idx is not None:
+                        self.end_of[else_idx] = idx
+                # an end with no open block is the function's final end
+
+
+class WasmFunction:
+    """A defined function bound to its instance, with precomputed matching."""
+
+    __slots__ = ("instance", "func", "functype", "matching", "local_types")
+
+    def __init__(self, instance: "Instance", func: Function, functype: FuncType):
+        self.instance = instance
+        self.func = func
+        self.functype = functype
+        self.matching = BlockMatching(func.body)
+        self.local_types = list(func.locals)
+
+    @property
+    def name(self) -> str:
+        return self.func.name or "<anonymous>"
+
+
+class Instance:
+    """A module instance: runtime state plus executable functions."""
+
+    def __init__(self, module: Module, machine: "Machine"):
+        self.module = module
+        self.machine = machine
+        self.functions: list[HostFunction | WasmFunction] = []
+        self.globals: list[GlobalInstance] = []
+        self.memory: Memory | None = None
+        self.table: Table | None = None
+        self.exports: dict[str, tuple[str, object]] = {}
+
+    def invoke(self, name: str, args: Sequence[int | float] = ()) -> list[int | float]:
+        """Call an exported function by name."""
+        kind, item = self._export(name)
+        if kind != "func":
+            raise WasmError(f"export {name!r} is a {kind}, not a function")
+        func_idx = item
+        assert isinstance(func_idx, int)
+        return self.machine.call(self, func_idx, list(args))
+
+    def exported_memory(self, name: str = "memory") -> Memory:
+        kind, item = self._export(name)
+        if kind != "memory":
+            raise WasmError(f"export {name!r} is a {kind}, not a memory")
+        assert isinstance(item, Memory)
+        return item
+
+    def exported_global(self, name: str) -> GlobalInstance:
+        kind, item = self._export(name)
+        if kind != "global":
+            raise WasmError(f"export {name!r} is a {kind}, not a global")
+        assert isinstance(item, GlobalInstance)
+        return item
+
+    def _export(self, name: str) -> tuple[str, object]:
+        try:
+            return self.exports[name]
+        except KeyError:
+            raise WasmError(f"no export named {name!r}") from None
+
+
+def _coerce(valtype: ValType, value: int | float) -> int | float:
+    """Coerce a host-provided value to canonical runtime representation."""
+    if valtype is ValType.I32:
+        return int(value) & MASK32
+    if valtype is ValType.I64:
+        return int(value) & MASK64
+    if valtype is ValType.F32:
+        return f32_round(float(value))
+    return float(value)
+
+
+class Machine:
+    """Executes instances. One machine may host several instances."""
+
+    def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH):
+        self.max_call_depth = max_call_depth
+        self._depth = 0
+        # The interpreter recurses ~2 Python frames per Wasm call.
+        needed = 3 * max_call_depth + 200
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+
+    # -- instantiation -------------------------------------------------------
+
+    def instantiate(self, module: Module, linker: Linker | None = None,
+                    run_start: bool = True) -> Instance:
+        """Create an instance, resolving imports through ``linker``."""
+        linker = linker or Linker()
+        instance = Instance(module, self)
+
+        for imp in module.imports:
+            resolved = linker.resolve(imp.module, imp.name)
+            desc = imp.desc
+            if isinstance(desc, int):  # function import
+                expected = module.types[desc]
+                if not isinstance(resolved, HostFunction):
+                    raise WasmError(f"import {imp.module}.{imp.name} is not a function")
+                if resolved.functype != expected:
+                    raise WasmError(
+                        f"import {imp.module}.{imp.name} has type "
+                        f"{resolved.functype}, expected {expected}")
+                instance.functions.append(resolved)
+            elif isinstance(desc, MemoryType):
+                if not isinstance(resolved, Memory):
+                    raise WasmError(f"import {imp.module}.{imp.name} is not a memory")
+                instance.memory = resolved
+            elif isinstance(desc, TableType):
+                if not isinstance(resolved, Table):
+                    raise WasmError(f"import {imp.module}.{imp.name} is not a table")
+                instance.table = resolved
+            elif isinstance(desc, GlobalType):
+                if not isinstance(resolved, GlobalInstance):
+                    raise WasmError(f"import {imp.module}.{imp.name} is not a global")
+                instance.globals.append(resolved)
+            else:  # pragma: no cover
+                raise WasmError(f"bad import descriptor {desc!r}")
+
+        for func in module.functions:
+            instance.functions.append(
+                WasmFunction(instance, func, module.types[func.type_idx]))
+        for glob in module.globals:
+            instance.globals.append(
+                GlobalInstance(glob.type, self._eval_init(instance, glob.init,
+                                                          glob.type.valtype)))
+        for memtype in module.memories:
+            instance.memory = Memory(memtype.limits)
+        for tabletype in module.tables:
+            instance.table = Table(tabletype.limits)
+
+        for segment in module.elements:
+            if instance.table is None:
+                raise WasmError("element segment without table")
+            offset = self._eval_init(instance, segment.offset, ValType.I32)
+            if offset + len(segment.func_idxs) > len(instance.table):
+                raise Trap(f"element segment [{offset}, "
+                           f"{offset + len(segment.func_idxs)}) out of table bounds")
+            for i, func_idx in enumerate(segment.func_idxs):
+                instance.table.set(offset + i, func_idx)
+        for segment in module.data:
+            if instance.memory is None:
+                raise WasmError("data segment without memory")
+            offset = self._eval_init(instance, segment.offset, ValType.I32)
+            instance.memory.write(offset, segment.data)
+
+        for export in module.exports:
+            if export.kind == "func":
+                instance.exports[export.name] = ("func", export.idx)
+            elif export.kind == "memory":
+                instance.exports[export.name] = ("memory", instance.memory)
+            elif export.kind == "table":
+                instance.exports[export.name] = ("table", instance.table)
+            elif export.kind == "global":
+                instance.exports[export.name] = ("global", instance.globals[export.idx])
+
+        if run_start and module.start is not None:
+            self.call(instance, module.start, [])
+        return instance
+
+    def _eval_init(self, instance: Instance, init: list[Instr],
+                   expected: ValType) -> int | float:
+        if len(init) != 1:
+            raise WasmError("initializer must be a single constant instruction")
+        instr = init[0]
+        if instr.op == "get_global":
+            return instance.globals[instr.idx].value
+        if instr.op.endswith(".const"):
+            return _coerce(expected, instr.value)
+        raise WasmError(f"non-constant initializer {instr.op}")
+
+    # -- function calls ------------------------------------------------------------
+
+    def call(self, instance: Instance, func_idx: int,
+             args: list[int | float]) -> list[int | float]:
+        """Call any function in the instance's function index space."""
+        func = instance.functions[func_idx]
+        functype = func.functype
+        if len(args) != len(functype.params):
+            raise WasmError(f"expected {len(functype.params)} arguments, "
+                            f"got {len(args)}")
+        args = [_coerce(t, v) for t, v in zip(functype.params, args)]
+
+        if self._depth >= self.max_call_depth:
+            raise ExhaustionError("call stack exhausted")
+        self._depth += 1
+        try:
+            if isinstance(func, HostFunction):
+                raw = func.fn(args)
+                if raw is None:
+                    results: list[int | float] = []
+                elif isinstance(raw, (list, tuple)):
+                    results = list(raw)
+                else:
+                    results = [raw]
+                if len(results) != len(functype.results):
+                    raise WasmError(
+                        f"host function {func.name} returned {len(results)} "
+                        f"values, declared {len(functype.results)}")
+                return [_coerce(t, v) for t, v in zip(functype.results, results)]
+            return self._exec(func, args)
+        finally:
+            self._depth -= 1
+
+    # -- the interpreter loop ---------------------------------------------------
+
+    def _exec(self, wfunc: WasmFunction, args: list[int | float]) -> list[int | float]:
+        instance = wfunc.instance
+        body = wfunc.func.body
+        matching = wfunc.matching
+        locals_: list[int | float] = args + [default_value(t)
+                                             for t in wfunc.local_types]
+        stack: list[int | float] = []
+        result_arity = len(wfunc.functype.results)
+        pc = 0
+        n_instrs = len(body)
+        # label entries: (is_loop, block_pc, cont_pc, height, arity);
+        # the implicit function block is the bottom-most label (its final
+        # `end` pops it, and a branch to it returns from the function).
+        labels: list[tuple[bool, int, int, int, int]] = [
+            (False, -1, n_instrs, 0, result_arity)
+        ]
+
+        while pc < n_instrs:
+            instr = body[pc]
+            op = instr.op
+
+            binop = BINOPS.get(op)
+            if binop is not None:
+                b = stack.pop()
+                stack[-1] = binop(stack[-1], b)
+                pc += 1
+                continue
+            unop = UNOPS.get(op)
+            if unop is not None:
+                stack[-1] = unop(stack[-1])
+                pc += 1
+                continue
+
+            if op == "get_local":
+                stack.append(locals_[instr.idx])
+            elif op == "set_local":
+                locals_[instr.idx] = stack.pop()
+            elif op == "tee_local":
+                locals_[instr.idx] = stack[-1]
+            elif op == "i32.const":
+                stack.append(instr.value & MASK32)
+            elif op == "i64.const":
+                stack.append(instr.value & MASK64)
+            elif op == "f32.const":
+                stack.append(f32_round(instr.value))
+            elif op == "f64.const":
+                stack.append(float(instr.value))
+            elif ".load" in op:
+                addr = stack.pop()
+                stack.append(instance.memory.load(op, addr + instr.memarg.offset))
+            elif ".store" in op:
+                value = stack.pop()
+                addr = stack.pop()
+                instance.memory.store(op, addr + instr.memarg.offset, value)
+            elif op == "block":
+                arity = 0 if instr.blocktype is None else 1
+                end_idx = matching.end_of[pc]
+                labels.append((False, pc, end_idx + 1, len(stack), arity))
+            elif op == "loop":
+                labels.append((True, pc, pc + 1, len(stack), 0))
+            elif op == "if":
+                condition = stack.pop()
+                arity = 0 if instr.blocktype is None else 1
+                end_idx = matching.end_of[pc]
+                labels.append((False, pc, end_idx + 1, len(stack), arity))
+                if not condition:
+                    else_idx = matching.else_of.get(pc)
+                    if else_idx is not None:
+                        pc = else_idx  # fall onto the else, skip to its body
+                    else:
+                        pc = end_idx - 1  # land on the end, which pops the label
+            elif op == "else":
+                # reached from the then-arm: skip to the matching end
+                pc = matching.end_of[pc] - 1
+            elif op == "end":
+                if labels:
+                    labels.pop()
+                # the function's final end simply falls off the loop
+            elif op == "br":
+                pc = self._branch(instr.label, labels, stack)
+                continue
+            elif op == "br_if":
+                if stack.pop():
+                    pc = self._branch(instr.label, labels, stack)
+                    continue
+            elif op == "br_table":
+                index = stack.pop()
+                table_imm = instr.br_table
+                if index < len(table_imm.labels):
+                    label = table_imm.labels[index]
+                else:
+                    label = table_imm.default
+                pc = self._branch(label, labels, stack)
+                continue
+            elif op == "return":
+                return stack[len(stack) - result_arity:]
+            elif op == "call":
+                callee = instance.functions[instr.idx]
+                n_params = len(callee.functype.params)
+                call_args = stack[len(stack) - n_params:] if n_params else []
+                del stack[len(stack) - n_params:]
+                stack.extend(self.call(instance, instr.idx, call_args))
+            elif op == "call_indirect":
+                expected = instance.module.types[instr.idx]
+                table_idx = stack.pop()
+                func_addr = instance.table.get(table_idx)
+                callee = instance.functions[func_addr]
+                if callee.functype != expected:
+                    raise Trap(f"indirect call type mismatch: entry {table_idx} "
+                               f"has {callee.functype}, expected {expected}")
+                n_params = len(expected.params)
+                call_args = stack[len(stack) - n_params:] if n_params else []
+                del stack[len(stack) - n_params:]
+                stack.extend(self.call(instance, func_addr, call_args))
+            elif op == "drop":
+                stack.pop()
+            elif op == "select":
+                condition = stack.pop()
+                second = stack.pop()
+                first = stack.pop()
+                stack.append(first if condition else second)
+            elif op == "get_global":
+                stack.append(instance.globals[instr.idx].value)
+            elif op == "set_global":
+                instance.globals[instr.idx].value = stack.pop()
+            elif op == "memory.size":
+                stack.append(instance.memory.size_pages)
+            elif op == "memory.grow":
+                delta = stack.pop()
+                stack.append(instance.memory.grow(delta) & MASK32)
+            elif op == "nop":
+                pass
+            elif op == "unreachable":
+                raise Trap("unreachable executed")
+            else:  # pragma: no cover - validation excludes this
+                raise WasmError(f"cannot execute {op}")
+            pc += 1
+
+        return stack[len(stack) - result_arity:] if result_arity else []
+
+    @staticmethod
+    def _branch(label: int, labels: list[tuple[bool, int, int, int, int]],
+                stack: list[int | float]) -> int:
+        """Perform a branch; returns the new pc."""
+        is_loop, block_pc, cont_pc, height, arity = labels[-1 - label]
+        if is_loop:
+            # jump back to the loop instruction itself; it re-pushes its label
+            del stack[height:]
+            del labels[len(labels) - 1 - label:]
+            return block_pc
+        if arity:
+            carried = stack[len(stack) - arity:]
+            del stack[height:]
+            stack.extend(carried)
+        else:
+            del stack[height:]
+        del labels[len(labels) - 1 - label:]
+        return cont_pc
+
+
+def instantiate(module: Module, linker: Linker | None = None,
+                run_start: bool = True,
+                machine: Machine | None = None) -> Instance:
+    """Convenience wrapper: instantiate ``module`` on a fresh machine."""
+    machine = machine or Machine()
+    return machine.instantiate(module, linker, run_start=run_start)

@@ -1,0 +1,128 @@
+"""Linear memory: a page-granular, bounds-checked byte array.
+
+WebAssembly memory is a linear sequence of bytes grown in 64 KiB pages
+(paper §2.2). All out-of-bounds accesses trap.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..wasm.errors import Trap
+from ..wasm.types import MAX_PAGES, PAGE_SIZE, Limits
+
+
+class Memory:
+    """A linear memory instance."""
+
+    def __init__(self, limits: Limits):
+        self.limits = limits
+        self.data = bytearray(limits.minimum * PAGE_SIZE)
+
+    @property
+    def size_pages(self) -> int:
+        return len(self.data) // PAGE_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``; returns the previous size in pages or -1."""
+        previous = self.size_pages
+        new_size = previous + delta_pages
+        maximum = self.limits.maximum if self.limits.maximum is not None else MAX_PAGES
+        if delta_pages < 0 or new_size > maximum or new_size > MAX_PAGES:
+            return -1
+        self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        return previous
+
+    def _check(self, addr: int, width: int, what: str) -> None:
+        if addr < 0 or addr + width > len(self.data):
+            raise Trap(f"out of bounds memory access ({what} of {width} bytes "
+                       f"at address {addr}, memory is {len(self.data)} bytes)")
+
+    # -- raw byte access ------------------------------------------------------
+
+    def read(self, addr: int, width: int) -> bytes:
+        self._check(addr, width, "load")
+        return bytes(self.data[addr:addr + width])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload), "store")
+        self.data[addr:addr + len(payload)] = payload
+
+    # -- typed loads ------------------------------------------------------------
+    # Integers are returned in canonical unsigned representation.
+
+    def load(self, op: str, addr: int) -> int | float:
+        loader = _LOADERS[op]
+        return loader(self, addr)
+
+    def store(self, op: str, addr: int, value: int | float) -> None:
+        storer = _STORERS[op]
+        storer(self, addr, value)
+
+
+def _int_loader(width: int, signed: bool, out_bits: int):
+    mask = (1 << out_bits) - 1
+
+    def load(memory: Memory, addr: int) -> int:
+        raw = memory.read(addr, width)
+        value = int.from_bytes(raw, "little", signed=signed)
+        return value & mask
+
+    return load
+
+
+def _float_loader(fmt: str, width: int):
+    def load(memory: Memory, addr: int) -> float:
+        return struct.unpack(fmt, memory.read(addr, width))[0]
+
+    return load
+
+
+def _int_storer(width: int):
+    mask = (1 << (8 * width)) - 1
+
+    def store(memory: Memory, addr: int, value: int) -> None:
+        memory.write(addr, (value & mask).to_bytes(width, "little"))
+
+    return store
+
+
+def _float_storer(fmt: str):
+    def store(memory: Memory, addr: int, value: float) -> None:
+        memory.write(addr, struct.pack(fmt, value))
+
+    return store
+
+
+_LOADERS = {
+    "i32.load": _int_loader(4, False, 32),
+    "i64.load": _int_loader(8, False, 64),
+    "f32.load": _float_loader("<f", 4),
+    "f64.load": _float_loader("<d", 8),
+    "i32.load8_s": _int_loader(1, True, 32),
+    "i32.load8_u": _int_loader(1, False, 32),
+    "i32.load16_s": _int_loader(2, True, 32),
+    "i32.load16_u": _int_loader(2, False, 32),
+    "i64.load8_s": _int_loader(1, True, 64),
+    "i64.load8_u": _int_loader(1, False, 64),
+    "i64.load16_s": _int_loader(2, True, 64),
+    "i64.load16_u": _int_loader(2, False, 64),
+    "i64.load32_s": _int_loader(4, True, 64),
+    "i64.load32_u": _int_loader(4, False, 64),
+}
+
+_STORERS = {
+    "i32.store": _int_storer(4),
+    "i64.store": _int_storer(8),
+    "f32.store": _float_storer("<f"),
+    "f64.store": _float_storer("<d"),
+    "i32.store8": _int_storer(1),
+    "i32.store16": _int_storer(2),
+    "i64.store8": _int_storer(1),
+    "i64.store16": _int_storer(2),
+    "i64.store32": _int_storer(4),
+}

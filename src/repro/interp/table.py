@@ -1,0 +1,38 @@
+"""Function tables, used by ``call_indirect`` (function pointers, vtables)."""
+
+from __future__ import annotations
+
+from ..wasm.errors import Trap
+from ..wasm.types import Limits
+
+
+class Table:
+    """A table instance mapping indices to function addresses (or None)."""
+
+    def __init__(self, limits: Limits):
+        self.limits = limits
+        self.entries: list[int | None] = [None] * limits.minimum
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, idx: int) -> int:
+        """Resolve a table index to a function address, trapping when invalid."""
+        if idx < 0 or idx >= len(self.entries):
+            raise Trap(f"undefined element: table index {idx} out of bounds "
+                       f"(table size {len(self.entries)})")
+        entry = self.entries[idx]
+        if entry is None:
+            raise Trap(f"uninitialized element at table index {idx}")
+        return entry
+
+    def lookup(self, idx: int) -> int | None:
+        """Non-trapping variant of :meth:`get` (used by the Wasabi runtime)."""
+        if 0 <= idx < len(self.entries):
+            return self.entries[idx]
+        return None
+
+    def set(self, idx: int, func_addr: int | None) -> None:
+        if idx < 0 or idx >= len(self.entries):
+            raise Trap(f"table index {idx} out of bounds")
+        self.entries[idx] = func_addr

@@ -1,0 +1,23 @@
+"""MiniC: a small C-like language compiled to WebAssembly.
+
+Stands in for the paper's emscripten-compiled C (the PolyBench suite). See
+:mod:`repro.workloads.polybench` for the kernels written in it.
+
+Quick example::
+
+    from repro.minic import compile_source
+    module = compile_source('''
+        export func add(a: i32, b: i32) -> i32 { return a + b; }
+    ''')
+"""
+
+from .codegen import compile_program, compile_source
+from .errors import LexError, MiniCError, ParseError, TypeError_
+from .lexer import tokenize
+from .parser import parse
+from .typecheck import CheckedProgram, check
+
+__all__ = [
+    "CheckedProgram", "LexError", "MiniCError", "ParseError", "TypeError_",
+    "check", "compile_program", "compile_source", "parse", "tokenize",
+]

@@ -1,0 +1,230 @@
+"""Abstract syntax tree of MiniC.
+
+MiniC is the small C-like language this reproduction uses in place of the
+paper's emscripten-compiled C: statically typed over WebAssembly's four
+value types, with explicit casts, linear-memory "arrays" (``mem_f64[i]``),
+and direct access to a function table for indirect calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..wasm.types import ValType
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    #: filled in by the type checker; None means void
+    type: ValType | None = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+    suffix: str | None = None  # 'L' forces i64
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+    suffix: str | None = None  # 'f' forces f32
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""            # '-', '!', '~'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndirectCall(Expr):
+    """``call_indirect[typename](index_expr, args...)``"""
+
+    typename: str = ""
+    index: Expr | None = None
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MemAccess(Expr):
+    """``mem_T[index]`` — element ``index`` of a typed view of linear memory."""
+
+    view: str = ""          # 'i32' | 'i64' | 'f32' | 'f64' | 'u8' | 'u16'
+    index: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    """``T(expr)`` — explicit numeric conversion with C semantics."""
+
+    target: ValType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class Select(Expr):
+    """``select(cond, a, b)`` — maps to the ``select`` instruction."""
+
+    condition: Expr | None = None
+    if_true: Expr | None = None
+    if_false: Expr | None = None
+
+
+@dataclass
+class Builtin(Expr):
+    """Intrinsics: sqrt, abs, min, max, floor, ceil, nearest, trunc,
+    copysign, clz, ctz, popcnt, rotl, rotr, memory_size, memory_grow,
+    nop, unreachable, and the unsigned operators div_u/rem_u/shr_u/lt_u…"""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# -- statements ---------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    valtype: ValType | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Name | MemAccess | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    condition: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+# -- top-level ------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    valtype: ValType | None = None
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    result: ValType | None = None
+    body: list[Stmt] = field(default_factory=list)
+    exported: bool = False
+    imported: bool = False
+    import_module: str = "env"
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    valtype: ValType | None = None
+    init: Expr | None = None
+    exported: bool = False
+
+
+@dataclass
+class TypeDecl(Node):
+    """``type name = func(T, ...) -> T;`` for indirect-call signatures."""
+
+    name: str = ""
+    params: list[ValType] = field(default_factory=list)
+    result: ValType | None = None
+
+
+@dataclass
+class TableDecl(Node):
+    """``table [f, g, h];`` — the function table, in declaration order."""
+
+    entries: list[str] = field(default_factory=list)
+
+
+@dataclass
+class MemoryDecl(Node):
+    pages: int = 1
+
+
+@dataclass
+class Program(Node):
+    functions: list[FuncDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    types: list[TypeDecl] = field(default_factory=list)
+    table: TableDecl | None = None
+    memory: MemoryDecl | None = None
+    start: str | None = None

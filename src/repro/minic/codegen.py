@@ -1,0 +1,380 @@
+"""MiniC code generator: checked AST → WebAssembly module.
+
+Lowers structured statements onto WebAssembly's structured control flow
+(``while``/``for`` become block+loop with ``br_if``/``br``, ``&&``/``||``
+short-circuit via ``if`` blocks), memory views onto typed loads/stores with
+shift-scaled element indices, and intrinsics onto the corresponding
+instructions. The generated code deliberately exercises the full breadth of
+the instruction set Wasabi instruments (drops from expression statements,
+selects, br_table is available through workloads, i64 arithmetic, …).
+"""
+
+from __future__ import annotations
+
+from ..wasm.builder import FunctionBuilder, ModuleBuilder
+from ..wasm.module import Module
+from ..wasm.types import F32, F64, I32, I64, FuncType, ValType
+from . import ast
+from .errors import MiniCError
+from .typecheck import CheckedProgram, FuncSig, check
+from .parser import parse
+
+_BIN_OPS_INT = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div_s", "%": "rem_s",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr_s",
+    "==": "eq", "!=": "ne", "<": "lt_s", "<=": "le_s", ">": "gt_s",
+    ">=": "ge_s",
+}
+_BIN_OPS_FLOAT = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div",
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+_MEM_LOAD = {"i32": "i32.load", "i64": "i64.load", "f32": "f32.load",
+             "f64": "f64.load", "u8": "i32.load8_u", "u16": "i32.load16_u"}
+_MEM_STORE = {"i32": "i32.store", "i64": "i64.store", "f32": "f32.store",
+              "f64": "f64.store", "u8": "i32.store8", "u16": "i32.store16"}
+_MEM_SHIFT = {"i32": 2, "i64": 3, "f32": 2, "f64": 3, "u8": 0, "u16": 1}
+
+_CAST_OPS: dict[tuple[ValType, ValType], str | None] = {
+    (I32, I32): None, (I64, I64): None, (F32, F32): None, (F64, F64): None,
+    (I32, I64): "i64.extend_s/i32", (I64, I32): "i32.wrap/i64",
+    (I32, F32): "f32.convert_s/i32", (I32, F64): "f64.convert_s/i32",
+    (I64, F32): "f32.convert_s/i64", (I64, F64): "f64.convert_s/i64",
+    (F32, I32): "i32.trunc_s/f32", (F64, I32): "i32.trunc_s/f64",
+    (F32, I64): "i64.trunc_s/f32", (F64, I64): "i64.trunc_s/f64",
+    (F32, F64): "f64.promote/f32", (F64, F32): "f32.demote/f64",
+}
+
+
+class _LoopContext:
+    __slots__ = ("break_level", "continue_level")
+
+    def __init__(self, break_level: int, continue_level: int):
+        self.break_level = break_level
+        self.continue_level = continue_level
+
+
+class CodeGenerator:
+    def __init__(self, checked: CheckedProgram, module_name: str | None = None):
+        self.checked = checked
+        self.builder = ModuleBuilder(module_name)
+        self.func_idx: dict[str, int] = {}
+        self.fb: FunctionBuilder | None = None
+        self.depth = 0
+        self.loops: list[_LoopContext] = []
+
+    # -- module assembly --------------------------------------------------------
+
+    def generate(self) -> Module:
+        program = self.checked.program
+        for func in program.functions:
+            if func.imported:
+                sig = self.checked.functions[func.name]
+                functype = FuncType(sig.params, _results(sig.result))
+                self.func_idx[func.name] = self.builder.import_function(
+                    func.import_module, func.name, functype)
+        pages = program.memory.pages if program.memory else 1
+        self.builder.add_memory(pages, export="memory")
+        for decl in program.globals:
+            init = decl.init.value
+            if decl.valtype in (F32, F64):
+                init = float(init)
+            self.builder.add_global(decl.valtype, mutable=True, init=init,
+                                    export=decl.name if decl.exported else None)
+        defined = [f for f in program.functions if not f.imported]
+        # reserve indices first so calls between functions resolve
+        builders: list[tuple[ast.FuncDecl, FunctionBuilder]] = []
+        for func in defined:
+            sig = self.checked.functions[func.name]
+            fb = self.builder.function(sig.params, _results(sig.result),
+                                       name=func.name,
+                                       export=func.name if func.exported else None)
+            self.func_idx[func.name] = fb.func_idx
+            builders.append((func, fb))
+        if program.table is not None:
+            entries = [self.func_idx[name] for name in program.table.entries]
+            self.builder.add_table(len(entries), len(entries))
+            self.builder.add_element(0, entries)
+        for func, fb in builders:
+            self._gen_function(func, fb)
+        if program.start is not None:
+            self.builder.set_start(self.func_idx[program.start])
+        return self.builder.build()
+
+    # -- functions ----------------------------------------------------------------
+
+    def _gen_function(self, func: ast.FuncDecl, fb: FunctionBuilder) -> None:
+        self.fb = fb
+        self.depth = 0
+        self.loops = []
+        slots = self.checked.local_slots[func.name]
+        for valtype in slots[len(func.params):]:
+            fb.add_local(valtype)
+        for stmt in func.body:
+            self._gen_stmt(stmt)
+        if func.result is not None and not isinstance(func.body[-1], ast.Return):
+            # the type checker proved control cannot reach here (e.g. both
+            # arms of a final if/else return); tell the validator so
+            fb.emit("unreachable")
+        fb.finish()
+
+    # -- statements --------------------------------------------------------------------
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        fb = self.fb
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._gen_expr(stmt.init)
+                fb.set_local(stmt.slot)
+        elif isinstance(stmt, ast.Assign):
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                self._gen_expr(stmt.value)
+                if target.kind == "local":
+                    fb.set_local(target.slot)
+                else:
+                    fb.set_global(target.slot)
+            else:  # memory store
+                self._gen_mem_address(target)
+                self._gen_expr(stmt.value)
+                fb.store(_MEM_STORE[target.view])
+        elif isinstance(stmt, ast.If):
+            self._gen_expr(stmt.condition)
+            fb.if_()
+            self.depth += 1
+            for inner in stmt.then_body:
+                self._gen_stmt(inner)
+            if stmt.else_body:
+                fb.else_()
+                for inner in stmt.else_body:
+                    self._gen_stmt(inner)
+            fb.end()
+            self.depth -= 1
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+            fb.emit("return")
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise MiniCError("break outside loop", stmt.line)
+            fb.br(self.depth - self.loops[-1].break_level)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise MiniCError("continue outside loop", stmt.line)
+            fb.br(self.depth - self.loops[-1].continue_level)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+            if stmt.expr.type is not None:
+                fb.emit("drop")
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self._gen_stmt(inner)
+        else:  # pragma: no cover
+            raise MiniCError(f"cannot generate {type(stmt).__name__}", stmt.line)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        fb = self.fb
+        fb.block()
+        self.depth += 1
+        break_level = self.depth
+        fb.loop()
+        self.depth += 1
+        continue_level = self.depth
+        self.loops.append(_LoopContext(break_level, continue_level))
+        self._gen_expr(stmt.condition)
+        fb.emit("i32.eqz")
+        fb.br_if(self.depth - break_level)
+        for inner in stmt.body:
+            self._gen_stmt(inner)
+        fb.br(self.depth - continue_level)
+        fb.end()
+        self.depth -= 1
+        fb.end()
+        self.depth -= 1
+        self.loops.pop()
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        fb = self.fb
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        fb.block()
+        self.depth += 1
+        break_level = self.depth
+        fb.loop()
+        self.depth += 1
+        loop_level = self.depth
+        if stmt.condition is not None:
+            self._gen_expr(stmt.condition)
+            fb.emit("i32.eqz")
+            fb.br_if(self.depth - break_level)
+        fb.block()
+        self.depth += 1
+        continue_level = self.depth
+        self.loops.append(_LoopContext(break_level, continue_level))
+        for inner in stmt.body:
+            self._gen_stmt(inner)
+        fb.end()
+        self.depth -= 1
+        self.loops.pop()
+        if stmt.step is not None:
+            self._gen_stmt(stmt.step)
+        fb.br(self.depth - loop_level)
+        fb.end()
+        self.depth -= 1
+        fb.end()
+        self.depth -= 1
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr) -> None:
+        fb = self.fb
+        if isinstance(expr, ast.IntLiteral):
+            self._gen_literal(expr.type, expr.value)
+        elif isinstance(expr, ast.FloatLiteral):
+            self._gen_literal(expr.type, expr.value)
+        elif isinstance(expr, ast.Name):
+            if expr.kind == "local":
+                fb.get_local(expr.slot)
+            else:
+                fb.get_global(expr.slot)
+        elif isinstance(expr, ast.Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._gen_expr(arg)
+            fb.call(self.func_idx[expr.func])
+        elif isinstance(expr, ast.IndirectCall):
+            for arg in expr.args:
+                self._gen_expr(arg)
+            self._gen_expr(expr.index)
+            typedecl = expr.typedecl
+            functype = FuncType(tuple(typedecl.params), _results(typedecl.result))
+            fb.call_indirect(self.builder.module.add_type(functype))
+        elif isinstance(expr, ast.MemAccess):
+            self._gen_mem_address(expr)
+            fb.load(_MEM_LOAD[expr.view])
+        elif isinstance(expr, ast.Cast):
+            self._gen_expr(expr.operand)
+            op = _CAST_OPS[(expr.operand.type, expr.target)]
+            if op is not None:
+                fb.emit(op)
+        elif isinstance(expr, ast.Select):
+            self._gen_expr(expr.if_true)
+            self._gen_expr(expr.if_false)
+            self._gen_expr(expr.condition)
+            fb.emit("select")
+        elif isinstance(expr, ast.Builtin):
+            self._gen_builtin(expr)
+        else:  # pragma: no cover
+            raise MiniCError(f"cannot generate {type(expr).__name__}", expr.line)
+
+    def _gen_literal(self, valtype: ValType, value: int | float) -> None:
+        fb = self.fb
+        if valtype is I32:
+            fb.i32_const(int(value))
+        elif valtype is I64:
+            fb.i64_const(int(value))
+        elif valtype is F32:
+            fb.f32_const(float(value))
+        else:
+            fb.f64_const(float(value))
+
+    def _gen_unary(self, expr: ast.Unary) -> None:
+        fb = self.fb
+        operand_type = expr.operand.type
+        prefix = operand_type.value
+        if expr.op == "-":
+            if operand_type in (F32, F64):
+                self._gen_expr(expr.operand)
+                fb.emit(f"{prefix}.neg")
+            else:
+                self._gen_literal(operand_type, 0)
+                self._gen_expr(expr.operand)
+                fb.emit(f"{prefix}.sub")
+        elif expr.op == "!":
+            self._gen_expr(expr.operand)
+            fb.emit(f"{prefix}.eqz")
+        elif expr.op == "~":
+            self._gen_expr(expr.operand)
+            self._gen_literal(operand_type, -1)
+            fb.emit(f"{prefix}.xor")
+
+    def _gen_binary(self, expr: ast.Binary) -> None:
+        fb = self.fb
+        if expr.op == "&&":
+            # a && b  ==>  a ? (b != 0) : 0
+            self._gen_expr(expr.left)
+            fb.if_(I32)
+            self._gen_expr(expr.right)
+            fb.i32_const(0)
+            fb.emit("i32.ne")
+            fb.else_()
+            fb.i32_const(0)
+            fb.end()
+            return
+        if expr.op == "||":
+            self._gen_expr(expr.left)
+            fb.if_(I32)
+            fb.i32_const(1)
+            fb.else_()
+            self._gen_expr(expr.right)
+            fb.i32_const(0)
+            fb.emit("i32.ne")
+            fb.end()
+            return
+        self._gen_expr(expr.left)
+        self._gen_expr(expr.right)
+        operand_type = expr.left.type
+        prefix = operand_type.value
+        table = _BIN_OPS_FLOAT if operand_type in (F32, F64) else _BIN_OPS_INT
+        try:
+            fb.emit(f"{prefix}.{table[expr.op]}")
+        except KeyError:  # pragma: no cover - typechecker rejects these
+            raise MiniCError(f"operator {expr.op} unsupported for {prefix}",
+                             expr.line) from None
+
+    def _gen_mem_address(self, access: ast.MemAccess) -> None:
+        """Push the byte address of ``mem_T[index]``: ``index << log2(width)``."""
+        fb = self.fb
+        self._gen_expr(access.index)
+        shift = _MEM_SHIFT[access.view]
+        if shift:
+            fb.i32_const(shift)
+            fb.emit("i32.shl")
+
+    def _gen_builtin(self, expr: ast.Builtin) -> None:
+        fb = self.fb
+        name = expr.name
+        for arg in expr.args:
+            self._gen_expr(arg)
+        if name == "memory_size":
+            fb.emit("memory.size")
+        elif name == "memory_grow":
+            fb.emit("memory.grow")
+        elif name in ("nop", "unreachable"):
+            fb.emit(name)
+        elif name == "neg":
+            fb.emit(f"{expr.args[0].type.value}.neg")
+        else:
+            fb.emit(f"{expr.args[0].type.value}.{name}")
+
+
+def _results(result: ValType | None) -> tuple[ValType, ...]:
+    return () if result is None else (result,)
+
+
+def compile_program(checked: CheckedProgram, name: str | None = None) -> Module:
+    """Generate a WebAssembly module from a checked program."""
+    return CodeGenerator(checked, name).generate()
+
+
+def compile_source(source: str, name: str | None = None) -> Module:
+    """Compile MiniC source text all the way to a WebAssembly module."""
+    return compile_program(check(parse(source)), name)

@@ -1,0 +1,23 @@
+"""MiniC compiler errors."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for MiniC compilation errors."""
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+class LexError(MiniCError):
+    pass
+
+
+class ParseError(MiniCError):
+    pass
+
+
+class TypeError_(MiniCError):
+    """Type checking failed (named to avoid shadowing the builtin)."""

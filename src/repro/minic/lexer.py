@@ -1,0 +1,134 @@
+"""MiniC lexer: a hand-written scanner producing a flat token stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import LexError
+
+KEYWORDS = {
+    "func", "import", "export", "global", "var", "if", "else", "while",
+    "for", "return", "break", "continue", "type", "table", "memory",
+    "start", "from",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":", "@",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'int' | 'float' | 'ident' | 'keyword' | 'op' | 'string' | 'eof'
+    text: str
+    line: int
+    value: int | float | None = None
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch == '"':
+            end = source.find('"', pos + 1)
+            if end == -1:
+                raise LexError("unterminated string", line)
+            tokens.append(Token("string", source[pos + 1:end], line))
+            pos = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < n and source[pos + 1].isdigit()):
+            tok, pos = _scan_number(source, pos, line)
+            tokens.append(tok)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _scan_number(source: str, pos: int, line: int) -> tuple[Token, int]:
+    n = len(source)
+    start = pos
+    if source.startswith(("0x", "0X"), pos):
+        pos += 2
+        while pos < n and (source[pos] in "0123456789abcdefABCDEF_"):
+            pos += 1
+        text = source[start:pos]
+        value = int(text.replace("_", ""), 16)
+        suffix = None
+        if pos < n and source[pos] in "Ll":
+            suffix = "L"
+            pos += 1
+        return Token("int", text + (suffix or ""), line, value), pos
+
+    is_float = False
+    while pos < n and (source[pos].isdigit() or source[pos] == "_"):
+        pos += 1
+    if pos < n and source[pos] == "." and not source.startswith("..", pos):
+        is_float = True
+        pos += 1
+        while pos < n and source[pos].isdigit():
+            pos += 1
+    if pos < n and source[pos] in "eE":
+        peek = pos + 1
+        if peek < n and source[peek] in "+-":
+            peek += 1
+        if peek < n and source[peek].isdigit():
+            is_float = True
+            pos = peek
+            while pos < n and source[pos].isdigit():
+                pos += 1
+    text = source[start:pos].replace("_", "")
+    if is_float:
+        suffix = None
+        if pos < n and source[pos] in "fF":
+            suffix = "f"
+            pos += 1
+        return Token("float", text + (suffix or ""), line, float(text)), pos
+    suffix = None
+    if pos < n and source[pos] in "Ll":
+        suffix = "L"
+        pos += 1
+    elif pos < n and source[pos] in "fF" and not source[start:pos].isidentifier():
+        # "1f" means float 1.0f
+        suffix = "f"
+        pos += 1
+        return Token("float", text + "f", line, float(text)), pos
+    return Token("int", text + (suffix or ""), line, int(text)), pos

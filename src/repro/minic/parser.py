@@ -1,0 +1,392 @@
+"""MiniC parser: recursive descent with precedence climbing for expressions.
+
+Grammar sketch::
+
+    program    := (funcdecl | globaldecl | typedecl | tabledecl | memorydecl | startdecl)*
+    funcdecl   := 'import'? 'export'? 'func' IDENT '(' params ')' ('->' type)?
+                  (block | ';')          // ';' only for imports
+    globaldecl := 'export'? 'global' IDENT ':' type '=' expr ';'
+    typedecl   := 'type' IDENT '=' 'func' '(' types ')' ('->' type)? ';'
+    tabledecl  := 'table' '[' IDENT,* ']' ';'
+    memorydecl := 'memory' INT ';'
+    startdecl  := 'start' IDENT ';'
+    stmt       := vardecl | assign | if | while | for | return | break
+                | continue | block | exprstmt
+    expr       := precedence-climbed binary expression over unary/postfix
+"""
+
+from __future__ import annotations
+
+from ..wasm.types import F32, F64, I32, I64, ValType
+from . import ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+_TYPES = {"i32": I32, "i64": I64, "f32": F32, "f64": F64}
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_MEM_VIEWS = {"mem_i32": "i32", "mem_i64": "i64", "mem_f32": "f32",
+              "mem_f64": "f64", "mem_u8": "u8", "mem_u16": "u16"}
+
+_BUILTINS = {
+    "sqrt", "abs", "min", "max", "floor", "ceil", "nearest", "trunc",
+    "copysign", "clz", "ctz", "popcnt", "rotl", "rotr", "memory_size",
+    "memory_grow", "nop", "unreachable", "div_u", "rem_u", "shr_u",
+    "lt_u", "le_u", "gt_u", "ge_u", "eqz", "neg",
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}, found {self.current.text!r}",
+                             self.current.line)
+        return self.advance()
+
+    def parse_type(self) -> ValType:
+        token = self.expect("ident")
+        try:
+            return _TYPES[token.text]
+        except KeyError:
+            raise ParseError(f"unknown type {token.text!r}", token.line) from None
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            line = self.current.line
+            if self.check("keyword", "type"):
+                program.types.append(self.parse_typedecl())
+            elif self.check("keyword", "table"):
+                if program.table is not None:
+                    raise ParseError("duplicate table declaration", line)
+                program.table = self.parse_tabledecl()
+            elif self.check("keyword", "memory"):
+                if program.memory is not None:
+                    raise ParseError("duplicate memory declaration", line)
+                self.advance()
+                pages = self.expect("int")
+                self.expect("op", ";")
+                program.memory = ast.MemoryDecl(line=line, pages=int(pages.value))
+            elif self.check("keyword", "start"):
+                self.advance()
+                program.start = self.expect("ident").text
+                self.expect("op", ";")
+            else:
+                exported = imported = False
+                import_module = "env"
+                while True:
+                    if self.accept("keyword", "export"):
+                        exported = True
+                    elif self.accept("keyword", "import"):
+                        imported = True
+                        if self.accept("keyword", "from"):
+                            import_module = self.expect("string").text
+                    else:
+                        break
+                if self.check("keyword", "global"):
+                    decl = self.parse_globaldecl()
+                    decl.exported = exported
+                    program.globals.append(decl)
+                elif self.check("keyword", "func"):
+                    decl = self.parse_funcdecl(imported, import_module)
+                    decl.exported = exported
+                    program.functions.append(decl)
+                else:
+                    raise ParseError(
+                        f"expected declaration, found {self.current.text!r}", line)
+        return program
+
+    def parse_typedecl(self) -> ast.TypeDecl:
+        line = self.expect("keyword", "type").line
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        self.expect("keyword", "func")
+        self.expect("op", "(")
+        params: list[ValType] = []
+        while not self.check("op", ")"):
+            params.append(self.parse_type())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        result = self.parse_type() if self.accept("op", "->") else None
+        self.expect("op", ";")
+        return ast.TypeDecl(line=line, name=name, params=params, result=result)
+
+    def parse_tabledecl(self) -> ast.TableDecl:
+        line = self.expect("keyword", "table").line
+        self.expect("op", "[")
+        entries: list[str] = []
+        while not self.check("op", "]"):
+            entries.append(self.expect("ident").text)
+            if not self.accept("op", ","):
+                break
+        self.expect("op", "]")
+        self.expect("op", ";")
+        return ast.TableDecl(line=line, entries=entries)
+
+    def parse_globaldecl(self) -> ast.GlobalDecl:
+        line = self.expect("keyword", "global").line
+        name = self.expect("ident").text
+        self.expect("op", ":")
+        valtype = self.parse_type()
+        self.expect("op", "=")
+        init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.GlobalDecl(line=line, name=name, valtype=valtype, init=init)
+
+    def parse_funcdecl(self, imported: bool, import_module: str) -> ast.FuncDecl:
+        line = self.expect("keyword", "func").line
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        while not self.check("op", ")"):
+            pname = self.expect("ident").text
+            self.expect("op", ":")
+            params.append(ast.Param(line=self.current.line, name=pname,
+                                    valtype=self.parse_type()))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        result = self.parse_type() if self.accept("op", "->") else None
+        decl = ast.FuncDecl(line=line, name=name, params=params, result=result,
+                            imported=imported, import_module=import_module)
+        if imported:
+            self.expect("op", ";")
+        else:
+            decl.body = self.parse_block()
+        return decl
+
+    # -- statements ----------------------------------------------------------------
+
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self.check("op", "}"):
+            body.append(self.parse_stmt())
+        self.expect("op", "}")
+        return body
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.current
+        line = token.line
+        if self.check("op", "{"):
+            return ast.Block(line=line, body=self.parse_block())
+        if self.accept("keyword", "var"):
+            name = self.expect("ident").text
+            self.expect("op", ":")
+            valtype = self.parse_type()
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expr()
+            self.expect("op", ";")
+            return ast.VarDecl(line=line, name=name, valtype=valtype, init=init)
+        if self.accept("keyword", "if"):
+            return self._parse_if(line)
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            condition = self.parse_expr()
+            self.expect("op", ")")
+            return ast.While(line=line, condition=condition,
+                             body=self.parse_block())
+        if self.accept("keyword", "for"):
+            self.expect("op", "(")
+            init = None if self.check("op", ";") else self.parse_simple_stmt()
+            self.expect("op", ";")
+            condition = None if self.check("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            step = None if self.check("op", ")") else self.parse_simple_stmt()
+            self.expect("op", ")")
+            return ast.For(line=line, init=init, condition=condition,
+                           step=step, body=self.parse_block())
+        if self.accept("keyword", "return"):
+            value = None if self.check("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return ast.Return(line=line, value=value)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return ast.Break(line=line)
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(line=line)
+        stmt = self.parse_simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def _parse_if(self, line: int) -> ast.If:
+        self.expect("op", "(")
+        condition = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                self.advance()
+                else_body = [self._parse_if(self.current.line)]
+            else:
+                else_body = self.parse_block()
+        return ast.If(line=line, condition=condition, then_body=then_body,
+                      else_body=else_body)
+
+    def parse_simple_stmt(self) -> ast.Stmt:
+        """A statement without trailing ';': assignment, var decl, or expression."""
+        line = self.current.line
+        if self.accept("keyword", "var"):
+            name = self.expect("ident").text
+            self.expect("op", ":")
+            valtype = self.parse_type()
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_expr()
+            return ast.VarDecl(line=line, name=name, valtype=valtype, init=init)
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (ast.Name, ast.MemAccess)):
+                raise ParseError("invalid assignment target", line)
+            return ast.Assign(line=line, target=expr, value=self.parse_expr())
+        return ast.ExprStmt(line=line, expr=expr)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expr(self, min_prec: int = 1) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return left
+            prec = _PRECEDENCE.get(token.text)
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_expr(prec + 1)
+            left = ast.Binary(line=token.line, op=token.text, left=left,
+                              right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=token.line, op=token.text, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        line = token.line
+        if token.kind == "int":
+            self.advance()
+            suffix = "L" if token.text.endswith(("L", "l")) else None
+            return ast.IntLiteral(line=line, value=int(token.value), suffix=suffix)
+        if token.kind == "float":
+            self.advance()
+            suffix = "f" if token.text.endswith(("f", "F")) else None
+            return ast.FloatLiteral(line=line, value=float(token.value),
+                                    suffix=suffix)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            name = token.text
+            if name in _MEM_VIEWS:
+                self.advance()
+                self.expect("op", "[")
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.MemAccess(line=line, view=_MEM_VIEWS[name], index=index)
+            if name == "call_indirect":
+                self.advance()
+                self.expect("op", "[")
+                typename = self.expect("ident").text
+                self.expect("op", "]")
+                self.expect("op", "(")
+                index = self.parse_expr()
+                args: list[ast.Expr] = []
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.IndirectCall(line=line, typename=typename,
+                                        index=index, args=args)
+            if name == "select":
+                self.advance()
+                self.expect("op", "(")
+                condition = self.parse_expr()
+                self.expect("op", ",")
+                if_true = self.parse_expr()
+                self.expect("op", ",")
+                if_false = self.parse_expr()
+                self.expect("op", ")")
+                return ast.Select(line=line, condition=condition,
+                                  if_true=if_true, if_false=if_false)
+            if name in _TYPES and self.tokens[self.pos + 1].text == "(":
+                self.advance()
+                self.expect("op", "(")
+                operand = self.parse_expr()
+                self.expect("op", ")")
+                return ast.Cast(line=line, target=_TYPES[name], operand=operand)
+            if name in _BUILTINS and self.tokens[self.pos + 1].text == "(":
+                self.advance()
+                self.expect("op", "(")
+                args = []
+                while not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+                return ast.Builtin(line=line, name=name, args=args)
+            self.advance()
+            if self.accept("op", "("):
+                args = []
+                while not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ")")
+                return ast.Call(line=line, func=name, args=args)
+            return ast.Name(line=line, ident=name)
+        raise ParseError(f"unexpected token {token.text!r}", line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,419 @@
+"""MiniC type checker.
+
+Annotates every expression with its :class:`ValType` (``None`` = void),
+resolves names to local slots / globals / functions, applies contextual
+typing of numeric literals, and verifies the usual C-like rules (explicit
+casts only, i32 conditions, matching call signatures).
+
+Locals are assigned dense per-function slots (parameters first) that the
+code generator maps directly onto WebAssembly locals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..wasm.types import F32, F64, I32, I64, ValType
+from . import ast
+from .errors import TypeError_
+
+_INT_TYPES = (I32, I64)
+_FLOAT_TYPES = (F32, F64)
+
+_FLOAT_ONLY_BUILTINS = {"sqrt", "floor", "ceil", "nearest", "trunc", "abs", "neg"}
+_FLOAT_BINARY_BUILTINS = {"min", "max", "copysign"}
+_INT_UNARY_BUILTINS = {"clz", "ctz", "popcnt"}
+_INT_BINARY_BUILTINS = {"rotl", "rotr", "div_u", "rem_u", "shr_u"}
+_INT_COMPARE_BUILTINS = {"lt_u", "le_u", "gt_u", "ge_u"}
+
+_INT_ONLY_OPS = {"%", "&", "|", "^", "<<", ">>"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass
+class FuncSig:
+    decl: ast.FuncDecl
+    params: tuple[ValType, ...]
+    result: ValType | None
+
+
+@dataclass
+class CheckedProgram:
+    """The type-checked program plus the symbol tables codegen needs."""
+
+    program: ast.Program
+    functions: dict[str, FuncSig] = field(default_factory=dict)
+    globals: dict[str, tuple[int, ast.GlobalDecl]] = field(default_factory=dict)
+    types: dict[str, ast.TypeDecl] = field(default_factory=dict)
+    #: per function name: local slot types (params first)
+    local_slots: dict[str, list[ValType]] = field(default_factory=dict)
+
+
+class TypeChecker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.checked = CheckedProgram(program)
+        self._scopes: list[dict[str, tuple[int, ValType]]] = []
+        self._slots: list[ValType] = []
+        self._current: ast.FuncDecl | None = None
+
+    # -- entry point --------------------------------------------------------------
+
+    def check(self) -> CheckedProgram:
+        for typedecl in self.program.types:
+            if typedecl.name in self.checked.types:
+                raise TypeError_(f"duplicate type {typedecl.name!r}", typedecl.line)
+            self.checked.types[typedecl.name] = typedecl
+        for func in self.program.functions:
+            if func.name in self.checked.functions:
+                raise TypeError_(f"duplicate function {func.name!r}", func.line)
+            self.checked.functions[func.name] = FuncSig(
+                func, tuple(p.valtype for p in func.params), func.result)
+        for index, decl in enumerate(self.program.globals):
+            if decl.name in self.checked.globals:
+                raise TypeError_(f"duplicate global {decl.name!r}", decl.line)
+            if not isinstance(decl.init, (ast.IntLiteral, ast.FloatLiteral)):
+                raise TypeError_("global initializer must be a literal", decl.line)
+            self._coerce(decl.init, decl.valtype)
+            self.checked.globals[decl.name] = (index, decl)
+        if self.program.table is not None:
+            for name in self.program.table.entries:
+                if name not in self.checked.functions:
+                    raise TypeError_(f"table entry {name!r} is not a function",
+                                     self.program.table.line)
+        if self.program.start is not None:
+            sig = self.checked.functions.get(self.program.start)
+            if sig is None:
+                raise TypeError_(f"start function {self.program.start!r} not found")
+            if sig.params or sig.result is not None:
+                raise TypeError_("start function must take and return nothing")
+        for func in self.program.functions:
+            if not func.imported:
+                self._check_function(func)
+        return self.checked
+
+    # -- functions -------------------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        self._current = func
+        self._slots = [p.valtype for p in func.params]
+        self._scopes = [{p.name: (i, p.valtype) for i, p in enumerate(func.params)}]
+        if len(self._scopes[0]) != len(func.params):
+            raise TypeError_(f"duplicate parameter name in {func.name}", func.line)
+        self._check_block(func.body)
+        if func.result is not None and not _terminates(func.body):
+            raise TypeError_(
+                f"function {func.name!r} returns {func.result} but control can "
+                f"fall off the end of its body", func.line)
+        self.checked.local_slots[func.name] = self._slots
+
+    def _check_block(self, body: list[ast.Stmt]) -> None:
+        self._scopes.append({})
+        for stmt in body:
+            self._check_stmt(stmt)
+        self._scopes.pop()
+
+    # -- statements --------------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.name in self._scopes[-1]:
+                raise TypeError_(f"redeclaration of {stmt.name!r}", stmt.line)
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+                self._coerce(stmt.init, stmt.valtype)
+            slot = len(self._slots)
+            self._slots.append(stmt.valtype)
+            self._scopes[-1][stmt.name] = (slot, stmt.valtype)
+            stmt.slot = slot  # annotation for codegen
+        elif isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                self._resolve_name(target)
+                self._coerce(stmt.value, target.type)
+            else:  # MemAccess
+                self._check_mem_target(target)
+                self._coerce(stmt.value, target.type)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.condition)
+            self._check_block(stmt.then_body)
+            self._check_block(stmt.else_body)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.condition)
+            self._check_block(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self._scopes.append({})
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.condition is not None:
+                self._check_condition(stmt.condition)
+            self._check_block(stmt.body)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step)
+            self._scopes.pop()
+        elif isinstance(stmt, ast.Return):
+            expected = self._current.result
+            if expected is None:
+                if stmt.value is not None:
+                    raise TypeError_("void function returns a value", stmt.line)
+            else:
+                if stmt.value is None:
+                    raise TypeError_(f"missing return value ({expected})", stmt.line)
+                self._check_expr(stmt.value)
+                self._coerce(stmt.value, expected)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass  # loop nesting is validated during codegen
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt.body)
+        else:  # pragma: no cover
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_condition(self, expr: ast.Expr) -> None:
+        self._check_expr(expr)
+        self._coerce(expr, I32)
+
+    def _check_mem_target(self, target: ast.MemAccess) -> None:
+        self._check_expr(target.index)
+        self._coerce(target.index, I32)
+        target.type = _mem_view_type(target.view)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _resolve_name(self, name: ast.Name) -> None:
+        for scope in reversed(self._scopes):
+            if name.ident in scope:
+                slot, valtype = scope[name.ident]
+                name.kind = "local"
+                name.slot = slot
+                name.type = valtype
+                return
+        if name.ident in self.checked.globals:
+            index, decl = self.checked.globals[name.ident]
+            name.kind = "global"
+            name.slot = index
+            name.type = decl.valtype
+            return
+        raise TypeError_(f"undefined name {name.ident!r}", name.line)
+
+    def _check_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            expr.type = I64 if expr.suffix == "L" else I32
+        elif isinstance(expr, ast.FloatLiteral):
+            expr.type = F32 if expr.suffix == "f" else F64
+        elif isinstance(expr, ast.Name):
+            self._resolve_name(expr)
+        elif isinstance(expr, ast.Unary):
+            self._check_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._check_binary(expr)
+        elif isinstance(expr, ast.Call):
+            self._check_call(expr)
+        elif isinstance(expr, ast.IndirectCall):
+            self._check_indirect(expr)
+        elif isinstance(expr, ast.MemAccess):
+            self._check_mem_target(expr)
+        elif isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand)
+            if expr.operand.type is None:
+                raise TypeError_("cannot cast a void expression", expr.line)
+            expr.type = expr.target
+        elif isinstance(expr, ast.Select):
+            self._check_condition(expr.condition)
+            self._check_expr(expr.if_true)
+            self._check_expr(expr.if_false)
+            self._unify(expr.if_true, expr.if_false, expr.line)
+            expr.type = expr.if_true.type
+        elif isinstance(expr, ast.Builtin):
+            self._check_builtin(expr)
+        else:  # pragma: no cover
+            raise TypeError_(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _check_unary(self, expr: ast.Unary) -> None:
+        self._check_expr(expr.operand)
+        operand_type = expr.operand.type
+        if operand_type is None:
+            raise TypeError_("unary operator on void expression", expr.line)
+        if expr.op == "-":
+            expr.type = operand_type
+        elif expr.op == "!":
+            if operand_type not in _INT_TYPES:
+                raise TypeError_("! requires an integer operand", expr.line)
+            expr.type = I32
+        elif expr.op == "~":
+            if operand_type not in _INT_TYPES:
+                raise TypeError_("~ requires an integer operand", expr.line)
+            expr.type = operand_type
+        else:  # pragma: no cover
+            raise TypeError_(f"unknown unary operator {expr.op}", expr.line)
+
+    def _check_binary(self, expr: ast.Binary) -> None:
+        self._check_expr(expr.left)
+        self._check_expr(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            self._coerce(expr.left, I32)
+            self._coerce(expr.right, I32)
+            expr.type = I32
+            return
+        self._unify(expr.left, expr.right, expr.line)
+        operand_type = expr.left.type
+        if op in _INT_ONLY_OPS and operand_type not in _INT_TYPES:
+            raise TypeError_(f"{op} requires integer operands, got {operand_type}",
+                             expr.line)
+        expr.type = I32 if op in _COMPARISONS else operand_type
+
+    def _check_call(self, expr: ast.Call) -> None:
+        sig = self.checked.functions.get(expr.func)
+        if sig is None:
+            raise TypeError_(f"undefined function {expr.func!r}", expr.line)
+        if len(expr.args) != len(sig.params):
+            raise TypeError_(
+                f"{expr.func} expects {len(sig.params)} arguments, got "
+                f"{len(expr.args)}", expr.line)
+        for arg, param_type in zip(expr.args, sig.params):
+            self._check_expr(arg)
+            self._coerce(arg, param_type)
+        expr.type = sig.result
+        expr.sig = sig
+
+    def _check_indirect(self, expr: ast.IndirectCall) -> None:
+        typedecl = self.checked.types.get(expr.typename)
+        if typedecl is None:
+            raise TypeError_(f"undefined function type {expr.typename!r}", expr.line)
+        self._check_expr(expr.index)
+        self._coerce(expr.index, I32)
+        if len(expr.args) != len(typedecl.params):
+            raise TypeError_(
+                f"type {expr.typename} expects {len(typedecl.params)} arguments, "
+                f"got {len(expr.args)}", expr.line)
+        for arg, param_type in zip(expr.args, typedecl.params):
+            self._check_expr(arg)
+            self._coerce(arg, param_type)
+        expr.type = typedecl.result
+        expr.typedecl = typedecl
+
+    def _check_builtin(self, expr: ast.Builtin) -> None:
+        name = expr.name
+        for arg in expr.args:
+            self._check_expr(arg)
+
+        def need(count: int) -> None:
+            if len(expr.args) != count:
+                raise TypeError_(f"{name} expects {count} argument(s), got "
+                                 f"{len(expr.args)}", expr.line)
+
+        if name in _FLOAT_ONLY_BUILTINS:
+            need(1)
+            if expr.args[0].type not in _FLOAT_TYPES:
+                self._coerce(expr.args[0], F64)
+            expr.type = expr.args[0].type
+        elif name in _FLOAT_BINARY_BUILTINS:
+            need(2)
+            self._unify(expr.args[0], expr.args[1], expr.line, prefer=F64)
+            if expr.args[0].type not in _FLOAT_TYPES:
+                raise TypeError_(f"{name} requires float operands", expr.line)
+            expr.type = expr.args[0].type
+        elif name in _INT_UNARY_BUILTINS:
+            need(1)
+            if expr.args[0].type not in _INT_TYPES:
+                raise TypeError_(f"{name} requires an integer operand", expr.line)
+            expr.type = expr.args[0].type
+        elif name in _INT_BINARY_BUILTINS or name in _INT_COMPARE_BUILTINS:
+            need(2)
+            self._unify(expr.args[0], expr.args[1], expr.line)
+            if expr.args[0].type not in _INT_TYPES:
+                raise TypeError_(f"{name} requires integer operands", expr.line)
+            expr.type = I32 if name in _INT_COMPARE_BUILTINS else expr.args[0].type
+        elif name == "eqz":
+            need(1)
+            if expr.args[0].type not in _INT_TYPES:
+                raise TypeError_("eqz requires an integer operand", expr.line)
+            expr.type = I32
+        elif name == "memory_size":
+            need(0)
+            expr.type = I32
+        elif name == "memory_grow":
+            need(1)
+            self._coerce(expr.args[0], I32)
+            expr.type = I32
+        elif name in ("nop", "unreachable"):
+            need(0)
+            expr.type = None
+        else:  # pragma: no cover - parser only admits known builtins
+            raise TypeError_(f"unknown builtin {name!r}", expr.line)
+
+    # -- literal coercion and unification --------------------------------------------------
+
+    def _coerce(self, expr: ast.Expr, expected: ValType) -> None:
+        """Coerce a numeric literal to ``expected``; otherwise require equality."""
+        if expr.type == expected:
+            return
+        if isinstance(expr, ast.IntLiteral) and expr.suffix is None:
+            if expected in _INT_TYPES:
+                expr.type = expected
+                return
+            if expected in _FLOAT_TYPES:
+                # promote the literal to a float literal of the right width
+                expr.type = expected
+                expr.coerced_float = float(expr.value)
+                return
+        if isinstance(expr, ast.FloatLiteral) and expr.suffix is None \
+                and expected in _FLOAT_TYPES:
+            expr.type = expected
+            return
+        if isinstance(expr, ast.Unary) and isinstance(expr.operand,
+                                                      (ast.IntLiteral,
+                                                       ast.FloatLiteral)):
+            # allow e.g. -1 where an i64/f64 is expected
+            self._coerce(expr.operand, expected)
+            if expr.operand.type == expected:
+                expr.type = expected
+                return
+        raise TypeError_(f"type mismatch: expected {expected}, got {expr.type}",
+                         expr.line)
+
+    def _unify(self, left: ast.Expr, right: ast.Expr, line: int,
+               prefer: ValType | None = None) -> None:
+        if left.type == right.type:
+            return
+        for a, b in ((left, right), (right, left)):
+            if isinstance(a, (ast.IntLiteral, ast.FloatLiteral)) \
+                    or (isinstance(a, ast.Unary)
+                        and isinstance(a.operand, (ast.IntLiteral, ast.FloatLiteral))):
+                try:
+                    self._coerce(a, b.type)
+                    return
+                except TypeError_:
+                    pass
+        raise TypeError_(f"operand types differ: {left.type} vs {right.type}", line)
+
+
+def _terminates(body: list[ast.Stmt]) -> bool:
+    """Conservative check that control cannot fall off the end of ``body``."""
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, ast.Return):
+        return True
+    if isinstance(last, ast.If):
+        return (bool(last.else_body) and _terminates(last.then_body)
+                and _terminates(last.else_body))
+    if isinstance(last, ast.Block):
+        return _terminates(last.body)
+    if isinstance(last, ast.ExprStmt) and isinstance(last.expr, ast.Builtin) \
+            and last.expr.name == "unreachable":
+        return True
+    return False
+
+
+def _mem_view_type(view: str) -> ValType:
+    return {"i32": I32, "i64": I64, "f32": F32, "f64": F64,
+            "u8": I32, "u16": I32}[view]
+
+
+def check(program: ast.Program) -> CheckedProgram:
+    """Type check a parsed program."""
+    return TypeChecker(program).check()

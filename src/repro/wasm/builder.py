@@ -1,0 +1,231 @@
+"""Fluent construction of WebAssembly modules.
+
+The builder is used by the MiniC compiler back end, the synthetic workload
+generators, and many tests. It manages type interning, index spaces, and
+local allocation, and emits the same flat-instruction :class:`Module`
+representation the rest of the toolkit consumes.
+"""
+
+from __future__ import annotations
+
+from .errors import WasmError
+from .module import (BrTable, DataSegment, ElemSegment, Export, Function,
+                     Global, Import, Instr, MemArg, Module)
+from .types import (FuncType, GlobalType, Limits, MemoryType, TableType,
+                    ValType)
+
+
+class FunctionBuilder:
+    """Builds one function body instruction-by-instruction."""
+
+    def __init__(self, module_builder: "ModuleBuilder", func_idx: int,
+                 functype: FuncType, name: str | None):
+        self.module_builder = module_builder
+        self.func_idx = func_idx
+        self.functype = functype
+        self.name = name
+        self.locals: list[ValType] = []
+        self.body: list[Instr] = []
+        self._finished = False
+
+    # -- locals -----------------------------------------------------------
+
+    def add_local(self, valtype: ValType) -> int:
+        """Declare a new local, returning its index (params come first)."""
+        self.locals.append(valtype)
+        return len(self.functype.params) + len(self.locals) - 1
+
+    @property
+    def num_params(self) -> int:
+        return len(self.functype.params)
+
+    def local_type(self, idx: int) -> ValType:
+        if idx < self.num_params:
+            return self.functype.params[idx]
+        return self.locals[idx - self.num_params]
+
+    # -- instruction emission ------------------------------------------------
+
+    def emit(self, op: str, **immediates) -> "FunctionBuilder":
+        if self._finished:
+            raise WasmError("cannot emit into a finished function")
+        self.body.append(Instr(op, **immediates))
+        return self
+
+    def instr(self, instr: Instr) -> "FunctionBuilder":
+        if self._finished:
+            raise WasmError("cannot emit into a finished function")
+        self.body.append(instr)
+        return self
+
+    # Convenience emitters used pervasively by the compiler and generators.
+
+    def i32_const(self, value: int) -> "FunctionBuilder":
+        return self.emit("i32.const", value=value)
+
+    def i64_const(self, value: int) -> "FunctionBuilder":
+        return self.emit("i64.const", value=value)
+
+    def f32_const(self, value: float) -> "FunctionBuilder":
+        return self.emit("f32.const", value=value)
+
+    def f64_const(self, value: float) -> "FunctionBuilder":
+        return self.emit("f64.const", value=value)
+
+    def get_local(self, idx: int) -> "FunctionBuilder":
+        return self.emit("get_local", idx=idx)
+
+    def set_local(self, idx: int) -> "FunctionBuilder":
+        return self.emit("set_local", idx=idx)
+
+    def tee_local(self, idx: int) -> "FunctionBuilder":
+        return self.emit("tee_local", idx=idx)
+
+    def get_global(self, idx: int) -> "FunctionBuilder":
+        return self.emit("get_global", idx=idx)
+
+    def set_global(self, idx: int) -> "FunctionBuilder":
+        return self.emit("set_global", idx=idx)
+
+    def call(self, func_idx: int) -> "FunctionBuilder":
+        return self.emit("call", idx=func_idx)
+
+    def call_indirect(self, type_idx: int) -> "FunctionBuilder":
+        return self.emit("call_indirect", idx=type_idx)
+
+    def block(self, result: ValType | None = None) -> "FunctionBuilder":
+        return self.emit("block", blocktype=result)
+
+    def loop(self, result: ValType | None = None) -> "FunctionBuilder":
+        return self.emit("loop", blocktype=result)
+
+    def if_(self, result: ValType | None = None) -> "FunctionBuilder":
+        return self.emit("if", blocktype=result)
+
+    def else_(self) -> "FunctionBuilder":
+        return self.emit("else")
+
+    def end(self) -> "FunctionBuilder":
+        return self.emit("end")
+
+    def br(self, label: int) -> "FunctionBuilder":
+        return self.emit("br", label=label)
+
+    def br_if(self, label: int) -> "FunctionBuilder":
+        return self.emit("br_if", label=label)
+
+    def br_table(self, labels: list[int], default: int) -> "FunctionBuilder":
+        return self.emit("br_table", br_table=BrTable(tuple(labels), default))
+
+    def load(self, op: str, offset: int = 0, align: int = 0) -> "FunctionBuilder":
+        return self.emit(op, memarg=MemArg(align, offset))
+
+    def store(self, op: str, offset: int = 0, align: int = 0) -> "FunctionBuilder":
+        return self.emit(op, memarg=MemArg(align, offset))
+
+    def finish(self) -> Function:
+        """Close the body (appending ``end`` if missing) and register it."""
+        if self._finished:
+            raise WasmError("function already finished")
+        depth = 0
+        for instr in self.body:
+            if instr.info.is_block_start:
+                depth += 1
+            elif instr.op == "end":
+                depth -= 1
+        if depth == 0:
+            self.body.append(Instr("end"))  # close the implicit function block
+        elif depth != -1:
+            raise WasmError(f"unbalanced blocks in function body (depth {depth})")
+        self._finished = True
+        function = Function(
+            type_idx=self.module_builder.module.add_type(self.functype),
+            locals=self.locals, body=self.body, name=self.name)
+        defined = self.func_idx - self.module_builder.module.num_imported_functions
+        self.module_builder.module.functions[defined] = function
+        return function
+
+class ModuleBuilder:
+    """Builds a whole module. Imports must be added before defined entities."""
+
+    def __init__(self, name: str | None = None):
+        self.module = Module(name=name)
+        self._defining_started = False
+
+    # -- imports ---------------------------------------------------------------
+
+    def import_function(self, module: str, name: str, functype: FuncType) -> int:
+        """Import a function, returning its function index."""
+        if self._defining_started:
+            raise WasmError("imports must be added before defining functions")
+        type_idx = self.module.add_type(functype)
+        self.module.imports.append(Import(module, name, type_idx))
+        return self.module.num_imported_functions - 1
+
+    def import_memory(self, module: str, name: str, limits: Limits) -> None:
+        self.module.imports.append(Import(module, name, MemoryType(limits)))
+
+    def import_global(self, module: str, name: str, globaltype: GlobalType) -> int:
+        self.module.imports.append(Import(module, name, globaltype))
+        return len(self.module.imported_globals()) - 1
+
+    # -- definitions --------------------------------------------------------------
+
+    def function(self, params: tuple[ValType, ...] = (),
+                 results: tuple[ValType, ...] = (),
+                 name: str | None = None,
+                 export: str | None = None) -> FunctionBuilder:
+        """Start a new function; call ``finish()`` on the returned builder."""
+        self._defining_started = True
+        functype = FuncType(params, results)
+        func_idx = self.module.num_functions
+        # reserve the slot so nested function creation keeps indices stable
+        self.module.functions.append(
+            Function(type_idx=self.module.add_type(functype), name=name))
+        if export is not None:
+            self.export_function(export, func_idx)
+        return FunctionBuilder(self, func_idx, functype, name)
+
+    def add_global(self, valtype: ValType, mutable: bool = True,
+                   init: int | float = 0, export: str | None = None) -> int:
+        const_op = f"{valtype.value}.const"
+        self.module.globals.append(
+            Global(GlobalType(valtype, mutable), [Instr(const_op, value=init)]))
+        global_idx = self.module.num_globals - 1
+        if export is not None:
+            self.module.exports.append(Export(export, "global", global_idx))
+        return global_idx
+
+    def add_memory(self, min_pages: int, max_pages: int | None = None,
+                   export: str | None = None) -> int:
+        self.module.memories.append(MemoryType(Limits(min_pages, max_pages)))
+        memory_idx = self.module.num_memories - 1
+        if export is not None:
+            self.module.exports.append(Export(export, "memory", memory_idx))
+        return memory_idx
+
+    def add_table(self, min_entries: int, max_entries: int | None = None,
+                  export: str | None = None) -> int:
+        self.module.tables.append(TableType(Limits(min_entries, max_entries)))
+        table_idx = self.module.num_tables - 1
+        if export is not None:
+            self.module.exports.append(Export(export, "table", table_idx))
+        return table_idx
+
+    def add_element(self, offset: int, func_idxs: list[int]) -> None:
+        self.module.elements.append(
+            ElemSegment([Instr("i32.const", value=offset)], list(func_idxs)))
+
+    def add_data(self, offset: int, data: bytes) -> None:
+        self.module.data.append(
+            DataSegment([Instr("i32.const", value=offset)], data))
+
+    def export_function(self, name: str, func_idx: int) -> None:
+        self.module.exports.append(Export(name, "func", func_idx))
+
+    def set_start(self, func_idx: int) -> None:
+        self.module.start = func_idx
+
+    def build(self) -> Module:
+        """Return the built module (no copy; the builder is done)."""
+        return self.module

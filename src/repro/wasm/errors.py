@@ -1,0 +1,47 @@
+"""Error hierarchy for the WebAssembly toolkit.
+
+Mirrors the error classes a conforming implementation distinguishes:
+malformed binaries (decode errors), invalid modules (validation errors),
+and runtime traps (raised by the interpreter in :mod:`repro.interp`).
+"""
+
+from __future__ import annotations
+
+
+class WasmError(Exception):
+    """Base class for all errors raised by the WebAssembly toolkit."""
+
+
+class DecodeError(WasmError):
+    """The binary is malformed and cannot be decoded."""
+
+    def __init__(self, message: str, offset: int | None = None):
+        self.offset = offset
+        if offset is not None:
+            message = f"{message} (at byte offset {offset:#x})"
+        super().__init__(message)
+
+
+class EncodeError(WasmError):
+    """The module cannot be represented in the binary format."""
+
+
+class ValidationError(WasmError):
+    """The module is well-formed but does not type check."""
+
+    def __init__(self, message: str, func_idx: int | None = None, instr_idx: int | None = None):
+        self.func_idx = func_idx
+        self.instr_idx = instr_idx
+        where = ""
+        if func_idx is not None:
+            where = f" (in function {func_idx}"
+            where += f", instruction {instr_idx})" if instr_idx is not None else ")"
+        super().__init__(message + where)
+
+
+class Trap(WasmError):
+    """A WebAssembly trap: execution aborted with a runtime error."""
+
+
+class ExhaustionError(Trap):
+    """Call stack exhaustion (the spec treats this as a trap-like abort)."""

@@ -1,0 +1,90 @@
+"""A WAT-style text printer for modules and function bodies.
+
+Intended for debugging, examples, and golden tests — it produces readable,
+indented output in the spirit of the WebAssembly text format (linear style,
+matching the paper's listings such as Figure 4), not a spec-conformant
+S-expression printer.
+"""
+
+from __future__ import annotations
+
+from .module import Function, Instr, Module
+from .types import GlobalType, MemoryType, TableType
+
+
+def format_instr(instr: Instr) -> str:
+    return str(instr)
+
+
+def format_body(body: list[Instr], indent: str = "  ") -> str:
+    """Render a flat instruction list with block-structure indentation."""
+    lines: list[str] = []
+    depth = 1
+    for instr in body:
+        if instr.op in ("end", "else"):
+            depth = max(depth - 1, 0)
+        lines.append(indent * depth + format_instr(instr))
+        if instr.info.is_block_start or instr.op == "else":
+            depth += 1
+    return "\n".join(lines)
+
+
+def format_function(module: Module, func_idx: int) -> str:
+    """Render one defined function with its signature and locals."""
+    func = module.function_at(func_idx)
+    if func is None:
+        imp = module.imported_functions()[func_idx]
+        functype = module.types[imp.desc]
+        return f'(import "{imp.module}" "{imp.name}" (func {func_idx} {functype}))'
+    functype = module.types[func.type_idx]
+    header = f"(func {module.func_name(func_idx)} {functype}"
+    if func.locals:
+        header += " (local " + " ".join(str(t) for t in func.locals) + ")"
+    return header + "\n" + format_body(func.body) + "\n)"
+
+
+def format_module(module: Module) -> str:
+    """Render a whole module."""
+    parts: list[str] = ["(module" + (f" ${module.name}" if module.name else "")]
+    for i, functype in enumerate(module.types):
+        parts.append(f"  (type {i} {functype})")
+    for imp in module.imports:
+        desc = imp.desc
+        if isinstance(desc, int):
+            what = f"(func (type {desc}))"
+        elif isinstance(desc, TableType):
+            what = f"(table {desc.limits.minimum} funcref)"
+        elif isinstance(desc, MemoryType):
+            what = f"(memory {desc.limits.minimum})"
+        elif isinstance(desc, GlobalType):
+            what = f"(global {'mut ' if desc.mutable else ''}{desc.valtype})"
+        else:  # pragma: no cover
+            what = repr(desc)
+        parts.append(f'  (import "{imp.module}" "{imp.name}" {what})')
+    for memory in module.memories:
+        maximum = memory.limits.maximum
+        parts.append(f"  (memory {memory.limits.minimum}"
+                     + (f" {maximum}" if maximum is not None else "") + ")")
+    for table in module.tables:
+        parts.append(f"  (table {table.limits.minimum} funcref)")
+    for i, glob in enumerate(module.globals):
+        init = " ".join(format_instr(instr) for instr in glob.init)
+        mut = "mut " if glob.type.mutable else ""
+        parts.append(f"  (global {i} ({mut}{glob.type.valtype}) ({init}))")
+    n_imported = module.num_imported_functions
+    for i in range(len(module.functions)):
+        body = format_function(module, n_imported + i)
+        parts.append("  " + body.replace("\n", "\n  "))
+    for export in module.exports:
+        parts.append(f'  (export "{export.name}" ({export.kind} {export.idx}))')
+    if module.start is not None:
+        parts.append(f"  (start {module.start})")
+    for segment in module.elements:
+        offset = " ".join(format_instr(i) for i in segment.offset)
+        funcs = " ".join(map(str, segment.func_idxs))
+        parts.append(f"  (elem ({offset}) {funcs})")
+    for segment in module.data:
+        offset = " ".join(format_instr(i) for i in segment.offset)
+        parts.append(f"  (data ({offset}) {len(segment.data)} bytes)")
+    parts.append(")")
+    return "\n".join(parts)

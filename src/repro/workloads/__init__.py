@@ -1,0 +1,8 @@
+"""Evaluation workloads: PolyBench kernels, synthetic binaries, spec corpus."""
+
+from . import polybench
+from .spec_corpus import CorpusProgram, corpus, corpus_names
+from .synthetic import engine_demo, pdf_toolkit
+
+__all__ = ["CorpusProgram", "corpus", "corpus_names", "engine_demo",
+           "pdf_toolkit", "polybench"]

@@ -1,0 +1,10 @@
+"""The 30 PolyBench/C kernels, ported to MiniC (paper §4.1).
+
+Categories follow PolyBench 4.2: datamining (2), linear-algebra/blas (7),
+linear-algebra/kernels (6), linear-algebra/solvers (6), medley (3),
+stencils (6).
+"""
+
+from .common import KERNELS, Kernel, compile_kernel, get_kernel, kernel_names
+
+__all__ = ["KERNELS", "Kernel", "compile_kernel", "get_kernel", "kernel_names"]

@@ -1,0 +1,99 @@
+"""Shared infrastructure for the PolyBench/C kernel suite in MiniC.
+
+The paper evaluates on the 30 PolyBench/C programs compiled with
+emscripten. We port every kernel to MiniC (same algorithms, same loop and
+memory structure) and compile with :mod:`repro.minic`; problem sizes are
+scaled down so runs complete quickly under the Python interpreter.
+
+Every kernel program follows the same contract:
+
+* it imports ``env.print_f64`` and reports intermediate results through it
+  (the paper's RQ2 faithfulness check compares these outputs between the
+  original and the instrumented binary);
+* it exports ``main() -> f64`` returning a final checksum;
+* arrays live in linear memory as ``f64`` (or ``i32``) element views with
+  compile-time base offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from ...minic import compile_source
+from ...wasm.module import Module
+
+#: Prologue shared by all kernels: host imports and checksum helpers.
+PROLOGUE = """
+import func print_f64(x: f64);
+
+func checksum_f64(base: i32, len: i32) -> f64 {
+    var s: f64 = 0.0;
+    var i: i32;
+    for (i = 0; i < len; i = i + 1) {
+        s = s + mem_f64[base + i];
+    }
+    return s;
+}
+
+func checksum_i32(base: i32, len: i32) -> f64 {
+    var s: f64 = 0.0;
+    var i: i32;
+    for (i = 0; i < len; i = i + 1) {
+        s = s + f64(mem_i32[base + i]);
+    }
+    return s;
+}
+"""
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One PolyBench kernel: a MiniC source generator plus metadata."""
+
+    name: str
+    category: str
+    source_fn: Callable[[int], str]
+    default_n: int
+
+    def source(self, n: int | None = None) -> str:
+        return PROLOGUE + self.source_fn(n or self.default_n)
+
+
+KERNELS: dict[str, Kernel] = {}
+
+
+def register(name: str, category: str, default_n: int):
+    """Decorator registering a kernel source generator."""
+
+    def wrap(fn: Callable[[int], str]) -> Callable[[int], str]:
+        if name in KERNELS:
+            raise ValueError(f"duplicate kernel {name!r}")
+        KERNELS[name] = Kernel(name, category, fn, default_n)
+        return fn
+
+    return wrap
+
+
+def kernel_names() -> list[str]:
+    """All kernel names, importing the category modules on first use."""
+    _load_all()
+    return sorted(KERNELS)
+
+
+def get_kernel(name: str) -> Kernel:
+    _load_all()
+    return KERNELS[name]
+
+
+@lru_cache(maxsize=None)
+def compile_kernel(name: str, n: int | None = None) -> Module:
+    """Compile a kernel to a WebAssembly module (cached)."""
+    kernel = get_kernel(name)
+    return compile_source(kernel.source(n), name)
+
+
+def _load_all() -> None:
+    from . import (datamining, linalg_blas, linalg_kernels,  # noqa: F401
+                   linalg_solvers, medley, stencils)

@@ -1,0 +1,111 @@
+"""PolyBench datamining kernels: correlation, covariance."""
+
+from __future__ import annotations
+
+from .common import register
+
+
+@register("correlation", "datamining", 10)
+def correlation(n: int) -> str:
+    data, mean, stddev, corr = 0, n * n, n * n + n, n * n + 2 * n
+    eps = 0.1
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{data} + i*{n} + j] = f64(i*j % {n}) / fn + f64(i);
+        }}
+    }}
+    // column means
+    for (j = 0; j < {n}; j = j + 1) {{
+        mem_f64[{mean} + j] = 0.0;
+        for (i = 0; i < {n}; i = i + 1) {{
+            mem_f64[{mean} + j] = mem_f64[{mean} + j] + mem_f64[{data} + i*{n} + j];
+        }}
+        mem_f64[{mean} + j] = mem_f64[{mean} + j] / fn;
+    }}
+    // standard deviations
+    for (j = 0; j < {n}; j = j + 1) {{
+        var acc: f64 = 0.0;
+        for (i = 0; i < {n}; i = i + 1) {{
+            var d: f64 = mem_f64[{data} + i*{n} + j] - mem_f64[{mean} + j];
+            acc = acc + d * d;
+        }}
+        acc = sqrt(acc / fn);
+        mem_f64[{stddev} + j] = select(acc <= {eps}, 1.0, acc);
+    }}
+    print_f64(checksum_f64({stddev}, {n}));
+    // center and scale
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var v: f64 = mem_f64[{data} + i*{n} + j] - mem_f64[{mean} + j];
+            mem_f64[{data} + i*{n} + j] = v / (sqrt(fn) * mem_f64[{stddev} + j]);
+        }}
+    }}
+    // correlation matrix
+    for (i = 0; i < {n} - 1; i = i + 1) {{
+        mem_f64[{corr} + i*{n} + i] = 1.0;
+        for (j = i + 1; j < {n}; j = j + 1) {{
+            var acc2: f64 = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc2 = acc2 + mem_f64[{data} + k*{n} + i] * mem_f64[{data} + k*{n} + j];
+            }}
+            mem_f64[{corr} + i*{n} + j] = acc2;
+            mem_f64[{corr} + j*{n} + i] = acc2;
+        }}
+    }}
+    mem_f64[{corr} + ({n}-1)*{n} + ({n}-1)] = 1.0;
+    var result: f64 = checksum_f64({corr}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("covariance", "datamining", 10)
+def covariance(n: int) -> str:
+    data, mean, cov = 0, n * n, n * n + n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{data} + i*{n} + j] = f64(i*j % {n}) / fn;
+        }}
+    }}
+    for (j = 0; j < {n}; j = j + 1) {{
+        mem_f64[{mean} + j] = 0.0;
+        for (i = 0; i < {n}; i = i + 1) {{
+            mem_f64[{mean} + j] = mem_f64[{mean} + j] + mem_f64[{data} + i*{n} + j];
+        }}
+        mem_f64[{mean} + j] = mem_f64[{mean} + j] / fn;
+    }}
+    print_f64(checksum_f64({mean}, {n}));
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{data} + i*{n} + j] = mem_f64[{data} + i*{n} + j] - mem_f64[{mean} + j];
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = i; j < {n}; j = j + 1) {{
+            var acc: f64 = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc = acc + mem_f64[{data} + k*{n} + i] * mem_f64[{data} + k*{n} + j];
+            }}
+            acc = acc / (fn - 1.0);
+            mem_f64[{cov} + i*{n} + j] = acc;
+            mem_f64[{cov} + j*{n} + i] = acc;
+        }}
+    }}
+    var result: f64 = checksum_f64({cov}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""

@@ -1,0 +1,271 @@
+"""PolyBench BLAS kernels: gemm, gemver, gesummv, symm, syr2k, syrk, trmm."""
+
+from __future__ import annotations
+
+from .common import register
+
+
+@register("gemm", "linear-algebra/blas", 10)
+def gemm(n: int) -> str:
+    a, b, c = 0, n * n, 2 * n * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64(i*j % {n}) / {float(n)};
+            mem_f64[{b} + i*{n} + j] = f64(i*(j+1) % {n}) / {float(n)};
+            mem_f64[{c} + i*{n} + j] = f64(i*(j+2) % {n}) / {float(n)};
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{c} + i*{n} + j] = mem_f64[{c} + i*{n} + j] * beta;
+        }}
+        for (k = 0; k < {n}; k = k + 1) {{
+            for (j = 0; j < {n}; j = j + 1) {{
+                mem_f64[{c} + i*{n} + j] = mem_f64[{c} + i*{n} + j]
+                    + alpha * mem_f64[{a} + i*{n} + k] * mem_f64[{b} + k*{n} + j];
+            }}
+        }}
+        if (i % 4 == 0) {{
+            print_f64(checksum_f64({c} + i*{n}, {n}));
+        }}
+    }}
+    var result: f64 = checksum_f64({c}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("gemver", "linear-algebra/blas", 12)
+def gemver(n: int) -> str:
+    a = 0
+    u1, v1, u2, v2 = n * n, n * n + n, n * n + 2 * n, n * n + 3 * n
+    w, x, y, z = n * n + 4 * n, n * n + 5 * n, n * n + 6 * n, n * n + 7 * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{u1} + i] = f64(i);
+        mem_f64[{u2} + i] = f64(i+1) / fn / 2.0;
+        mem_f64[{v1} + i] = f64(i+1) / fn / 4.0;
+        mem_f64[{v2} + i] = f64(i+1) / fn / 6.0;
+        mem_f64[{y} + i] = f64(i+1) / fn / 8.0;
+        mem_f64[{z} + i] = f64(i+1) / fn / 9.0;
+        mem_f64[{x} + i] = 0.0;
+        mem_f64[{w} + i] = 0.0;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64(i*j % {n}) / fn;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j]
+                + mem_f64[{u1} + i] * mem_f64[{v1} + j]
+                + mem_f64[{u2} + i] * mem_f64[{v2} + j];
+        }}
+    }}
+    print_f64(checksum_f64({a}, {n * n}));
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{x} + i] = mem_f64[{x} + i]
+                + beta * mem_f64[{a} + j*{n} + i] * mem_f64[{y} + j];
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{x} + i] = mem_f64[{x} + i] + mem_f64[{z} + i];
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{w} + i] = mem_f64[{w} + i]
+                + alpha * mem_f64[{a} + i*{n} + j] * mem_f64[{x} + j];
+        }}
+    }}
+    var result: f64 = checksum_f64({w}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("gesummv", "linear-algebra/blas", 12)
+def gesummv(n: int) -> str:
+    a, b = 0, n * n
+    tmp, x, y = 2 * n * n, 2 * n * n + n, 2 * n * n + 2 * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{x} + i] = f64(i % {n}) / {float(n)};
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i*j + 1) % {n}) / {float(n)};
+            mem_f64[{b} + i*{n} + j] = f64((i*j + 2) % {n}) / {float(n)};
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{tmp} + i] = 0.0;
+        mem_f64[{y} + i] = 0.0;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{tmp} + i] = mem_f64[{a} + i*{n} + j] * mem_f64[{x} + j] + mem_f64[{tmp} + i];
+            mem_f64[{y} + i] = mem_f64[{b} + i*{n} + j] * mem_f64[{x} + j] + mem_f64[{y} + i];
+        }}
+        mem_f64[{y} + i] = alpha * mem_f64[{tmp} + i] + beta * mem_f64[{y} + i];
+    }}
+    var result: f64 = checksum_f64({y}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("symm", "linear-algebra/blas", 10)
+def symm(n: int) -> str:
+    a, b, c = 0, n * n, 2 * n * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i+j) % {n}) / {float(n)};
+            mem_f64[{b} + i*{n} + j] = f64((i*j+1) % {n}) / {float(n)};
+            mem_f64[{c} + i*{n} + j] = f64((i*j+2) % {n}) / {float(n)};
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var temp2: f64 = 0.0;
+            for (k = 0; k < i; k = k + 1) {{
+                mem_f64[{c} + k*{n} + j] = mem_f64[{c} + k*{n} + j]
+                    + alpha * mem_f64[{b} + i*{n} + j] * mem_f64[{a} + i*{n} + k];
+                temp2 = temp2 + mem_f64[{b} + k*{n} + j] * mem_f64[{a} + i*{n} + k];
+            }}
+            mem_f64[{c} + i*{n} + j] = beta * mem_f64[{c} + i*{n} + j]
+                + alpha * mem_f64[{b} + i*{n} + j] * mem_f64[{a} + i*{n} + i]
+                + alpha * temp2;
+        }}
+    }}
+    var result: f64 = checksum_f64({c}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("syr2k", "linear-algebra/blas", 10)
+def syr2k(n: int) -> str:
+    a, b, c = 0, n * n, 2 * n * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i*j+1) % {n}) / {float(n)};
+            mem_f64[{b} + i*{n} + j] = f64((i*j+2) % {n}) / {float(n)};
+            mem_f64[{c} + i*{n} + j] = f64((i*j+3) % {n}) / {float(n)};
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j <= i; j = j + 1) {{
+            mem_f64[{c} + i*{n} + j] = mem_f64[{c} + i*{n} + j] * beta;
+        }}
+        for (k = 0; k < {n}; k = k + 1) {{
+            for (j = 0; j <= i; j = j + 1) {{
+                mem_f64[{c} + i*{n} + j] = mem_f64[{c} + i*{n} + j]
+                    + mem_f64[{a} + j*{n} + k] * alpha * mem_f64[{b} + i*{n} + k]
+                    + mem_f64[{b} + j*{n} + k] * alpha * mem_f64[{a} + i*{n} + k];
+            }}
+        }}
+    }}
+    var result: f64 = checksum_f64({c}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("syrk", "linear-algebra/blas", 10)
+def syrk(n: int) -> str:
+    a, c = 0, n * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i*j+1) % {n}) / {float(n)};
+            mem_f64[{c} + i*{n} + j] = f64((i*j+2) % {n}) / {float(n)};
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j <= i; j = j + 1) {{
+            mem_f64[{c} + i*{n} + j] = mem_f64[{c} + i*{n} + j] * beta;
+        }}
+        for (k = 0; k < {n}; k = k + 1) {{
+            for (j = 0; j <= i; j = j + 1) {{
+                mem_f64[{c} + i*{n} + j] = mem_f64[{c} + i*{n} + j]
+                    + alpha * mem_f64[{a} + i*{n} + k] * mem_f64[{a} + j*{n} + k];
+            }}
+        }}
+    }}
+    var result: f64 = checksum_f64({c}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("trmm", "linear-algebra/blas", 10)
+def trmm(n: int) -> str:
+    a, b = 0, n * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var alpha: f64 = 1.5;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i+j) % {n}) / {float(n)};
+            mem_f64[{b} + i*{n} + j] = f64({n} + i - j) / {float(n)};
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            for (k = i + 1; k < {n}; k = k + 1) {{
+                mem_f64[{b} + i*{n} + j] = mem_f64[{b} + i*{n} + j]
+                    + mem_f64[{a} + k*{n} + i] * mem_f64[{b} + k*{n} + j];
+            }}
+            mem_f64[{b} + i*{n} + j] = alpha * mem_f64[{b} + i*{n} + j];
+        }}
+    }}
+    var result: f64 = checksum_f64({b}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""

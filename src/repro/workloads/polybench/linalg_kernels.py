@@ -1,0 +1,249 @@
+"""PolyBench linear-algebra kernels: 2mm, 3mm, atax, bicg, doitgen, mvt."""
+
+from __future__ import annotations
+
+from .common import register
+
+
+@register("2mm", "linear-algebra/kernels", 8)
+def two_mm(n: int) -> str:
+    a, b, c, d, tmp = 0, n * n, 2 * n * n, 3 * n * n, 4 * n * n
+    return f"""
+memory 8;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    var alpha: f64 = 1.5;
+    var beta: f64 = 1.2;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i*j+1) % {n}) / {float(n)};
+            mem_f64[{b} + i*{n} + j] = f64(i*(j+1) % {n}) / {float(n)};
+            mem_f64[{c} + i*{n} + j] = f64((i*(j+3)+1) % {n}) / {float(n)};
+            mem_f64[{d} + i*{n} + j] = f64(i*(j+2) % {n}) / {float(n)};
+        }}
+    }}
+    // tmp = alpha * A * B
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{tmp} + i*{n} + j] = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                mem_f64[{tmp} + i*{n} + j] = mem_f64[{tmp} + i*{n} + j]
+                    + alpha * mem_f64[{a} + i*{n} + k] * mem_f64[{b} + k*{n} + j];
+            }}
+        }}
+    }}
+    print_f64(checksum_f64({tmp}, {n * n}));
+    // D = tmp * C + beta * D
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{d} + i*{n} + j] = mem_f64[{d} + i*{n} + j] * beta;
+            for (k = 0; k < {n}; k = k + 1) {{
+                mem_f64[{d} + i*{n} + j] = mem_f64[{d} + i*{n} + j]
+                    + mem_f64[{tmp} + i*{n} + k] * mem_f64[{c} + k*{n} + j];
+            }}
+        }}
+    }}
+    var result: f64 = checksum_f64({d}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("3mm", "linear-algebra/kernels", 8)
+def three_mm(n: int) -> str:
+    a, b, c, d = 0, n * n, 2 * n * n, 3 * n * n
+    e, f, g = 4 * n * n, 5 * n * n, 6 * n * n
+    return f"""
+memory 8;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i*j+1) % {n}) / (5.0 * {float(n)});
+            mem_f64[{b} + i*{n} + j] = f64((i*(j+1)+2) % {n}) / (5.0 * {float(n)});
+            mem_f64[{c} + i*{n} + j] = f64(i*(j+3) % {n}) / (5.0 * {float(n)});
+            mem_f64[{d} + i*{n} + j] = f64((i*(j+2)+2) % {n}) / (5.0 * {float(n)});
+        }}
+    }}
+    // E = A * B
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var acc: f64 = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc = acc + mem_f64[{a} + i*{n} + k] * mem_f64[{b} + k*{n} + j];
+            }}
+            mem_f64[{e} + i*{n} + j] = acc;
+        }}
+    }}
+    // F = C * D
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var acc: f64 = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc = acc + mem_f64[{c} + i*{n} + k] * mem_f64[{d} + k*{n} + j];
+            }}
+            mem_f64[{f} + i*{n} + j] = acc;
+        }}
+    }}
+    print_f64(checksum_f64({e}, {n * n}) + checksum_f64({f}, {n * n}));
+    // G = E * F
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var acc: f64 = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc = acc + mem_f64[{e} + i*{n} + k] * mem_f64[{f} + k*{n} + j];
+            }}
+            mem_f64[{g} + i*{n} + j] = acc;
+        }}
+    }}
+    var result: f64 = checksum_f64({g}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("atax", "linear-algebra/kernels", 12)
+def atax(n: int) -> str:
+    a, x, y, tmp = 0, n * n, n * n + n, n * n + 2 * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{x} + i] = 1.0 + f64(i) / fn;
+        mem_f64[{y} + i] = 0.0;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64((i+j) % {n}) / (5.0 * fn);
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{tmp} + i] = 0.0;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{tmp} + i] = mem_f64[{tmp} + i] + mem_f64[{a} + i*{n} + j] * mem_f64[{x} + j];
+        }}
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{y} + j] = mem_f64[{y} + j] + mem_f64[{a} + i*{n} + j] * mem_f64[{tmp} + i];
+        }}
+    }}
+    var result: f64 = checksum_f64({y}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("bicg", "linear-algebra/kernels", 12)
+def bicg(n: int) -> str:
+    a = 0
+    s, q, p, r = n * n, n * n + n, n * n + 2 * n, n * n + 3 * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{p} + i] = f64(i % {n}) / fn;
+        mem_f64[{r} + i] = f64(i % {n}) / fn;
+        mem_f64[{s} + i] = 0.0;
+        mem_f64[{q} + i] = 0.0;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64(i*(j+1) % {n}) / fn;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{s} + j] = mem_f64[{s} + j] + mem_f64[{r} + i] * mem_f64[{a} + i*{n} + j];
+            mem_f64[{q} + i] = mem_f64[{q} + i] + mem_f64[{a} + i*{n} + j] * mem_f64[{p} + j];
+        }}
+    }}
+    var result: f64 = checksum_f64({s}, {n}) + checksum_f64({q}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("doitgen", "linear-algebra/kernels", 6)
+def doitgen(n: int) -> str:
+    # A[r][q][s], C4[s][p], sum[p]
+    a, c4, summed = 0, n * n * n, n * n * n + n * n
+    return f"""
+memory 8;
+
+export func main() -> f64 {{
+    var r: i32; var q: i32; var p: i32; var s: i32;
+    var fn: f64 = {float(n)};
+    for (r = 0; r < {n}; r = r + 1) {{
+        for (q = 0; q < {n}; q = q + 1) {{
+            for (p = 0; p < {n}; p = p + 1) {{
+                mem_f64[{a} + (r*{n} + q)*{n} + p] = f64((r*q + p) % {n}) / fn;
+            }}
+        }}
+    }}
+    for (s = 0; s < {n}; s = s + 1) {{
+        for (p = 0; p < {n}; p = p + 1) {{
+            mem_f64[{c4} + s*{n} + p] = f64(s*p % {n}) / fn;
+        }}
+    }}
+    for (r = 0; r < {n}; r = r + 1) {{
+        for (q = 0; q < {n}; q = q + 1) {{
+            for (p = 0; p < {n}; p = p + 1) {{
+                mem_f64[{summed} + p] = 0.0;
+                for (s = 0; s < {n}; s = s + 1) {{
+                    mem_f64[{summed} + p] = mem_f64[{summed} + p]
+                        + mem_f64[{a} + (r*{n} + q)*{n} + s] * mem_f64[{c4} + s*{n} + p];
+                }}
+            }}
+            for (p = 0; p < {n}; p = p + 1) {{
+                mem_f64[{a} + (r*{n} + q)*{n} + p] = mem_f64[{summed} + p];
+            }}
+        }}
+    }}
+    var result: f64 = checksum_f64({a}, {n * n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("mvt", "linear-algebra/kernels", 12)
+def mvt(n: int) -> str:
+    a = 0
+    x1, x2, y1, y2 = n * n, n * n + n, n * n + 2 * n, n * n + 3 * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{x1} + i] = f64(i % {n}) / fn;
+        mem_f64[{x2} + i] = f64((i + 1) % {n}) / fn;
+        mem_f64[{y1} + i] = f64((i + 3) % {n}) / fn;
+        mem_f64[{y2} + i] = f64((i + 4) % {n}) / fn;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64(i*j % {n}) / fn;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{x1} + i] = mem_f64[{x1} + i] + mem_f64[{a} + i*{n} + j] * mem_f64[{y1} + j];
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{x2} + i] = mem_f64[{x2} + i] + mem_f64[{a} + j*{n} + i] * mem_f64[{y2} + j];
+        }}
+    }}
+    var result: f64 = checksum_f64({x1}, {n}) + checksum_f64({x2}, {n});
+    print_f64(result);
+    return result;
+}}
+"""

@@ -1,0 +1,264 @@
+"""PolyBench solvers: cholesky, durbin, gramschmidt, lu, ludcmp, trisolv."""
+
+from __future__ import annotations
+
+from .common import register
+
+
+def _spd_matrix_init(n: int, a: int) -> str:
+    """Initialize a symmetric positive-definite matrix at base ``a``
+    (PolyBench's standard trick: B = A*A' with diagonally dominant A)."""
+    b = a + n * n
+    return f"""
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j <= i; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64(0 - (j % {n})) / {float(n)} + 1.0;
+        }}
+        for (j = i + 1; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = 0.0;
+        }}
+        mem_f64[{a} + i*{n} + i] = 1.0;
+    }}
+    // B = A * A^T, then copy back (makes A positive semi-definite)
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var acc: f64 = 0.0;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc = acc + mem_f64[{a} + i*{n} + k] * mem_f64[{a} + j*{n} + k];
+            }}
+            mem_f64[{b} + i*{n} + j] = acc;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = mem_f64[{b} + i*{n} + j];
+        }}
+    }}
+"""
+
+
+@register("cholesky", "linear-algebra/solvers", 10)
+def cholesky(n: int) -> str:
+    a = 0
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    {_spd_matrix_init(n, a)}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < i; j = j + 1) {{
+            for (k = 0; k < j; k = k + 1) {{
+                mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j]
+                    - mem_f64[{a} + i*{n} + k] * mem_f64[{a} + j*{n} + k];
+            }}
+            mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j] / mem_f64[{a} + j*{n} + j];
+        }}
+        for (k = 0; k < i; k = k + 1) {{
+            mem_f64[{a} + i*{n} + i] = mem_f64[{a} + i*{n} + i]
+                - mem_f64[{a} + i*{n} + k] * mem_f64[{a} + i*{n} + k];
+        }}
+        mem_f64[{a} + i*{n} + i] = sqrt(mem_f64[{a} + i*{n} + i]);
+        print_f64(mem_f64[{a} + i*{n} + i]);
+    }}
+    var result: f64 = checksum_f64({a}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("durbin", "linear-algebra/solvers", 12)
+def durbin(n: int) -> str:
+    r, y, z = 0, n, 2 * n
+    return f"""
+memory 2;
+
+export func main() -> f64 {{
+    var i: i32; var k: i32;
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{r} + i] = f64({n} + 1 - i);
+    }}
+    mem_f64[{y}] = 0.0 - mem_f64[{r}];
+    var beta: f64 = 1.0;
+    var alpha: f64 = 0.0 - mem_f64[{r}];
+    for (k = 1; k < {n}; k = k + 1) {{
+        beta = (1.0 - alpha * alpha) * beta;
+        var summ: f64 = 0.0;
+        for (i = 0; i < k; i = i + 1) {{
+            summ = summ + mem_f64[{r} + k - i - 1] * mem_f64[{y} + i];
+        }}
+        alpha = 0.0 - (mem_f64[{r} + k] + summ) / beta;
+        for (i = 0; i < k; i = i + 1) {{
+            mem_f64[{z} + i] = mem_f64[{y} + i] + alpha * mem_f64[{y} + k - i - 1];
+        }}
+        for (i = 0; i < k; i = i + 1) {{
+            mem_f64[{y} + i] = mem_f64[{z} + i];
+        }}
+        mem_f64[{y} + k] = alpha;
+        print_f64(alpha);
+    }}
+    var result: f64 = checksum_f64({y}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("gramschmidt", "linear-algebra/solvers", 10)
+def gramschmidt(n: int) -> str:
+    a, r, q = 0, n * n, 2 * n * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = (f64((i*j) % {n}) / {float(n)}) * 100.0 + 10.0;
+            mem_f64[{q} + i*{n} + j] = 0.0;
+            mem_f64[{r} + i*{n} + j] = 0.0;
+        }}
+    }}
+    for (k = 0; k < {n}; k = k + 1) {{
+        var nrm: f64 = 0.0;
+        for (i = 0; i < {n}; i = i + 1) {{
+            nrm = nrm + mem_f64[{a} + i*{n} + k] * mem_f64[{a} + i*{n} + k];
+        }}
+        mem_f64[{r} + k*{n} + k] = sqrt(nrm);
+        for (i = 0; i < {n}; i = i + 1) {{
+            mem_f64[{q} + i*{n} + k] = mem_f64[{a} + i*{n} + k] / mem_f64[{r} + k*{n} + k];
+        }}
+        for (j = k + 1; j < {n}; j = j + 1) {{
+            mem_f64[{r} + k*{n} + j] = 0.0;
+            for (i = 0; i < {n}; i = i + 1) {{
+                mem_f64[{r} + k*{n} + j] = mem_f64[{r} + k*{n} + j]
+                    + mem_f64[{q} + i*{n} + k] * mem_f64[{a} + i*{n} + j];
+            }}
+            for (i = 0; i < {n}; i = i + 1) {{
+                mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j]
+                    - mem_f64[{q} + i*{n} + k] * mem_f64[{r} + k*{n} + j];
+            }}
+        }}
+        print_f64(mem_f64[{r} + k*{n} + k]);
+    }}
+    var result: f64 = checksum_f64({r}, {n * n}) + checksum_f64({q}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("lu", "linear-algebra/solvers", 10)
+def lu(n: int) -> str:
+    a = 0
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    {_spd_matrix_init(n, a)}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < i; j = j + 1) {{
+            for (k = 0; k < j; k = k + 1) {{
+                mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j]
+                    - mem_f64[{a} + i*{n} + k] * mem_f64[{a} + k*{n} + j];
+            }}
+            mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j] / mem_f64[{a} + j*{n} + j];
+        }}
+        for (j = i; j < {n}; j = j + 1) {{
+            for (k = 0; k < i; k = k + 1) {{
+                mem_f64[{a} + i*{n} + j] = mem_f64[{a} + i*{n} + j]
+                    - mem_f64[{a} + i*{n} + k] * mem_f64[{a} + k*{n} + j];
+            }}
+        }}
+    }}
+    var result: f64 = checksum_f64({a}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("ludcmp", "linear-algebra/solvers", 10)
+def ludcmp(n: int) -> str:
+    a, b, x, y = 0, 2 * n * n, 2 * n * n + n, 2 * n * n + 2 * n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    {_spd_matrix_init(n, a)}
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{b} + i] = (f64(i) + 1.0) / fn / 2.0 + 4.0;
+    }}
+    // LU decomposition
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < i; j = j + 1) {{
+            var w: f64 = mem_f64[{a} + i*{n} + j];
+            for (k = 0; k < j; k = k + 1) {{
+                w = w - mem_f64[{a} + i*{n} + k] * mem_f64[{a} + k*{n} + j];
+            }}
+            mem_f64[{a} + i*{n} + j] = w / mem_f64[{a} + j*{n} + j];
+        }}
+        for (j = i; j < {n}; j = j + 1) {{
+            var w: f64 = mem_f64[{a} + i*{n} + j];
+            for (k = 0; k < i; k = k + 1) {{
+                w = w - mem_f64[{a} + i*{n} + k] * mem_f64[{a} + k*{n} + j];
+            }}
+            mem_f64[{a} + i*{n} + j] = w;
+        }}
+    }}
+    // forward substitution
+    for (i = 0; i < {n}; i = i + 1) {{
+        var w: f64 = mem_f64[{b} + i];
+        for (j = 0; j < i; j = j + 1) {{
+            w = w - mem_f64[{a} + i*{n} + j] * mem_f64[{y} + j];
+        }}
+        mem_f64[{y} + i] = w;
+    }}
+    // back substitution
+    for (i = {n} - 1; i >= 0; i = i - 1) {{
+        var w: f64 = mem_f64[{y} + i];
+        for (j = i + 1; j < {n}; j = j + 1) {{
+            w = w - mem_f64[{a} + i*{n} + j] * mem_f64[{x} + j];
+        }}
+        mem_f64[{x} + i] = w / mem_f64[{a} + i*{n} + i];
+    }}
+    var result: f64 = checksum_f64({x}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("trisolv", "linear-algebra/solvers", 12)
+def trisolv(n: int) -> str:
+    l, x, b = 0, n * n, n * n + n
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{x} + i] = 0.0 - 999.0;
+        mem_f64[{b} + i] = f64(i);
+        for (j = 0; j <= i; j = j + 1) {{
+            mem_f64[{l} + i*{n} + j] = f64(i + {n} - j + 1) * 2.0 / fn;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{x} + i] = mem_f64[{b} + i];
+        for (j = 0; j < i; j = j + 1) {{
+            mem_f64[{x} + i] = mem_f64[{x} + i] - mem_f64[{l} + i*{n} + j] * mem_f64[{x} + j];
+        }}
+        mem_f64[{x} + i] = mem_f64[{x} + i] / mem_f64[{l} + i*{n} + i];
+        print_f64(mem_f64[{x} + i]);
+    }}
+    var result: f64 = checksum_f64({x}, {n});
+    print_f64(result);
+    return result;
+}}
+"""

@@ -1,0 +1,213 @@
+"""PolyBench medley kernels: deriche, floyd-warshall, nussinov."""
+
+from __future__ import annotations
+
+from .common import register
+
+
+@register("deriche", "medley", 10)
+def deriche(n: int) -> str:
+    # w == h == n for the scaled-down version
+    img_in, img_out, y1, y2 = 0, n * n, 2 * n * n, 3 * n * n
+    return f"""
+memory 8;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32;
+    var alpha: f64 = 0.25;
+    var k: f64 = (1.0 - exp_approx(0.0 - alpha)) * (1.0 - exp_approx(0.0 - alpha))
+        / (1.0 + 2.0 * alpha * exp_approx(0.0 - alpha) - exp_approx(0.0 - 2.0 * alpha));
+    var a1: f64 = k;
+    var a5: f64 = k;
+    var a2: f64 = k * exp_approx(0.0 - alpha) * (alpha - 1.0);
+    var a6: f64 = a2;
+    var a3: f64 = k * exp_approx(0.0 - alpha) * (alpha + 1.0);
+    var a7: f64 = a3;
+    var a4: f64 = 0.0 - k * exp_approx(0.0 - 2.0 * alpha);
+    var a8: f64 = a4;
+    var b1: f64 = 2.0 * exp_approx(0.0 - alpha);
+    var b2: f64 = 0.0 - exp_approx(0.0 - 2.0 * alpha);
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{img_in} + i*{n} + j] = f64((313*i + 991*j) % 65536) / 65535.0;
+        }}
+    }}
+    // horizontal forward pass
+    for (i = 0; i < {n}; i = i + 1) {{
+        var ym1: f64 = 0.0;
+        var ym2: f64 = 0.0;
+        var xm1: f64 = 0.0;
+        for (j = 0; j < {n}; j = j + 1) {{
+            var v: f64 = a1 * mem_f64[{img_in} + i*{n} + j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+            mem_f64[{y1} + i*{n} + j] = v;
+            xm1 = mem_f64[{img_in} + i*{n} + j];
+            ym2 = ym1;
+            ym1 = v;
+        }}
+    }}
+    // horizontal backward pass
+    for (i = 0; i < {n}; i = i + 1) {{
+        var yp1: f64 = 0.0;
+        var yp2: f64 = 0.0;
+        var xp1: f64 = 0.0;
+        var xp2: f64 = 0.0;
+        for (j = {n} - 1; j >= 0; j = j - 1) {{
+            var v: f64 = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+            mem_f64[{y2} + i*{n} + j] = v;
+            xp2 = xp1;
+            xp1 = mem_f64[{img_in} + i*{n} + j];
+            yp2 = yp1;
+            yp1 = v;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{img_out} + i*{n} + j] = mem_f64[{y1} + i*{n} + j] + mem_f64[{y2} + i*{n} + j];
+        }}
+    }}
+    print_f64(checksum_f64({img_out}, {n * n}));
+    // vertical forward pass
+    for (j = 0; j < {n}; j = j + 1) {{
+        var tm1: f64 = 0.0;
+        var ym1: f64 = 0.0;
+        var ym2: f64 = 0.0;
+        for (i = 0; i < {n}; i = i + 1) {{
+            var v: f64 = a5 * mem_f64[{img_out} + i*{n} + j] + a6 * tm1 + b1 * ym1 + b2 * ym2;
+            mem_f64[{y1} + i*{n} + j] = v;
+            tm1 = mem_f64[{img_out} + i*{n} + j];
+            ym2 = ym1;
+            ym1 = v;
+        }}
+    }}
+    // vertical backward pass
+    for (j = 0; j < {n}; j = j + 1) {{
+        var tp1: f64 = 0.0;
+        var tp2: f64 = 0.0;
+        var yp1: f64 = 0.0;
+        var yp2: f64 = 0.0;
+        for (i = {n} - 1; i >= 0; i = i - 1) {{
+            var v: f64 = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;
+            mem_f64[{y2} + i*{n} + j] = v;
+            tp2 = tp1;
+            tp1 = mem_f64[{img_out} + i*{n} + j];
+            yp2 = yp1;
+            yp1 = v;
+        }}
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{img_out} + i*{n} + j] = mem_f64[{y1} + i*{n} + j] + mem_f64[{y2} + i*{n} + j];
+        }}
+    }}
+    var result: f64 = checksum_f64({img_out}, {n * n});
+    print_f64(result);
+    return result;
+}}
+
+// truncated Taylor expansion of e^x (good enough for the filter constants,
+// keeps the kernel self-contained and deterministic)
+func exp_approx(x: f64) -> f64 {{
+    var term: f64 = 1.0;
+    var acc: f64 = 1.0;
+    var i: i32;
+    for (i = 1; i < 12; i = i + 1) {{
+        term = term * x / f64(i);
+        acc = acc + term;
+    }}
+    return acc;
+}}
+"""
+
+
+@register("floyd-warshall", "medley", 12)
+def floyd_warshall(n: int) -> str:
+    path = 0
+    return f"""
+memory 2;
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            var v: i32 = i * j % 7 + 1;
+            if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) {{
+                v = 999;
+            }}
+            mem_i32[{path} + i*{n} + j] = v;
+        }}
+    }}
+    for (k = 0; k < {n}; k = k + 1) {{
+        for (i = 0; i < {n}; i = i + 1) {{
+            for (j = 0; j < {n}; j = j + 1) {{
+                var through: i32 = mem_i32[{path} + i*{n} + k] + mem_i32[{path} + k*{n} + j];
+                var direct: i32 = mem_i32[{path} + i*{n} + j];
+                mem_i32[{path} + i*{n} + j] = select(direct < through, direct, through);
+            }}
+        }}
+        if (k % 4 == 0) {{
+            print_f64(checksum_i32({path} + k*{n}, {n}));
+        }}
+    }}
+    var result: f64 = checksum_i32({path}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("nussinov", "medley", 12)
+def nussinov(n: int) -> str:
+    seq, table = 0, n  # seq: i32[n], table: i32[n*n]
+    return f"""
+memory 2;
+
+func match(b1: i32, b2: i32) -> i32 {{
+    if (b1 + b2 == 3) {{ return 1; }}
+    return 0;
+}}
+
+func max_score(a: i32, b: i32) -> i32 {{
+    return select(a >= b, a, b);
+}}
+
+export func main() -> f64 {{
+    var i: i32; var j: i32; var k: i32;
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_i32[{seq} + i] = (i + 1) % 4;
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_i32[{table} + i*{n} + j] = 0;
+        }}
+    }}
+    for (i = {n} - 1; i >= 0; i = i - 1) {{
+        for (j = i + 1; j < {n}; j = j + 1) {{
+            if (j - 1 >= 0) {{
+                mem_i32[{table} + i*{n} + j] = max_score(
+                    mem_i32[{table} + i*{n} + j], mem_i32[{table} + i*{n} + j - 1]);
+            }}
+            if (i + 1 < {n}) {{
+                mem_i32[{table} + i*{n} + j] = max_score(
+                    mem_i32[{table} + i*{n} + j], mem_i32[{table} + (i+1)*{n} + j]);
+            }}
+            if (j - 1 >= 0 && i + 1 < {n}) {{
+                if (i < j - 1) {{
+                    mem_i32[{table} + i*{n} + j] = max_score(
+                        mem_i32[{table} + i*{n} + j],
+                        mem_i32[{table} + (i+1)*{n} + j - 1]
+                            + match(mem_i32[{seq} + i], mem_i32[{seq} + j]));
+                }} else {{
+                    mem_i32[{table} + i*{n} + j] = max_score(
+                        mem_i32[{table} + i*{n} + j], mem_i32[{table} + (i+1)*{n} + j - 1]);
+                }}
+            }}
+            for (k = i + 1; k < j; k = k + 1) {{
+                mem_i32[{table} + i*{n} + j] = max_score(
+                    mem_i32[{table} + i*{n} + j],
+                    mem_i32[{table} + i*{n} + k] + mem_i32[{table} + (k+1)*{n} + j]);
+            }}
+        }}
+    }}
+    var result: f64 = checksum_i32({table}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""

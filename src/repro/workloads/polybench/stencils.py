@@ -1,0 +1,301 @@
+"""PolyBench stencil kernels: adi, fdtd-2d, heat-3d, jacobi-1d/2d, seidel-2d."""
+
+from __future__ import annotations
+
+from .common import register
+
+
+@register("adi", "stencils", 8)
+def adi(n: int) -> str:
+    u, v, p, q = 0, n * n, 2 * n * n, 3 * n * n
+    tsteps = 2
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var t: i32; var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{u} + i*{n} + j] = (f64(i) + f64({n}) - f64(j)) / fn;
+        }}
+    }}
+    var dx: f64 = 1.0 / fn;
+    var dy: f64 = 1.0 / fn;
+    var dt: f64 = 1.0 / f64({tsteps});
+    var b1: f64 = 2.0;
+    var b2: f64 = 1.0;
+    var mul1: f64 = b1 * dt / (dx * dx);
+    var mul2: f64 = b2 * dt / (dy * dy);
+    var a: f64 = 0.0 - mul1 / 2.0;
+    var b: f64 = 1.0 + mul1;
+    var c: f64 = a;
+    var d: f64 = 0.0 - mul2 / 2.0;
+    var e: f64 = 1.0 + mul2;
+    var f: f64 = d;
+    for (t = 1; t <= {tsteps}; t = t + 1) {{
+        // column sweep
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            mem_f64[{v} + 0*{n} + i] = 1.0;
+            mem_f64[{p} + i*{n} + 0] = 0.0;
+            mem_f64[{q} + i*{n} + 0] = mem_f64[{v} + 0*{n} + i];
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                mem_f64[{p} + i*{n} + j] = (0.0 - c) / (a * mem_f64[{p} + i*{n} + j - 1] + b);
+                mem_f64[{q} + i*{n} + j] = ((0.0 - d) * mem_f64[{u} + j*{n} + i - 1]
+                    + (1.0 + 2.0 * d) * mem_f64[{u} + j*{n} + i]
+                    - f * mem_f64[{u} + j*{n} + i + 1]
+                    - a * mem_f64[{q} + i*{n} + j - 1])
+                    / (a * mem_f64[{p} + i*{n} + j - 1] + b);
+            }}
+            mem_f64[{v} + ({n}-1)*{n} + i] = 1.0;
+            for (j = {n} - 2; j >= 1; j = j - 1) {{
+                mem_f64[{v} + j*{n} + i] = mem_f64[{p} + i*{n} + j] * mem_f64[{v} + (j+1)*{n} + i]
+                    + mem_f64[{q} + i*{n} + j];
+            }}
+        }}
+        // row sweep
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            mem_f64[{u} + i*{n} + 0] = 1.0;
+            mem_f64[{p} + i*{n} + 0] = 0.0;
+            mem_f64[{q} + i*{n} + 0] = mem_f64[{u} + i*{n} + 0];
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                mem_f64[{p} + i*{n} + j] = (0.0 - f) / (d * mem_f64[{p} + i*{n} + j - 1] + e);
+                mem_f64[{q} + i*{n} + j] = ((0.0 - a) * mem_f64[{v} + (i-1)*{n} + j]
+                    + (1.0 + 2.0 * a) * mem_f64[{v} + i*{n} + j]
+                    - c * mem_f64[{v} + (i+1)*{n} + j]
+                    - d * mem_f64[{q} + i*{n} + j - 1])
+                    / (d * mem_f64[{p} + i*{n} + j - 1] + e);
+            }}
+            mem_f64[{u} + i*{n} + {n} - 1] = 1.0;
+            for (j = {n} - 2; j >= 1; j = j - 1) {{
+                mem_f64[{u} + i*{n} + j] = mem_f64[{p} + i*{n} + j] * mem_f64[{u} + i*{n} + j + 1]
+                    + mem_f64[{q} + i*{n} + j];
+            }}
+        }}
+        print_f64(checksum_f64({u}, {n * n}));
+    }}
+    var result: f64 = checksum_f64({u}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("fdtd-2d", "stencils", 8)
+def fdtd_2d(n: int) -> str:
+    ex, ey, hz, fict = 0, n * n, 2 * n * n, 3 * n * n
+    tsteps = 3
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var t: i32; var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (t = 0; t < {tsteps}; t = t + 1) {{
+        mem_f64[{fict} + t] = f64(t);
+    }}
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{ex} + i*{n} + j] = f64(i) * (f64(j) + 1.0) / fn;
+            mem_f64[{ey} + i*{n} + j] = f64(i) * (f64(j) + 2.0) / fn;
+            mem_f64[{hz} + i*{n} + j] = f64(i) * (f64(j) + 3.0) / fn;
+        }}
+    }}
+    for (t = 0; t < {tsteps}; t = t + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{ey} + 0*{n} + j] = mem_f64[{fict} + t];
+        }}
+        for (i = 1; i < {n}; i = i + 1) {{
+            for (j = 0; j < {n}; j = j + 1) {{
+                mem_f64[{ey} + i*{n} + j] = mem_f64[{ey} + i*{n} + j]
+                    - 0.5 * (mem_f64[{hz} + i*{n} + j] - mem_f64[{hz} + (i-1)*{n} + j]);
+            }}
+        }}
+        for (i = 0; i < {n}; i = i + 1) {{
+            for (j = 1; j < {n}; j = j + 1) {{
+                mem_f64[{ex} + i*{n} + j] = mem_f64[{ex} + i*{n} + j]
+                    - 0.5 * (mem_f64[{hz} + i*{n} + j] - mem_f64[{hz} + i*{n} + j - 1]);
+            }}
+        }}
+        for (i = 0; i < {n} - 1; i = i + 1) {{
+            for (j = 0; j < {n} - 1; j = j + 1) {{
+                mem_f64[{hz} + i*{n} + j] = mem_f64[{hz} + i*{n} + j]
+                    - 0.7 * (mem_f64[{ex} + i*{n} + j + 1] - mem_f64[{ex} + i*{n} + j]
+                             + mem_f64[{ey} + (i+1)*{n} + j] - mem_f64[{ey} + i*{n} + j]);
+            }}
+        }}
+        print_f64(checksum_f64({hz}, {n * n}));
+    }}
+    var result: f64 = checksum_f64({hz}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("heat-3d", "stencils", 6)
+def heat_3d(n: int) -> str:
+    a, b = 0, n * n * n
+    tsteps = 2
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var t: i32; var i: i32; var j: i32; var k: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            for (k = 0; k < {n}; k = k + 1) {{
+                var v: f64 = f64(i + j + ({n} - k)) * 10.0 / fn;
+                mem_f64[{a} + (i*{n} + j)*{n} + k] = v;
+                mem_f64[{b} + (i*{n} + j)*{n} + k] = v;
+            }}
+        }}
+    }}
+    for (t = 1; t <= {tsteps}; t = t + 1) {{
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                for (k = 1; k < {n} - 1; k = k + 1) {{
+                    mem_f64[{b} + (i*{n} + j)*{n} + k] =
+                        0.125 * (mem_f64[{a} + ((i+1)*{n} + j)*{n} + k]
+                                 - 2.0 * mem_f64[{a} + (i*{n} + j)*{n} + k]
+                                 + mem_f64[{a} + ((i-1)*{n} + j)*{n} + k])
+                        + 0.125 * (mem_f64[{a} + (i*{n} + j + 1)*{n} + k]
+                                   - 2.0 * mem_f64[{a} + (i*{n} + j)*{n} + k]
+                                   + mem_f64[{a} + (i*{n} + j - 1)*{n} + k])
+                        + 0.125 * (mem_f64[{a} + (i*{n} + j)*{n} + k + 1]
+                                   - 2.0 * mem_f64[{a} + (i*{n} + j)*{n} + k]
+                                   + mem_f64[{a} + (i*{n} + j)*{n} + k - 1])
+                        + mem_f64[{a} + (i*{n} + j)*{n} + k];
+                }}
+            }}
+        }}
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                for (k = 1; k < {n} - 1; k = k + 1) {{
+                    mem_f64[{a} + (i*{n} + j)*{n} + k] =
+                        0.125 * (mem_f64[{b} + ((i+1)*{n} + j)*{n} + k]
+                                 - 2.0 * mem_f64[{b} + (i*{n} + j)*{n} + k]
+                                 + mem_f64[{b} + ((i-1)*{n} + j)*{n} + k])
+                        + 0.125 * (mem_f64[{b} + (i*{n} + j + 1)*{n} + k]
+                                   - 2.0 * mem_f64[{b} + (i*{n} + j)*{n} + k]
+                                   + mem_f64[{b} + (i*{n} + j - 1)*{n} + k])
+                        + 0.125 * (mem_f64[{b} + (i*{n} + j)*{n} + k + 1]
+                                   - 2.0 * mem_f64[{b} + (i*{n} + j)*{n} + k]
+                                   + mem_f64[{b} + (i*{n} + j)*{n} + k - 1])
+                        + mem_f64[{b} + (i*{n} + j)*{n} + k];
+                }}
+            }}
+        }}
+        print_f64(checksum_f64({a}, {n * n * n}));
+    }}
+    var result: f64 = checksum_f64({a}, {n * n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("jacobi-1d", "stencils", 30)
+def jacobi_1d(n: int) -> str:
+    a, b = 0, n
+    tsteps = 4
+    return f"""
+memory 2;
+
+export func main() -> f64 {{
+    var t: i32; var i: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        mem_f64[{a} + i] = (f64(i) + 2.0) / fn;
+        mem_f64[{b} + i] = (f64(i) + 3.0) / fn;
+    }}
+    for (t = 0; t < {tsteps}; t = t + 1) {{
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            mem_f64[{b} + i] = 0.33333 * (mem_f64[{a} + i - 1] + mem_f64[{a} + i] + mem_f64[{a} + i + 1]);
+        }}
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            mem_f64[{a} + i] = 0.33333 * (mem_f64[{b} + i - 1] + mem_f64[{b} + i] + mem_f64[{b} + i + 1]);
+        }}
+        print_f64(checksum_f64({a}, {n}));
+    }}
+    var result: f64 = checksum_f64({a}, {n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("jacobi-2d", "stencils", 10)
+def jacobi_2d(n: int) -> str:
+    a, b = 0, n * n
+    tsteps = 3
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var t: i32; var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = f64(i) * (f64(j) + 2.0) / fn;
+            mem_f64[{b} + i*{n} + j] = f64(i) * (f64(j) + 3.0) / fn;
+        }}
+    }}
+    for (t = 0; t < {tsteps}; t = t + 1) {{
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                mem_f64[{b} + i*{n} + j] = 0.2 * (mem_f64[{a} + i*{n} + j]
+                    + mem_f64[{a} + i*{n} + j - 1] + mem_f64[{a} + i*{n} + j + 1]
+                    + mem_f64[{a} + (i+1)*{n} + j] + mem_f64[{a} + (i-1)*{n} + j]);
+            }}
+        }}
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                mem_f64[{a} + i*{n} + j] = 0.2 * (mem_f64[{b} + i*{n} + j]
+                    + mem_f64[{b} + i*{n} + j - 1] + mem_f64[{b} + i*{n} + j + 1]
+                    + mem_f64[{b} + (i+1)*{n} + j] + mem_f64[{b} + (i-1)*{n} + j]);
+            }}
+        }}
+        print_f64(checksum_f64({a}, {n * n}));
+    }}
+    var result: f64 = checksum_f64({a}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""
+
+
+@register("seidel-2d", "stencils", 10)
+def seidel_2d(n: int) -> str:
+    a = 0
+    tsteps = 3
+    return f"""
+memory 4;
+
+export func main() -> f64 {{
+    var t: i32; var i: i32; var j: i32;
+    var fn: f64 = {float(n)};
+    for (i = 0; i < {n}; i = i + 1) {{
+        for (j = 0; j < {n}; j = j + 1) {{
+            mem_f64[{a} + i*{n} + j] = (f64(i) * (f64(j) + 2.0) + 2.0) / fn;
+        }}
+    }}
+    for (t = 0; t < {tsteps}; t = t + 1) {{
+        for (i = 1; i < {n} - 1; i = i + 1) {{
+            for (j = 1; j < {n} - 1; j = j + 1) {{
+                mem_f64[{a} + i*{n} + j] =
+                    (mem_f64[{a} + (i-1)*{n} + j - 1] + mem_f64[{a} + (i-1)*{n} + j]
+                     + mem_f64[{a} + (i-1)*{n} + j + 1] + mem_f64[{a} + i*{n} + j - 1]
+                     + mem_f64[{a} + i*{n} + j] + mem_f64[{a} + i*{n} + j + 1]
+                     + mem_f64[{a} + (i+1)*{n} + j - 1] + mem_f64[{a} + (i+1)*{n} + j]
+                     + mem_f64[{a} + (i+1)*{n} + j + 1]) / 9.0;
+            }}
+        }}
+        print_f64(checksum_f64({a}, {n * n}));
+    }}
+    var result: f64 = checksum_f64({a}, {n * n});
+    print_f64(result);
+    return result;
+}}
+"""

@@ -1,0 +1,344 @@
+"""A spec-test-style corpus for the faithfulness experiment (paper §4.3).
+
+The paper validates Wasabi on the 63 programs of the official WebAssembly
+specification test suite. This module generates an equivalent corpus: one
+self-checking program per numeric instruction (driving it over an operand
+matrix including edge cases and folding all results into an integer
+checksum), plus hand-built control-flow, memory, and call programs.
+
+Every program exports ``test() -> i64`` (the checksum) and is fully
+deterministic, so faithfulness is simply "same checksum before and after
+instrumentation" — and, for trapping programs, "same trap".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..wasm import opcodes
+from ..wasm.builder import FunctionBuilder, ModuleBuilder
+from ..wasm.module import Module
+from ..wasm.types import F32, F64, I32, I64, FuncType, ValType
+
+#: Operand matrices per type. Chosen to hit sign boundaries, wrap-around,
+#: and special float values while keeping all included operations trap-free.
+_INT32_OPERANDS = [0, 1, -1, 2, 42, 0x7FFFFFFF, -0x80000000 + 1, 0x55555555,
+                   -1234567]
+_INT64_OPERANDS = [0, 1, -1, 2, 1 << 40, 0x7FFFFFFFFFFFFFFF,
+                   -(1 << 62), 0x5555555555555555]
+_FLOAT_OPERANDS = [0.0, -0.0, 1.0, -1.5, 3.75, -2.25, 0.1, 100.5]
+#: restricted operands for float→int truncations (must stay in i32 range)
+_TRUNC_SAFE_OPERANDS = [0.0, -0.0, 1.0, -1.5, 3.75, -2.25, 0.1, 100.5,
+                        -1000.25]
+
+_OPERANDS: dict[ValType, list] = {
+    I32: _INT32_OPERANDS, I64: _INT64_OPERANDS,
+    F32: _FLOAT_OPERANDS, F64: _FLOAT_OPERANDS,
+}
+
+#: division/remainder need nonzero divisors, and (MIN, -1) must be avoided
+_DIVISORS = {I32: [1, -1 + 0, 2, 7, -3, 0x7FFFFFFF],
+             I64: [1, 2, 7, -3, 0x7FFFFFFFFFFFFFFF]}
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    name: str
+    module: Module
+    entry: str = "test"
+    args: tuple = ()
+    expect_trap: bool = False
+
+
+def _fold_result(fb: FunctionBuilder, result_type: ValType, acc: int) -> None:
+    """Fold the value on the stack into the i64 accumulator local ``acc``.
+
+    The value is reinterpreted to its bit pattern (no float arithmetic, so
+    the checksum is exact), then mixed with rotate-xor.
+    """
+    if result_type is I32:
+        fb.emit("i64.extend_u/i32")
+    elif result_type is F32:
+        fb.emit("i32.reinterpret/f32")
+        fb.emit("i64.extend_u/i32")
+    elif result_type is F64:
+        fb.emit("i64.reinterpret/f64")
+    fb.get_local(acc)
+    fb.i64_const(7)
+    fb.emit("i64.rotl")
+    fb.emit("i64.xor")
+    fb.set_local(acc)
+
+
+def _const(fb: FunctionBuilder, valtype: ValType, value) -> None:
+    fb.emit(f"{valtype.value}.const", value=value)
+
+
+def _numeric_program(mnemonic: str) -> Module:
+    """A program exhaustively driving one numeric instruction."""
+    info = opcodes.BY_NAME[mnemonic]
+    params, results = info.signature
+    builder = ModuleBuilder(f"op_{mnemonic}")
+    fb = builder.function((), (I64,), name="test", export="test")
+    acc = fb.add_local(I64)
+
+    if len(params) == 1:
+        operands = _OPERANDS[params[0]]
+        if "trunc" in mnemonic and params[0].is_float:
+            operands = _TRUNC_SAFE_OPERANDS
+            if "_u" in mnemonic.split("/")[0]:
+                operands = [x for x in operands if x >= 0 or x > -1.0]
+        for value in operands:
+            _const(fb, params[0], value)
+            fb.emit(mnemonic)
+            _fold_result(fb, results[0], acc)
+    else:
+        lefts = _OPERANDS[params[0]]
+        if mnemonic.split(".")[1] in ("div_s", "div_u", "rem_s", "rem_u"):
+            rights = _DIVISORS[params[0]]
+            lefts = [x for x in lefts
+                     if x != -(1 << (params[0].bit_width - 1))]
+        else:
+            rights = lefts
+        for left in lefts:
+            for right in rights:
+                _const(fb, params[0], left)
+                _const(fb, params[1], right)
+                fb.emit(mnemonic)
+                _fold_result(fb, results[0], acc)
+    fb.get_local(acc)
+    fb.finish()
+    return builder.build()
+
+
+def _control_flow_programs() -> list[CorpusProgram]:
+    programs: list[CorpusProgram] = []
+
+    # nested blocks and branches out of several levels
+    builder = ModuleBuilder("ctrl_nested")
+    fb = builder.function((I32,), (I64,), name="test", export="test")
+    acc = fb.add_local(I64)
+    fb.block()
+    fb.block()
+    fb.block()
+    fb.get_local(0)
+    fb.i32_const(1)
+    fb.emit("i32.and")
+    fb.br_if(1)
+    fb.i64_const(100)
+    fb.set_local(acc)
+    fb.br(2)
+    fb.end()
+    fb.i64_const(200)
+    fb.set_local(acc)
+    fb.br(1)
+    fb.end()
+    fb.get_local(acc)
+    fb.i64_const(7)
+    fb.emit("i64.add")
+    fb.set_local(acc)
+    fb.end()
+    fb.get_local(acc)
+    fb.finish()
+    module = builder.build()
+    programs.append(CorpusProgram("ctrl_nested_even", module, args=(2,)))
+    programs.append(CorpusProgram("ctrl_nested_odd", module, args=(3,)))
+
+    # br_table over every case including default
+    builder = ModuleBuilder("ctrl_br_table")
+    fb = builder.function((), (I64,), name="test", export="test")
+    acc = fb.add_local(I64)
+    loop_i = fb.add_local(I32)
+    fb.block()
+    fb.loop()
+    fb.get_local(loop_i)
+    fb.i32_const(6)
+    fb.emit("i32.ge_u")
+    fb.br_if(1)
+    # switch(loop_i % 4)
+    fb.block()
+    fb.block()
+    fb.block()
+    fb.block()
+    fb.get_local(loop_i)
+    fb.br_table([0, 1, 2], 3)
+    fb.end()
+    fb.get_local(acc)
+    fb.i64_const(11)
+    fb.emit("i64.add")
+    fb.set_local(acc)
+    fb.br(2)
+    fb.end()
+    fb.get_local(acc)
+    fb.i64_const(13)
+    fb.emit("i64.mul")
+    fb.set_local(acc)
+    fb.br(1)
+    fb.end()
+    fb.get_local(acc)
+    fb.i64_const(17)
+    fb.emit("i64.xor")
+    fb.set_local(acc)
+    fb.br(0)
+    fb.end()
+    fb.get_local(acc)
+    fb.i64_const(1)
+    fb.emit("i64.or")
+    fb.set_local(acc)
+    # loop increment
+    fb.get_local(loop_i)
+    fb.i32_const(1)
+    fb.emit("i32.add")
+    fb.set_local(loop_i)
+    fb.br(0)
+    fb.end()
+    fb.end()
+    fb.get_local(acc)
+    fb.finish()
+    programs.append(CorpusProgram("ctrl_br_table", builder.build()))
+
+    # if/else with results, select, drop
+    builder = ModuleBuilder("ctrl_if_select")
+    fb = builder.function((I32,), (I64,), name="test", export="test")
+    fb.get_local(0)
+    fb.if_(I64)
+    fb.i64_const(111)
+    fb.else_()
+    fb.i64_const(222)
+    fb.end()
+    fb.i64_const(5)
+    fb.i64_const(9)
+    fb.get_local(0)
+    fb.emit("select")
+    fb.emit("i64.add")
+    fb.f64_const(2.5)
+    fb.emit("drop")
+    fb.finish()
+    module = builder.build()
+    programs.append(CorpusProgram("ctrl_if_select_t", module, args=(1,)))
+    programs.append(CorpusProgram("ctrl_if_select_f", module, args=(0,)))
+
+    # direct + indirect calls, locals of every type, i64 args and results
+    builder = ModuleBuilder("calls")
+    helper_type = FuncType((I64, I64), (I64,))
+    fb = builder.function((I64, I64), (I64,), name="mix")
+    fb.get_local(0)
+    fb.get_local(1)
+    fb.emit("i64.xor")
+    fb.get_local(0)
+    fb.i64_const(13)
+    fb.emit("i64.rotl")
+    fb.emit("i64.add")
+    fb.finish()
+    mix_idx = fb.func_idx
+    fb = builder.function((I64, I64), (I64,), name="mix2")
+    fb.get_local(0)
+    fb.get_local(1)
+    fb.emit("i64.sub")
+    fb.finish()
+    mix2_idx = fb.func_idx
+    builder.add_table(2, 2)
+    builder.add_element(0, [mix_idx, mix2_idx])
+    fb = builder.function((I32,), (I64,), name="test", export="test")
+    fb.i64_const(0x123456789ABCDEF)
+    fb.i64_const(-42)
+    fb.call(mix_idx)
+    fb.i64_const(999)
+    fb.get_local(0)
+    fb.i32_const(2)
+    fb.emit("i32.rem_u")
+    fb.call_indirect(builder.module.add_type(helper_type))
+    fb.finish()
+    module = builder.build()
+    programs.append(CorpusProgram("calls_0", module, args=(0,)))
+    programs.append(CorpusProgram("calls_1", module, args=(1,)))
+
+    # memory: all load/store widths, grow, size; globals
+    builder = ModuleBuilder("memory_globals")
+    builder.add_memory(1, 4)
+    glob = builder.add_global(I64, mutable=True, init=5)
+    fb = builder.function((), (I64,), name="test", export="test")
+    acc = fb.add_local(I64)
+    store_ops = [("i32.store", I32, 0x11223344), ("i32.store8", I32, 0x7F),
+                 ("i32.store16", I32, 0xBEEF), ("i64.store", I64, 1 << 50),
+                 ("i64.store8", I64, 0x44), ("i64.store16", I64, 0x5566),
+                 ("i64.store32", I64, 0x778899AA),
+                 ("f32.store", F32, 1.5), ("f64.store", F64, -2.25)]
+    addr = 64
+    for op, valtype, value in store_ops:
+        fb.i32_const(addr)
+        _const(fb, valtype, value)
+        fb.store(op)
+        addr += 16
+    load_ops = ["i32.load", "i32.load8_s", "i32.load8_u", "i32.load16_s",
+                "i32.load16_u", "i64.load", "i64.load8_s", "i64.load8_u",
+                "i64.load16_s", "i64.load16_u", "i64.load32_s",
+                "i64.load32_u", "f32.load", "f64.load"]
+    for i, op in enumerate(load_ops):
+        fb.i32_const(64 + (i % 9) * 16)
+        fb.load(op)
+        result_type = opcodes.BY_NAME[op].signature[1][0]
+        _fold_result(fb, result_type, acc)
+    fb.emit("memory.size")
+    _fold_result(fb, I32, acc)
+    fb.i32_const(1)
+    fb.emit("memory.grow")
+    _fold_result(fb, I32, acc)
+    fb.emit("memory.size")
+    _fold_result(fb, I32, acc)
+    fb.get_global(glob)
+    fb.get_local(acc)
+    fb.emit("i64.add")
+    fb.set_global(glob)
+    fb.get_global(glob)
+    fb.finish()
+    programs.append(CorpusProgram("memory_globals", builder.build()))
+
+    # a trapping program: unreachable after some work
+    builder = ModuleBuilder("trap_unreachable")
+    fb = builder.function((), (I64,), name="test", export="test")
+    fb.i64_const(1)
+    fb.emit("drop")
+    fb.emit("unreachable")
+    fb.finish()
+    programs.append(CorpusProgram("trap_unreachable", builder.build(),
+                                  expect_trap=True))
+
+    # a trapping program: out-of-bounds load
+    builder = ModuleBuilder("trap_oob")
+    builder.add_memory(1, 1)
+    fb = builder.function((), (I64,), name="test", export="test")
+    fb.i32_const(65536)
+    fb.load("i64.load")
+    fb.finish()
+    programs.append(CorpusProgram("trap_oob", builder.build(),
+                                  expect_trap=True))
+
+    # a trapping program: division by zero
+    builder = ModuleBuilder("trap_div0")
+    fb = builder.function((I32,), (I64,), name="test", export="test")
+    fb.i64_const(10)
+    fb.get_local(0)
+    fb.emit("i64.extend_u/i32")
+    fb.emit("i64.div_u")
+    fb.finish()
+    programs.append(CorpusProgram("trap_div0", builder.build(), args=(0,),
+                                  expect_trap=True))
+    return programs
+
+
+@lru_cache(maxsize=1)
+def corpus() -> list[CorpusProgram]:
+    """The full corpus: one program per numeric instruction + control flow."""
+    programs = [
+        CorpusProgram(f"op_{op.mnemonic}", _numeric_program(op.mnemonic))
+        for op in opcodes.NUMERIC_OPS
+        if op.group in (opcodes.HookGroup.UNARY, opcodes.HookGroup.BINARY)
+    ]
+    programs.extend(_control_flow_programs())
+    return programs
+
+
+def corpus_names() -> list[str]:
+    return [p.name for p in corpus()]

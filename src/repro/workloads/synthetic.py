@@ -1,0 +1,399 @@
+"""Synthetic "real-world" binaries standing in for the paper's large programs.
+
+The paper evaluates on two big, code-diverse applications — the Unreal
+Engine 4 Zen Garden demo (39.5 MB) and the PSPDFKit benchmark (9.5 MB).
+Neither is available (nor executable) here, so this module *generates*
+deterministic stand-ins with the properties the experiments depend on:
+
+* many functions with varied signatures (including wide ones, exercising
+  on-demand monomorphization of call hooks),
+* a diverse instruction mix, unlike the numeric PolyBench kernels:
+  ``br_table`` dispatchers, indirect calls through a function table,
+  byte-level memory traffic, i64 arithmetic, floats, globals,
+* a layered call graph (no recursion) with an exported ``main`` that
+  touches a large fraction of the code, with all loops bounded so runs
+  terminate quickly under the interpreter.
+
+Sizes are scaled down (hundreds of KB rather than tens of MB) to keep the
+Python-interpreter experiments tractable; Table 5's throughput metric is
+computed the same way regardless of absolute size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..wasm.builder import FunctionBuilder, ModuleBuilder
+from ..wasm.module import Module
+from ..wasm.types import F32, F64, I32, I64, FuncType, ValType
+
+_ALL_TYPES = (I32, I64, F32, F64)
+
+#: address mask keeping generated memory traffic inside the first page,
+#: 8-byte aligned so all load/store widths are in bounds
+_ADDR_MASK = 0xFF8
+
+_INT_BINOPS = ("add", "sub", "mul", "and", "or", "xor", "shl", "shr_u",
+               "rotl", "rotr")
+_FLOAT_BINOPS = ("add", "sub", "mul", "min", "max", "copysign")
+_INT_UNOPS = ("clz", "ctz", "popcnt")
+_FLOAT_UNOPS = ("abs", "neg", "floor", "ceil", "sqrt", "trunc", "nearest")
+
+_CONVERSIONS: dict[tuple[ValType, ValType], str] = {
+    (I64, I32): "i32.wrap/i64",
+    (I32, I64): "i64.extend_u/i32",
+    (I32, F32): "f32.convert_s/i32",
+    (I32, F64): "f64.convert_s/i32",
+    (I64, F64): "f64.convert_s/i64",
+    (F64, F32): "f32.demote/f64",
+    (F32, F64): "f64.promote/f32",
+    (F32, I32): "i32.reinterpret/f32",
+    (F64, I64): "i64.reinterpret/f64",
+}
+
+
+@dataclass
+class GeneratorProfile:
+    """Tuning of the binary generator for a workload flavour."""
+
+    name: str
+    seed: int
+    num_leaf: int
+    num_mid: int
+    num_dispatch: int
+    memory_op_bias: float       # probability weight of load/store in expressions
+    byte_ops: bool              # favour 8/16-bit accesses (PDF-parser flavour)
+    max_call_params: int        # widest generated signature (§4.5 discussion)
+    loop_limit: int             # max iterations of generated loops
+
+
+ENGINE_PROFILE = GeneratorProfile(
+    name="engine_demo", seed=0xE4E4, num_leaf=90, num_mid=45,
+    num_dispatch=12, memory_op_bias=0.15, byte_ops=False,
+    max_call_params=22, loop_limit=8)
+
+PDF_PROFILE = GeneratorProfile(
+    name="pdf_toolkit", seed=0x9D0F, num_leaf=45, num_mid=22,
+    num_dispatch=6, memory_op_bias=0.3, byte_ops=True,
+    max_call_params=12, loop_limit=8)
+
+
+class _BinaryGenerator:
+    def __init__(self, profile: GeneratorProfile, scale: float = 1.0):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.scale = scale
+        self.builder = ModuleBuilder(profile.name)
+        #: functions callable from the layer currently being generated:
+        #: (func_idx, functype)
+        self.callables: list[tuple[int, FuncType]] = []
+        self.table_entries: list[tuple[int, FuncType]] = []
+
+    # -- value generation ------------------------------------------------------
+
+    def _const(self, fb: FunctionBuilder, valtype: ValType) -> None:
+        rng = self.rng
+        if valtype is I32:
+            fb.i32_const(rng.randrange(-(2 ** 31), 2 ** 31))
+        elif valtype is I64:
+            fb.i64_const(rng.randrange(-(2 ** 63), 2 ** 63))
+        elif valtype is F32:
+            fb.f32_const(round(rng.uniform(-100, 100), 3))
+        else:
+            fb.f64_const(round(rng.uniform(-1000, 1000), 6))
+
+    def _masked_addr(self, fb: FunctionBuilder, params: list[ValType]) -> None:
+        """Push a bounded, aligned i32 address."""
+        i32_params = [i for i, t in enumerate(params) if t is I32]
+        if i32_params and self.rng.random() < 0.7:
+            fb.get_local(self.rng.choice(i32_params))
+        else:
+            fb.i32_const(self.rng.randrange(0, 4096))
+        fb.i32_const(_ADDR_MASK)
+        fb.emit("i32.and")
+
+    def _load_op(self, valtype: ValType) -> str:
+        if valtype is I32 and self.profile.byte_ops and self.rng.random() < 0.6:
+            return self.rng.choice(["i32.load8_u", "i32.load8_s",
+                                    "i32.load16_u", "i32.load16_s"])
+        return f"{valtype.value}.load"
+
+    def _value(self, fb: FunctionBuilder, valtype: ValType,
+               params: list[ValType], depth: int) -> None:
+        """Emit instructions leaving exactly one ``valtype`` on the stack.
+
+        Only uses parameters (no mutable locals) so it stays valid anywhere.
+        """
+        rng = self.rng
+        matching = [i for i, t in enumerate(params) if t is valtype]
+        if depth <= 0:
+            if matching and rng.random() < 0.7:
+                fb.get_local(rng.choice(matching))
+            else:
+                self._const(fb, valtype)
+            return
+        roll = rng.random()
+        if roll < self.profile.memory_op_bias:
+            self._masked_addr(fb, params)
+            fb.load(self._load_op(valtype))
+            return
+        if roll < self.profile.memory_op_bias + 0.1:
+            # conversion from another type
+            sources = [src for (src, dst) in _CONVERSIONS if dst is valtype]
+            src = rng.choice(sources)
+            self._value(fb, src, params, depth - 1)
+            fb.emit(_CONVERSIONS[(src, valtype)])
+            return
+        if roll < self.profile.memory_op_bias + 0.2 and self.callables:
+            candidates = [(idx, ft) for idx, ft in self.callables
+                          if ft.results == (valtype,)]
+            if candidates:
+                func_idx, functype = rng.choice(candidates)
+                for param_type in functype.params:
+                    self._value(fb, param_type, params, depth - 1)
+                fb.call(func_idx)
+                return
+        if roll < self.profile.memory_op_bias + 0.27:
+            # select between two values
+            self._value(fb, valtype, params, depth - 1)
+            self._value(fb, valtype, params, depth - 1)
+            self._value(fb, I32, params, 0)
+            fb.i32_const(1)
+            fb.emit("i32.and")
+            fb.emit("select")
+            return
+        if roll < self.profile.memory_op_bias + 0.37:
+            # unary operation
+            self._value(fb, valtype, params, depth - 1)
+            ops = _INT_UNOPS if valtype.is_int else _FLOAT_UNOPS
+            op = rng.choice(ops)
+            if op == "sqrt":
+                fb.emit(f"{valtype.value}.abs")
+            fb.emit(f"{valtype.value}.{op}")
+            return
+        # binary operation (the common case, as in real code)
+        self._value(fb, valtype, params, depth - 1)
+        self._value(fb, valtype, params, depth - 1)
+        ops = _INT_BINOPS if valtype.is_int else _FLOAT_BINOPS
+        fb.emit(f"{valtype.value}.{rng.choice(ops)}")
+
+    # -- function shapes ----------------------------------------------------------
+
+    def _random_signature(self, wide: bool = False) -> FuncType:
+        rng = self.rng
+        if wide:
+            count = rng.randrange(8, self.profile.max_call_params + 1)
+        else:
+            count = rng.randrange(0, 5)
+        params = tuple(rng.choice(_ALL_TYPES) for _ in range(count))
+        result = rng.choice(_ALL_TYPES)
+        return FuncType(params, (result,))
+
+    def _gen_leaf(self, wide: bool = False) -> None:
+        functype = self._random_signature(wide)
+        fb = self.builder.function(functype.params, functype.results,
+                                   name=f"leaf_{len(self.callables)}")
+        params = list(functype.params)
+        result = functype.results[0]
+        # a couple of statements: a store, a dropped computation
+        if self.rng.random() < 0.5:
+            self._masked_addr(fb, params)
+            store_type = self.rng.choice(_ALL_TYPES)
+            self._value(fb, store_type, params, 1)
+            if store_type is I32 and self.profile.byte_ops:
+                fb.store(self.rng.choice(["i32.store8", "i32.store16", "i32.store"]))
+            else:
+                fb.store(f"{store_type.value}.store")
+        if self.rng.random() < 0.3:
+            self._value(fb, self.rng.choice(_ALL_TYPES), params, 1)
+            fb.emit("drop")
+        self._value(fb, result, params, 2)
+        fb.finish()
+        self.callables.append((fb.func_idx, functype))
+        if len(functype.params) <= 4:
+            self.table_entries.append((fb.func_idx, functype))
+
+    def _gen_mid(self) -> None:
+        """A function with a bounded loop, branches, and calls downward."""
+        functype = self._random_signature()
+        fb = self.builder.function(functype.params, functype.results,
+                                   name=f"mid_{len(self.callables)}")
+        params = list(functype.params)
+        result = functype.results[0]
+        acc = fb.add_local(result)
+        counter = fb.add_local(I32)
+        limit = self.rng.randrange(2, self.profile.loop_limit + 1)
+        # acc = <initial>
+        self._value(fb, result, params, 1)
+        fb.set_local(acc)
+        # bounded loop accumulating into acc
+        fb.block()
+        fb.loop()
+        fb.get_local(counter)
+        fb.i32_const(limit)
+        fb.emit("i32.ge_u")
+        fb.br_if(1)
+        # conditionally update the accumulator
+        fb.get_local(counter)
+        fb.i32_const(1)
+        fb.emit("i32.and")
+        fb.if_()
+        fb.get_local(acc)
+        self._value(fb, result, params, 2)
+        op = "add" if result.is_float else "xor"
+        fb.emit(f"{result.value}.{op}")
+        fb.set_local(acc)
+        fb.else_()
+        fb.get_local(acc)
+        self._value(fb, result, params, 1)
+        op2 = "sub" if result.is_float else "or"
+        fb.emit(f"{result.value}.{op2}")
+        fb.set_local(acc)
+        fb.end()
+        fb.get_local(counter)
+        fb.i32_const(1)
+        fb.emit("i32.add")
+        fb.set_local(counter)
+        fb.br(0)
+        fb.end()
+        fb.end()
+        fb.get_local(acc)
+        fb.finish()
+        self.callables.append((fb.func_idx, functype))
+
+    def _gen_dispatcher(self, indirect_type_idx: int | None) -> None:
+        """A br_table switch over the first parameter, plus indirect calls."""
+        functype = FuncType((I32, I32), (I32,))
+        fb = self.builder.function(functype.params, functype.results,
+                                   name=f"dispatch_{len(self.callables)}")
+        params = [I32, I32]
+        result_local = fb.add_local(I32)
+        cases = self.rng.randrange(3, 6)
+        # nested blocks for the switch; outermost is the exit
+        fb.block()                      # exit
+        for _ in range(cases):
+            fb.block()
+        fb.get_local(0)
+        fb.i32_const(cases)
+        fb.emit("i32.rem_u")
+        fb.br_table(list(range(cases)), cases - 1)
+        for case in range(cases):
+            fb.end()
+            # case body: compute something into result_local, jump to exit
+            self._value(fb, I32, params, 2)
+            fb.i32_const(case + 1)
+            fb.emit("i32.add")
+            fb.set_local(result_local)
+            remaining = cases - case - 1
+            if remaining > 0:
+                fb.br(remaining)        # jump over the other cases to exit
+        fb.end()                        # exit
+        # optionally route through an indirect call
+        if indirect_type_idx is not None and self.table_entries:
+            fb.get_local(result_local)      # left operand of the final add
+            fb.get_local(result_local)      # argument to the adapter
+            fb.get_local(1)
+            fb.i32_const(len(self.table_entries))
+            fb.emit("i32.rem_u")
+            fb.call_indirect(indirect_type_idx)
+            fb.emit("i32.add")
+            fb.set_local(result_local)
+        fb.get_local(result_local)
+        fb.finish()
+        self.callables.append((fb.func_idx, functype))
+
+    # -- the module -----------------------------------------------------------------
+
+    def generate(self) -> Module:
+        profile = self.profile
+        self.builder.add_memory(2, export="memory")
+        checksum_global = self.builder.add_global(I64, mutable=True, init=0,
+                                                  export="checksum")
+
+        for i in range(int(profile.num_leaf * self.scale)):
+            # sprinkle in wide signatures for the monomorphization experiment
+            self._gen_leaf(wide=(i % 30 == 7))
+        for _ in range(int(profile.num_mid * self.scale)):
+            self._gen_mid()
+
+        # a uniform (i32) -> i32 signature for indirect calls
+        indirect_sig = FuncType((I32,), (I32,))
+        adapters: list[int] = []
+        for idx, (target, functype) in enumerate(self.table_entries[:24]):
+            fb = self.builder.function((I32,), (I32,), name=f"adapter_{idx}")
+            for param_type in functype.params:
+                if param_type is I32:
+                    fb.get_local(0)
+                else:
+                    self._const(fb, param_type)
+            fb.call(target)
+            result = functype.results[0]
+            if result is not I32:
+                src = {I64: "i32.wrap/i64", F32: "i32.reinterpret/f32",
+                       F64: "i64.reinterpret/f64"}[result]
+                fb.emit(src)
+                if result is F64:
+                    fb.emit("i32.wrap/i64")
+            fb.finish()
+            adapters.append(fb.func_idx)
+        indirect_type_idx = self.builder.module.add_type(indirect_sig)
+
+        # table must exist before dispatchers call through it
+        self.table_entries = [(idx, indirect_sig) for idx in adapters]
+        dispatchers: list[int] = []
+        for _ in range(int(profile.num_dispatch * self.scale)):
+            self._gen_dispatcher(indirect_type_idx if adapters else None)
+            dispatchers.append(self.callables[-1][0])
+
+        if adapters:
+            self.builder.add_table(len(adapters), len(adapters))
+            self.builder.add_element(0, adapters)
+
+        # main: exercise dispatchers and mids, accumulate into the global
+        fb = self.builder.function((I32,), (I64,), name="main", export="main")
+        rounds = fb.add_local(I32)
+        fb.i64_const(0)
+        fb.set_global(checksum_global)
+        calls = self.rng.sample(dispatchers, k=min(len(dispatchers), 8)) \
+            if dispatchers else []
+        fb.block()
+        fb.loop()
+        fb.get_local(rounds)
+        fb.get_local(0)
+        fb.emit("i32.ge_u")
+        fb.br_if(1)
+        for func_idx in calls:
+            fb.get_local(rounds)
+            fb.get_local(rounds)
+            fb.i32_const(3)
+            fb.emit("i32.mul")
+            fb.call(func_idx)
+            fb.emit("i64.extend_u/i32")
+            fb.get_global(checksum_global)
+            fb.emit("i64.add")
+            fb.set_global(checksum_global)
+        fb.get_local(rounds)
+        fb.i32_const(1)
+        fb.emit("i32.add")
+        fb.set_local(rounds)
+        fb.br(0)
+        fb.end()
+        fb.end()
+        fb.get_global(checksum_global)
+        fb.finish()
+
+        return self.builder.build()
+
+
+@lru_cache(maxsize=None)
+def engine_demo(scale: float = 1.0) -> Module:
+    """The Unreal-Engine-demo stand-in: large, float-heavy, diverse."""
+    return _BinaryGenerator(ENGINE_PROFILE, scale).generate()
+
+
+@lru_cache(maxsize=None)
+def pdf_toolkit(scale: float = 1.0) -> Module:
+    """The PSPDFKit stand-in: medium, byte-level memory traffic."""
+    return _BinaryGenerator(PDF_PROFILE, scale).generate()

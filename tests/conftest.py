@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp.host import Linker
+from repro.interp.machine import Machine
+from repro.minic import compile_source
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.types import F64, I32, FuncType
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def print_linker():
+    """Linker providing env.print_f64 / env.print_i32, collecting output."""
+    printed: list = []
+    linker = Linker()
+    linker.define_function("env", "print_f64", FuncType((F64,), ()),
+                           lambda args: printed.append(args[0]))
+    linker.define_function("env", "print_i32", FuncType((I32,), ()),
+                           lambda args: printed.append(args[0]))
+    linker.printed = printed
+    return linker
+
+
+@pytest.fixture
+def add_module():
+    """A minimal module: export add(a, b) = a + b."""
+    builder = ModuleBuilder("add")
+    fb = builder.function((I32, I32), (I32,), name="add", export="add")
+    fb.get_local(0).get_local(1).emit("i32.add")
+    fb.finish()
+    return builder.build()
+
+
+@pytest.fixture
+def fib_module():
+    """Recursive fibonacci (direct calls, if/else)."""
+    return compile_source("""
+        export func fib(n: i32) -> i32 {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+    """, "fib")
+
+
+@pytest.fixture
+def memory_module():
+    """Loads/stores of several widths plus memory.size/grow."""
+    return compile_source("""
+        memory 1;
+        export func roundtrip(v: f64) -> f64 {
+            mem_f64[3] = v;
+            mem_u8[100] = 200;
+            mem_i32[50] = 0 - 2;
+            return mem_f64[3] + f64(mem_u8[100]) + f64(mem_i32[50]);
+        }
+        export func grow() -> i32 {
+            var before: i32 = memory_size();
+            var prev: i32 = memory_grow(2);
+            return memory_size() * 1000 + prev * 10 + before;
+        }
+    """, "mem")

@@ -1,0 +1,192 @@
+"""Binary format: encode/decode units plus whole-module roundtrip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic import compile_source
+from repro.wasm import (DecodeError, Instr, Limits, Module, decode_module,
+                        encode_module, validate_module)
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.decoder import _Reader, decode_instr
+from repro.wasm.encoder import MAGIC, VERSION, encode_instr
+from repro.wasm.module import BrTable, MemArg
+from repro.wasm.types import F32, F64, I32, I64, FuncType, GlobalType
+from repro.workloads import engine_demo, pdf_toolkit
+from repro.workloads.polybench import compile_kernel, kernel_names
+from repro.workloads.spec_corpus import corpus
+
+
+def roundtrip(module: Module) -> bytes:
+    raw = encode_module(module)
+    decoded = decode_module(raw)
+    raw2 = encode_module(decoded)
+    assert raw == raw2, "re-encoding after decode changed the binary"
+    return raw
+
+
+class TestInstrEncoding:
+    def assert_instr_roundtrip(self, instr: Instr):
+        raw = encode_instr(instr)
+        decoded = decode_instr(_Reader(raw))
+        assert encode_instr(decoded) == raw
+
+    def test_simple(self):
+        self.assert_instr_roundtrip(Instr("i32.add"))
+
+    def test_const_immediates(self):
+        for instr in [Instr("i32.const", value=-42),
+                      Instr("i64.const", value=1 << 62),
+                      Instr("f32.const", value=1.5),
+                      Instr("f64.const", value=-2.25)]:
+            self.assert_instr_roundtrip(instr)
+
+    def test_memarg(self):
+        self.assert_instr_roundtrip(Instr("f64.load", memarg=MemArg(3, 4096)))
+
+    def test_br_table(self):
+        self.assert_instr_roundtrip(
+            Instr("br_table", br_table=BrTable((0, 1, 5), 2)))
+
+    def test_block_types(self):
+        for bt in [None, I32, I64, F32, F64]:
+            self.assert_instr_roundtrip(Instr("block", blocktype=bt))
+
+    def test_call_indirect_reserved_byte(self):
+        raw = encode_instr(Instr("call_indirect", idx=3))
+        assert raw[-1] == 0x00
+        broken = raw[:-1] + b"\x01"
+        with pytest.raises(DecodeError):
+            decode_instr(_Reader(broken))
+
+    @given(st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1))
+    def test_i32_const_roundtrip(self, value):
+        decoded = decode_instr(_Reader(encode_instr(Instr("i32.const", value=value))))
+        assert decoded.value == value
+
+    @given(st.floats(allow_nan=False, width=32))
+    def test_f32_const_roundtrip(self, value):
+        decoded = decode_instr(_Reader(encode_instr(Instr("f32.const", value=value))))
+        assert decoded.value == value
+
+
+class TestModuleStructure:
+    def test_header(self, add_module):
+        raw = encode_module(add_module)
+        assert raw.startswith(MAGIC + VERSION)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_module(b"\x00nope\x01\x00\x00\x00")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_module(MAGIC + b"\x02\x00\x00\x00")
+
+    def test_sections_out_of_order_rejected(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,))
+        fb.i32_const(7)
+        fb.finish()
+        raw = bytearray(encode_module(builder.build()))
+        # find the type section (id=1) and function section (id=3); swap ids
+        # crudely by duplicating a later section id earlier: simplest is to
+        # append an out-of-order section at the end
+        raw += bytes([1, 1, 0])  # empty type section after code section
+        with pytest.raises(DecodeError):
+            decode_module(bytes(raw))
+
+    def test_roundtrip_preserves_names(self, fib_module):
+        raw = encode_module(fib_module)
+        decoded = decode_module(raw)
+        assert decoded.name == "fib"
+        assert decoded.functions[0].name == "fib"
+
+    def test_roundtrip_preserves_custom_sections(self, add_module):
+        from repro.wasm.module import CustomSection
+        add_module.custom_sections.append(CustomSection("vendor", b"\x01\x02"))
+        decoded = decode_module(encode_module(add_module))
+        assert decoded.custom_sections == [CustomSection("vendor", b"\x01\x02")]
+
+    def test_imports_globals_table_memory(self):
+        builder = ModuleBuilder("full")
+        builder.import_function("env", "f", FuncType((I64,), (F64,)))
+        builder.import_memory("env", "mem", Limits(1, 10))
+        builder.import_global("env", "g", GlobalType(I32, mutable=False))
+        builder.add_global(F64, mutable=True, init=3.5, export="gg")
+        builder.add_table(4, 8)
+        fb = builder.function((), (), name="t", export="t")
+        fb.emit("nop")
+        fb.finish()
+        builder.add_element(1, [fb.func_idx])
+        module = builder.build()
+        decoded = decode_module(roundtrip(module))
+        assert decoded.num_imported_functions == 1
+        assert len(decoded.imported_memories()) == 1
+        assert len(decoded.imported_globals()) == 1
+        assert decoded.tables[0].limits == Limits(4, 8)
+        assert decoded.elements[0].func_idxs == [1]
+
+    def test_data_segments(self):
+        builder = ModuleBuilder()
+        builder.add_memory(1)
+        builder.add_data(16, b"hello wasm")
+        decoded = decode_module(roundtrip(builder.build()))
+        assert decoded.data[0].data == b"hello wasm"
+
+    def test_start_section(self):
+        builder = ModuleBuilder()
+        glob = builder.add_global(I32, mutable=True, init=0)
+        fb = builder.function((), (), name="init")
+        fb.i32_const(1).set_global(glob)
+        fb.finish()
+        builder.set_start(fb.func_idx)
+        decoded = decode_module(roundtrip(builder.build()))
+        assert decoded.start == 0
+
+    def test_truncated_binary_rejected(self, fib_module):
+        raw = encode_module(fib_module)
+        with pytest.raises(DecodeError):
+            decode_module(raw[:len(raw) - 3])
+
+
+class TestCorpusRoundtrip:
+    """Whole-program roundtrips over every workload family."""
+
+    @pytest.mark.parametrize("name", kernel_names())
+    def test_polybench_roundtrip(self, name):
+        module = compile_kernel(name)
+        decoded = decode_module(roundtrip(module))
+        validate_module(decoded)
+        assert decoded.instruction_count() == module.instruction_count()
+
+    def test_synthetic_roundtrip(self):
+        for module in (engine_demo(), pdf_toolkit()):
+            decoded = decode_module(roundtrip(module))
+            validate_module(decoded)
+
+    def test_spec_corpus_roundtrip(self):
+        for program in corpus()[:40]:
+            roundtrip(program.module)
+
+
+@st.composite
+def random_expression_module(draw):
+    """Small random — but always valid — modules: straight-line arithmetic."""
+    ops_i32 = ["i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or",
+               "i32.xor", "i32.shl", "i32.rotl"]
+    builder = ModuleBuilder()
+    fb = builder.function((I32,), (I32,), export="run")
+    fb.get_local(0)
+    for _ in range(draw(st.integers(min_value=1, max_value=20))):
+        fb.i32_const(draw(st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1)))
+        fb.emit(draw(st.sampled_from(ops_i32)))
+    fb.finish()
+    return builder.build()
+
+
+class TestPropertyRoundtrip:
+    @settings(max_examples=50, deadline=None)
+    @given(random_expression_module())
+    def test_random_module_roundtrip_and_validate(self, module):
+        decoded = decode_module(roundtrip(module))
+        validate_module(decoded)

@@ -1,0 +1,87 @@
+"""The host-boundary (cross-language) analysis (paper §6 future work)."""
+
+from repro import analyze
+from repro.analyses.boundary import HostBoundaryAnalysis
+from repro.interp import Linker
+from repro.minic import compile_source
+from repro.wasm.types import F64, I32, FuncType
+
+
+def make_app():
+    module = compile_source("""
+        import func host_read() -> i32;
+        import func host_write(x: i32);
+        memory 1;
+        func local_helper(x: i32) -> i32 { return x * 2; }
+        export func main(n: i32) -> i32 {
+            var acc: i32 = 0;
+            var i: i32;
+            for (i = 0; i < n; i = i + 1) {
+                mem_i32[i] = host_read();
+                acc = acc + local_helper(mem_i32[i]);
+            }
+            host_write(acc);
+            return acc;
+        }
+    """)
+    linker = Linker()
+    linker.define_function("env", "host_read", FuncType((), (I32,)),
+                           lambda args: 5)
+    sent = []
+    linker.define_function("env", "host_write", FuncType((I32,), ()),
+                           lambda args: sent.append(args[0]))
+    return module, linker, sent
+
+
+class TestBoundary:
+    def test_crossings_counted(self):
+        module, linker, sent = make_app()
+        analysis = HostBoundaryAnalysis()
+        session = analyze(module, analysis, linker=linker)
+        analysis.bind_module_info(session.module_info)
+        session.invoke("main", [3])
+        assert analysis.total_crossings() == 4  # 3 reads + 1 write
+        assert analysis.calls_per_import["env.host_read"] == 3
+        assert analysis.calls_per_import["env.host_write"] == 1
+        assert sent == [30]
+
+    def test_internal_calls_not_counted(self):
+        module, linker, _ = make_app()
+        analysis = HostBoundaryAnalysis()
+        session = analyze(module, analysis, linker=linker)
+        analysis.bind_module_info(session.module_info)
+        session.invoke("main", [2])
+        names = {c.callee_name for c in analysis.crossings}
+        assert "local_helper" not in names
+
+    def test_values_and_results_recorded(self):
+        module, linker, _ = make_app()
+        analysis = HostBoundaryAnalysis()
+        session = analyze(module, analysis, linker=linker)
+        analysis.bind_module_info(session.module_info)
+        session.invoke("main", [1])
+        read = next(c for c in analysis.crossings
+                    if c.callee_name == "env.host_read")
+        assert read.args == () and read.results == (5,)
+        write = next(c for c in analysis.crossings
+                     if c.callee_name == "env.host_write")
+        assert write.args == (10,) and write.results == ()
+
+    def test_memory_prepared_between_crossings(self):
+        module, linker, _ = make_app()
+        analysis = HostBoundaryAnalysis()
+        session = analyze(module, analysis, linker=linker)
+        analysis.bind_module_info(session.module_info)
+        session.invoke("main", [2])
+        # before the final host_write, two i32 stores (8 bytes) happened
+        assert analysis.bytes_written_between_crossings[-1] == 4
+
+    def test_report(self):
+        module, linker, _ = make_app()
+        analysis = HostBoundaryAnalysis()
+        session = analyze(module, analysis, linker=linker)
+        analysis.bind_module_info(session.module_info)
+        session.invoke("main", [1])
+        text = analysis.report()
+        assert "host-boundary crossings: 2" in text
+        assert "env.host_read: 1 calls" in text

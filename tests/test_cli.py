@@ -1,0 +1,125 @@
+"""The command-line interface: instrument / validate / compile / run / stats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.wasm import decode_module, encode_module
+
+
+@pytest.fixture
+def wasm_file(tmp_path, fib_module):
+    path = tmp_path / "fib.wasm"
+    path.write_bytes(encode_module(fib_module))
+    return path
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text("""
+        import func print_f64(x: f64);
+        export func main(n: i32) -> f64 {
+            var s: f64 = 0.0;
+            var i: i32;
+            for (i = 0; i < n; i = i + 1) { s = s + f64(i) * 0.5; }
+            print_f64(s);
+            return s;
+        }
+    """)
+    return path
+
+
+class TestInstrument:
+    def test_basic(self, wasm_file, tmp_path, capsys):
+        out = tmp_path / "out.wasm"
+        code = main(["instrument", str(wasm_file), "-o", str(out)])
+        assert code == 0
+        module = decode_module(out.read_bytes())
+        assert module.num_imported_functions > 0  # hooks imported
+        assert "hooks generated" in capsys.readouterr().out
+
+    def test_selective(self, wasm_file, tmp_path):
+        out_all = tmp_path / "all.wasm"
+        out_call = tmp_path / "call.wasm"
+        main(["instrument", str(wasm_file), "-o", str(out_all)])
+        main(["instrument", str(wasm_file), "-o", str(out_call),
+              "--hooks", "call,return"])
+        assert out_call.stat().st_size < out_all.stat().st_size
+
+    def test_unknown_hook(self, wasm_file, tmp_path, capsys):
+        assert main(["instrument", str(wasm_file), "--hooks", "bogus"]) == 2
+        assert "unknown hooks" in capsys.readouterr().err
+
+    def test_metadata(self, wasm_file, tmp_path):
+        out = tmp_path / "out.wasm"
+        meta = tmp_path / "meta.json"
+        main(["instrument", str(wasm_file), "-o", str(out),
+              "--metadata", str(meta)])
+        data = json.loads(meta.read_text())
+        assert data["hooks"] and data["functions"]
+        assert data["functions"][0]["name"] == "fib"
+
+
+class TestValidate:
+    def test_valid(self, wasm_file, capsys):
+        assert main(["validate", str(wasm_file)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid(self, tmp_path, capsys):
+        bad = tmp_path / "bad.wasm"
+        bad.write_bytes(b"\x00asm\x01\x00\x00\x00\x63\x01\x00")
+        assert main(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestObjdumpAndStats:
+    def test_objdump(self, wasm_file, capsys):
+        assert main(["objdump", str(wasm_file)]) == 0
+        out = capsys.readouterr().out
+        assert "(module" in out and "get_local" in out
+
+    def test_stats(self, wasm_file, capsys):
+        assert main(["stats", str(wasm_file)]) == 0
+        out = capsys.readouterr().out
+        assert "instructions:" in out and "fib" in out
+
+
+class TestCompileAndRun:
+    def test_compile(self, minic_file, tmp_path, capsys):
+        out = tmp_path / "prog.wasm"
+        assert main(["compile", str(minic_file), "-o", str(out)]) == 0
+        decode_module(out.read_bytes())
+
+    def test_run_uninstrumented(self, minic_file, tmp_path, capsys):
+        out = tmp_path / "prog.wasm"
+        main(["compile", str(minic_file), "-o", str(out)])
+        assert main(["run", str(out), "main", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "main(5) = [5.0]" in output
+        assert "[print] 5.0" in output
+
+    def test_run_with_analysis(self, minic_file, tmp_path, capsys):
+        out = tmp_path / "prog.wasm"
+        main(["compile", str(minic_file), "-o", str(out)])
+        assert main(["run", str(out), "main", "5", "--analysis", "mix"]) == 0
+        output = capsys.readouterr().out
+        assert "instruction mix:" in output
+        assert "f64.add" in output
+
+    def test_run_cryptominer_analysis(self, minic_file, tmp_path, capsys):
+        out = tmp_path / "prog.wasm"
+        main(["compile", str(minic_file), "-o", str(out)])
+        assert main(["run", str(out), "main", "3",
+                     "--analysis", "cryptominer"]) == 0
+        assert "suspicious: False" in capsys.readouterr().out
+
+    def test_roundtrip_instrument_then_run(self, minic_file, tmp_path, capsys):
+        """Instrumented binaries written to disk are self-contained except
+        for their hook imports — running them requires the runtime, so the
+        CLI run command instruments in-process instead."""
+        out = tmp_path / "prog.wasm"
+        main(["compile", str(minic_file), "-o", str(out)])
+        assert main(["run", str(out), "main", "4", "--analysis", "blocks"]) == 0
+        assert "loop" in capsys.readouterr().out

@@ -1,0 +1,59 @@
+"""Running several analyses in one execution via CompositeAnalysis."""
+
+from repro import analyze
+from repro.analyses import (BasicBlockProfiler, CallGraphAnalysis,
+                            CryptominerDetector, MemoryTracer)
+from repro.core.analysis import used_groups
+from repro.core.composite import CompositeAnalysis
+from repro.eval import polybench_workloads
+
+
+class TestComposite:
+    def test_union_of_groups(self):
+        composite = CompositeAnalysis([CallGraphAnalysis(), MemoryTracer()])
+        assert used_groups(composite) == frozenset({"call", "load", "store"})
+        assert composite.groups() == used_groups(composite)
+
+    def test_all_members_observe(self):
+        workload = polybench_workloads(["trisolv"])[0]
+        call_graph = CallGraphAnalysis()
+        tracer = MemoryTracer()
+        blocks = BasicBlockProfiler()
+        composite = CompositeAnalysis([call_graph, tracer, blocks])
+        session = analyze(workload.module(), composite,
+                          linker=workload.linker(), entry="main")
+        assert call_graph.edges
+        assert tracer.trace
+        assert blocks.counts
+
+    def test_events_match_standalone_runs(self):
+        workload = polybench_workloads(["durbin"])[0]
+
+        standalone = MemoryTracer()
+        analyze(workload.module(), standalone, linker=workload.linker(),
+                entry="main")
+
+        in_composite = MemoryTracer()
+        composite = CompositeAnalysis([in_composite, CryptominerDetector()])
+        analyze(workload.module(), composite, linker=workload.linker(),
+                entry="main")
+
+        assert [a.address for a in standalone.trace] == \
+            [a.address for a in in_composite.trace]
+
+    def test_multiple_receivers_same_hook(self):
+        workload = polybench_workloads(["trisolv"])[0]
+        first, second = MemoryTracer(), MemoryTracer()
+        composite = CompositeAnalysis([first, second])
+        analyze(workload.module(), composite, linker=workload.linker(),
+                entry="main")
+        assert len(first.trace) == len(second.trace) > 0
+
+    def test_empty_composite_instruments_nothing(self):
+        from repro.core import instrument_module
+        workload = polybench_workloads(["trisolv"])[0]
+        composite = CompositeAnalysis([])
+        assert composite.groups() == frozenset()
+        result = instrument_module(workload.module(),
+                                   groups=composite.groups())
+        assert result.hook_count == 0

@@ -1,0 +1,150 @@
+"""Extension analyses: shadow memory, heap profiler, hot-loop detection."""
+
+import pytest
+
+from repro import analyze
+from repro.analyses.heap_profile import HeapProfiler
+from repro.analyses.hot_loops import HotLoopAnalysis
+from repro.analyses.shadow import ShadowMemory, access_width
+from repro.minic import compile_source
+
+
+class TestShadowMemory:
+    def make(self):
+        return ShadowMemory(default=frozenset(),
+                            merge=lambda a, b: a | b)
+
+    def test_default(self):
+        shadow = self.make()
+        assert shadow.read(100, 8) == frozenset()
+        assert shadow.shadowed_bytes() == 0
+
+    def test_write_read(self):
+        shadow = self.make()
+        shadow.write(10, 4, frozenset({"x"}))
+        assert shadow.read(10, 4) == frozenset({"x"})
+        assert shadow.read(12, 1) == frozenset({"x"})
+        assert shadow.read(14, 2) == frozenset()
+
+    def test_merge_across_bytes(self):
+        shadow = self.make()
+        shadow.write(0, 2, frozenset({"a"}))
+        shadow.write(2, 2, frozenset({"b"}))
+        assert shadow.read(0, 4) == frozenset({"a", "b"})
+
+    def test_clear_via_default_write(self):
+        shadow = self.make()
+        shadow.write(0, 8, frozenset({"a"}))
+        shadow.write(2, 4, frozenset())   # overwrite with default clears
+        assert shadow.shadowed_bytes() == 4
+        assert shadow.read(2, 4) == frozenset()
+
+    def test_op_width_helpers(self):
+        assert access_width("i32.load8_u") == 1
+        assert access_width("i64.store16") == 2
+        assert access_width("i64.load32_s") == 4
+        assert access_width("f32.load") == 4
+        assert access_width("f64.store") == 8
+        assert access_width("i64.load") == 8
+        shadow = self.make()
+        shadow.write_for("i64.store", 0, frozenset({"q"}))
+        assert shadow.read_for("i32.load8_u", 7) == frozenset({"q"})
+        assert shadow.read_for("i32.load8_u", 8) == frozenset()
+
+    def test_regions(self):
+        shadow = self.make()
+        shadow.write(0, 4, frozenset({"a"}))
+        shadow.write(4, 4, frozenset({"b"}))
+        shadow.write(100, 2, frozenset({"a"}))
+        regions = list(shadow.regions())
+        assert regions == [(0, 4, frozenset({"a"})), (4, 4, frozenset({"b"})),
+                           (100, 2, frozenset({"a"}))]
+
+
+class TestHeapProfiler:
+    def test_working_set_and_undefined_reads(self):
+        module = compile_source("""
+            memory 1;
+            export func main() -> i32 {
+                mem_i32[0] = 5;
+                mem_i32[1] = 6;
+                var defined: i32 = mem_i32[0];
+                var undefined: i32 = mem_i32[100];   // never written
+                return defined + undefined;
+            }
+        """)
+        profiler = HeapProfiler()
+        analyze(module, profiler, entry="main")
+        assert profiler.working_set_bytes() == 8
+        assert profiler.written_regions() == [(0, 8)]
+        assert len(profiler.undefined_reads) == 1
+        assert profiler.undefined_reads[0][2] == 400
+        assert profiler.bytes_written == 8
+        assert profiler.bytes_read == 8
+
+    def test_data_segments_pre_registered(self):
+        module = compile_source("""
+            memory 1;
+            export func main() -> i32 { return mem_i32[0]; }
+        """)
+        profiler = HeapProfiler(initial_data=[(0, 4)])
+        analyze(module, profiler, entry="main")
+        assert profiler.undefined_reads == []
+
+    def test_grow_tracking(self):
+        module = compile_source("""
+            memory 1;
+            export func main() -> i32 {
+                memory_grow(2);
+                memory_grow(1);
+                return memory_size();
+            }
+        """)
+        profiler = HeapProfiler()
+        session = analyze(module, profiler, entry="main")
+        assert [e.delta_pages for e in profiler.grow_events] == [2, 1]
+        assert profiler.peak_pages == 4
+        assert profiler.failed_grows() == []
+
+
+class TestHotLoops:
+    def test_trip_counts(self):
+        module = compile_source("""
+            export func main(n: i32) -> i32 {
+                var total: i32 = 0;
+                var outer: i32;
+                for (outer = 0; outer < 3; outer = outer + 1) {
+                    var inner: i32;
+                    for (inner = 0; inner < n; inner = inner + 1) {
+                        total = total + 1;
+                    }
+                }
+                return total;
+            }
+        """)
+        analysis = HotLoopAnalysis()
+        session = analyze(module, analysis, entry="main", args=(10,))
+        stats = analysis.stats()
+        assert len(stats) == 2
+        hottest = stats[0]
+        # the inner loop runs 3 entries x (10 + 1 header checks)
+        assert hottest.entries == 3
+        assert hottest.iterations == 33
+        assert hottest.average_trip_count == pytest.approx(11.0)
+        outer = stats[1]
+        assert outer.entries == 1 and outer.iterations == 4
+
+    def test_re_entry_counted(self):
+        module = compile_source("""
+            export func work(n: i32) -> i32 {
+                var i: i32 = 0;
+                while (i < n) { i = i + 1; }
+                return i;
+            }
+        """)
+        analysis = HotLoopAnalysis()
+        session = analyze(module, analysis, entry="work", args=(2,))
+        session.invoke("work", [2])
+        stats = analysis.stats()[0]
+        assert stats.entries == 2
+        assert analysis.total_loop_iterations() == stats.iterations

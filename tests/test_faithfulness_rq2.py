@@ -1,0 +1,128 @@
+"""RQ2 (paper §4.3): instrumented programs behave exactly like the originals.
+
+Covers (a) all 30 PolyBench kernels with their printed intermediate results,
+(b) the synthetic real-world stand-ins, (c) the spec-test corpus including
+trap equivalence, and (d) validation of every instrumented binary.
+"""
+
+import pytest
+
+from repro.core import Analysis, AnalysisSession, instrument_module
+from repro.eval import check_workload, polybench_workloads, realworld_workloads
+from repro.interp import Machine
+from repro.wasm import Trap, validate_module
+from repro.workloads.polybench import kernel_names
+from repro.workloads.spec_corpus import corpus
+
+
+class TestPolybenchFaithfulness:
+    @pytest.mark.parametrize("workload", polybench_workloads(),
+                             ids=lambda w: w.name)
+    def test_kernel(self, workload):
+        result = check_workload(workload)
+        assert result.validates, f"{workload.name}: instrumented module invalid"
+        assert result.outputs_match, (
+            f"{workload.name}: {result.original_result} != "
+            f"{result.instrumented_result}")
+
+
+class TestRealWorldFaithfulness:
+    @pytest.mark.parametrize("workload", realworld_workloads(),
+                             ids=lambda w: w.name)
+    def test_workload(self, workload):
+        result = check_workload(workload)
+        assert result.ok
+
+
+class TestSpecCorpus:
+    """The analogue of running the spec suite before/after instrumentation."""
+
+    @pytest.mark.parametrize("program", corpus(), ids=lambda p: p.name)
+    def test_program(self, program):
+        machine = Machine()
+        original = machine.instantiate(program.module)
+        result = instrument_module(program.module)
+        validate_module(result.module)
+
+        from repro.core.runtime import WasabiRuntime
+        from repro.core.hooks import HOOK_MODULE
+        from repro.interp import Linker
+
+        runtime = WasabiRuntime(result, Analysis())
+        linker = Linker()
+        for name, hf in runtime.host_functions().items():
+            linker.define(HOOK_MODULE, name, hf)
+        instrumented = machine.instantiate(result.module, linker)
+        runtime.bind(instrumented)
+
+        if program.expect_trap:
+            with pytest.raises(Trap) as original_trap:
+                original.invoke(program.entry, program.args)
+            with pytest.raises(Trap) as instrumented_trap:
+                instrumented.invoke(program.entry, program.args)
+            assert type(original_trap.value) is type(instrumented_trap.value)
+        else:
+            expected = original.invoke(program.entry, program.args)
+            assert instrumented.invoke(program.entry, program.args) == expected
+
+
+class TestMemoryBehaviorPreserved:
+    """§1: the inserted code never touches the program's linear memory."""
+
+    def test_final_memory_identical(self):
+        from repro.minic import compile_source
+
+        module = compile_source("""
+            memory 1;
+            export func f(n: i32) {
+                var i: i32;
+                for (i = 0; i < n; i = i + 1) {
+                    mem_i32[i] = i * 17;
+                    mem_u8[1000 + i] = i;
+                }
+            }
+        """)
+        machine = Machine()
+        original = machine.instantiate(module)
+        original.invoke("f", [50])
+
+        session = AnalysisSession(module, _full())
+        session.invoke("f", [50])
+        assert session.instance.memory.data == original.memory.data
+
+    def test_globals_identical(self):
+        from repro.minic import compile_source
+
+        module = compile_source("""
+            global a: i64 = 1;
+            global b: f64 = 0.5;
+            export func f(n: i32) {
+                var i: i32;
+                for (i = 0; i < n; i = i + 1) {
+                    a = a * 3L + 1L;
+                    b = b + 0.25;
+                }
+            }
+        """)
+        machine = Machine()
+        original = machine.instantiate(module)
+        original.invoke("f", [20])
+
+        session = AnalysisSession(module, _full())
+        session.invoke("f", [20])
+        assert [g.value for g in session.instance.globals] == \
+            [g.value for g in original.globals]
+
+
+def _full():
+    from repro.eval import make_full_analysis
+    return make_full_analysis()
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_instrumented_kernels_validate(name):
+    """The paper's wasm-validate check, over the whole suite."""
+    from repro.workloads.polybench import compile_kernel
+
+    result = instrument_module(compile_kernel(name))
+    validate_module(result.module)

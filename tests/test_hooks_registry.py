@@ -1,0 +1,75 @@
+"""On-demand monomorphization of low-level hooks (paper §2.4.3)."""
+
+from repro.core.hooks import HookRegistry, eager_hook_count, split_i64
+from repro.wasm.types import F32, F64, I32, I64
+
+
+class TestSplitI64:
+    def test_i64_becomes_two_i32(self):
+        assert split_i64((I64,)) == (I32, I32)
+
+    def test_mixed(self):
+        assert split_i64((I32, I64, F64)) == (I32, I32, I32, F64)
+
+    def test_empty(self):
+        assert split_i64(()) == ()
+
+
+class TestOnDemandMonomorphization:
+    def test_same_key_returns_same_hook(self):
+        registry = HookRegistry()
+        a = registry.get_or_create("drop", (I32,), (I32,))
+        b = registry.get_or_create("drop", (I32,), (I32,))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_different_types_different_hooks(self):
+        registry = HookRegistry()
+        registry.get_or_create("drop", (I32,), (I32,))
+        registry.get_or_create("drop", (F64,), (F64,))
+        assert len(registry) == 2
+
+    def test_indices_are_dense(self):
+        registry = HookRegistry()
+        specs = [registry.get_or_create("const", (t,), (t,))
+                 for t in (I32, I64, F32, F64)]
+        assert [s.index for s in specs] == [0, 1, 2, 3]
+
+    def test_call_hooks_monomorphized_per_signature(self):
+        registry = HookRegistry()
+        registry.get_or_create("call_pre", ("direct", I32), (I32,))
+        registry.get_or_create("call_pre", ("direct", I32, F64), (I32, F64))
+        registry.get_or_create("call_pre", ("direct", I32), (I32,))
+        assert len(registry) == 2
+
+    def test_location_params_appended(self):
+        registry = HookRegistry()
+        spec = registry.get_or_create("binary", ("i64.add",), (I64, I64, I64))
+        # 3 i64 -> 6 i32, + 2 location i32
+        assert spec.wasm_params == (I32,) * 8
+
+    def test_no_location_variant(self):
+        registry = HookRegistry(with_locations=False)
+        spec = registry.get_or_create("br", (), ())
+        assert spec.wasm_params == ()
+
+    def test_names_stable_and_unique(self):
+        registry = HookRegistry()
+        names = set()
+        registry.get_or_create("unary", ("f32.convert_s/i32",), (I32, F32))
+        registry.get_or_create("local", ("get_local", I32), (I32,))
+        registry.get_or_create("begin", ("loop",), ())
+        registry.get_or_create("call_pre", ("indirect", F64), (I32, F64))
+        for spec in registry.hooks:
+            assert spec.name not in names
+            names.add(spec.name)
+            # import names must be identifier-ish (no '.' or '/')
+            assert "." not in spec.name and "/" not in spec.name
+
+
+class TestEagerCount:
+    def test_matches_paper_arithmetic(self):
+        # §2.4.3: hooks for calls with up to 10 params -> 4^10 variants
+        assert eager_hook_count(10) > 4 ** 10
+        # §4.5: the UE4 binary has a call with 22 args -> ~1.7e13 eager hooks
+        assert eager_hook_count(22) > 1.7e13

@@ -1,0 +1,223 @@
+"""Instrumenter edge cases: dead code, empty bodies, i64 everywhere,
+imports-only modules, deep nesting, multiple memories of hooks."""
+
+import pytest
+
+from repro.core import Analysis, AnalysisSession, analyze, instrument_module
+from repro.eval import make_full_analysis
+from repro.interp import Machine
+from repro.minic import compile_source
+from repro.wasm import validate_module
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.module import BrTable
+from repro.wasm.types import F64, I32, I64, FuncType
+
+
+def faithful(module, entry, args=()):
+    """Assert instrumented behaviour matches the original; return session."""
+    expected = Machine().instantiate(module).invoke(entry, args)
+    session = AnalysisSession(module, make_full_analysis())
+    assert session.invoke(entry, args) == expected
+    validate_module(session.result.module)
+    return session
+
+
+class TestDeadCode:
+    def test_code_after_return_not_instrumented_but_kept(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(1)
+        fb.emit("return")
+        fb.i32_const(99)        # dead
+        fb.emit("drop")         # dead polymorphic op
+        fb.finish()
+        session = faithful(builder.build(), "f")
+        # the dead drop did not force a hook
+        assert all(spec.kind != "drop" for spec in session.result.info.hooks)
+
+    def test_code_after_unconditional_br(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.block()
+        fb.br(0)
+        fb.i32_const(5)
+        fb.emit("drop")
+        fb.end()
+        fb.i32_const(2)
+        fb.finish()
+        faithful(builder.build(), "f")
+
+    def test_block_nested_in_dead_code(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(3)
+        fb.emit("return")
+        fb.block()              # dead block: control tracking must survive
+        fb.emit("nop")
+        fb.end()
+        fb.finish()
+        faithful(builder.build(), "f")
+
+    def test_unreachable_then_polymorphic_stack(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.block(I32)
+        fb.i32_const(8)
+        fb.br(0)
+        fb.emit("i32.add")      # dead; types polymorphically
+        fb.end()
+        fb.finish()
+        faithful(builder.build(), "f")
+
+
+class TestDegenerateShapes:
+    def test_empty_void_function(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (), export="f")
+        fb.finish()
+        session = faithful(builder.build(), "f")
+        kinds = {spec.kind for spec in session.result.info.hooks}
+        assert "begin" in kinds and "end" in kinds and "return" in kinds
+
+    def test_imports_only_module(self):
+        builder = ModuleBuilder()
+        builder.import_function("env", "f", FuncType((), ()))
+        module = builder.build()
+        result = instrument_module(module)
+        assert result.hook_count == 0
+        validate_module(result.module)
+
+    def test_deeply_nested_blocks(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        depth = 40
+        for _ in range(depth):
+            fb.block()
+        fb.i32_const(1)
+        fb.br_if(depth - 1)     # jump out of almost everything
+        for _ in range(depth):
+            fb.end()
+        fb.i32_const(7)
+        fb.finish()
+        session = faithful(builder.build(), "f")
+
+    def test_many_temps_reused(self):
+        # dozens of binary ops in sequence: the temp pool keeps locals small
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), (I32,), export="f")
+        fb.get_local(0)
+        for i in range(40):
+            fb.i32_const(i)
+            fb.emit("i32.add")
+        fb.finish()
+        module = builder.build()
+        result = instrument_module(module, groups={"binary"})
+        validate_module(result.module)
+        # two input temps + one result temp, reused across all 40 sites
+        assert len(result.module.functions[0].locals) <= 4
+
+
+class TestI64Paths:
+    def test_i64_through_every_hook_kind(self):
+        module = compile_source("""
+            memory 1;
+            global g: i64 = 7;
+            func pass_through(x: i64) -> i64 { return x; }
+            export func f(x: i64) -> i64 {
+                var t: i64 = x * 3L;
+                mem_i64[2] = t;
+                g = mem_i64[2] + g;
+                var dropped: i64 = pass_through(g);
+                dropped;
+                return select(i32(x & 1L), g, t);
+            }
+        """)
+        value = (1 << 61) + 12345
+        session = faithful(module, "f", (value,))
+        kinds = {(s.kind, s.payload) for s in session.result.info.hooks}
+        assert ("drop", (I64,)) in kinds
+        assert ("select", (I64,)) in kinds
+        assert ("local", ("set_local", I64)) in kinds
+        assert ("global", ("get_global", I64)) in kinds
+
+    def test_i64_extremes_cross_boundary(self):
+        module = compile_source(
+            "export func f(x: i64) -> i64 { return x; }")
+        seen = []
+
+        class Watch(Analysis):
+            def local(self, loc, op, idx, value):
+                seen.append(value)
+
+        for value in [0, -1, 2 ** 63 - 1, -(2 ** 63), 1 << 32, -(1 << 32)]:
+            seen.clear()
+            analyze(module, Watch(), entry="f", args=(value,))
+            assert seen == [value]
+
+
+class TestBrTableEdge:
+    def test_br_table_single_default(self):
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), (I32,), export="f")
+        fb.block()
+        fb.get_local(0)
+        fb.emit("br_table", br_table=BrTable((), 0))
+        fb.end()
+        fb.i32_const(11)
+        fb.finish()
+        faithful(builder.build(), "f", (5,))
+
+    def test_br_table_to_loop_header(self):
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), (I32,), export="f")
+        counter = fb.add_local(I32)
+        fb.block()
+        fb.loop()
+        fb.get_local(counter)
+        fb.i32_const(1)
+        fb.emit("i32.add")
+        fb.tee_local(counter)
+        fb.get_local(0)
+        fb.emit("i32.ge_u")
+        fb.br_if(1)
+        fb.i32_const(0)
+        fb.emit("br_table", br_table=BrTable((0,), 1))  # 0 -> loop again
+        fb.end()
+        fb.end()
+        fb.get_local(counter)
+        fb.finish()
+        session = faithful(builder.build(), "f", (5,))
+        assert session.invoke("f", [5]) == [5]
+
+
+class TestStartInstrumentation:
+    def test_start_function_instrumented(self):
+        module = compile_source("""
+            global g: i32 = 0;
+            func init() { g = 41; }
+            start init;
+            export func get() -> i32 { return g + 1; }
+        """)
+        events = []
+
+        class Watch(Analysis):
+            def start(self):
+                events.append("start")
+
+            def global_(self, loc, op, idx, value):
+                events.append((op, value))
+
+        session = analyze(module, Watch())
+        assert events[0] == "start"
+        assert ("set_global", 41) in events
+        assert session.invoke("get") == [42]
+
+    def test_start_remapped_in_instrumented_module(self):
+        module = compile_source("""
+            global g: i32 = 0;
+            func init() { g = 1; }
+            start init;
+            export func get() -> i32 { return g; }
+        """)
+        result = instrument_module(module)
+        assert result.module.start == module.start + result.hook_count

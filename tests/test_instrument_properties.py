@@ -1,0 +1,155 @@
+"""Property-based testing of the instrumenter.
+
+Random (but always valid) MiniC programs are generated with hypothesis,
+then checked for the central invariants: the instrumented module validates,
+behaves identically, and the analysis observes an event stream consistent
+with the program structure.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Analysis, AnalysisSession, instrument_module
+from repro.eval import make_full_analysis
+from repro.interp import Machine
+from repro.minic import compile_source
+from repro.wasm import Trap, validate_module
+
+# -- random program generation --------------------------------------------------
+
+
+@st.composite
+def minic_expr(draw, depth=2, vars_=("a", "b", "x")):
+    if depth <= 0:
+        return draw(st.sampled_from(
+            [str(draw(st.integers(min_value=-100, max_value=100)))]
+            + list(vars_)))
+    kind = draw(st.sampled_from(["binary", "leaf", "select", "call_helper"]))
+    if kind == "binary":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        left = draw(minic_expr(depth=depth - 1, vars_=vars_))
+        right = draw(minic_expr(depth=depth - 1, vars_=vars_))
+        return f"({left} {op} {right})"
+    if kind == "select":
+        cond = draw(minic_expr(depth=0, vars_=vars_))
+        a = draw(minic_expr(depth=depth - 1, vars_=vars_))
+        b = draw(minic_expr(depth=depth - 1, vars_=vars_))
+        return f"select({cond}, {a}, {b})"
+    if kind == "call_helper":
+        arg = draw(minic_expr(depth=depth - 1, vars_=vars_))
+        return f"helper({arg})"
+    return draw(minic_expr(depth=0, vars_=vars_))
+
+
+@st.composite
+def minic_program(draw):
+    statements = []
+    n_stmts = draw(st.integers(min_value=1, max_value=5))
+    for i in range(n_stmts):
+        kind = draw(st.sampled_from(["assign", "if", "loop", "mem"]))
+        expr = draw(minic_expr())
+        if kind == "assign":
+            statements.append(f"x = {expr};")
+        elif kind == "if":
+            other = draw(minic_expr(depth=1))
+            statements.append(
+                f"if ({expr} > 0) {{ x = x + 1; }} else {{ x = {other}; }}")
+        elif kind == "loop":
+            bound = draw(st.integers(min_value=0, max_value=5))
+            statements.append(
+                f"var i{i}: i32; for (i{i} = 0; i{i} < {bound}; i{i} = i{i} + 1)"
+                f" {{ x = x + {draw(minic_expr(depth=1))}; }}")
+        else:
+            statements.append(f"mem_i32[({expr}) & 255] = x;")
+            statements.append(f"x = x + mem_i32[({expr}) & 255];")
+    body = "\n".join(statements)
+    return f"""
+        memory 1;
+        func helper(v: i32) -> i32 {{ return v * 3 - 1; }}
+        export func main(a: i32, b: i32) -> i32 {{
+            var x: i32 = a;
+            {body}
+            return x;
+        }}
+    """
+
+
+class EventCounter(Analysis):
+    def __init__(self):
+        self.counts = {}
+        for method in ("const_", "drop", "select", "unary", "binary", "local",
+                       "global_", "load", "store", "call_pre", "call_post",
+                       "return_", "br", "br_if", "br_table", "if_", "begin",
+                       "end", "nop", "unreachable"):
+            def make(name):
+                def hook(*args, **kwargs):
+                    self.counts[name] = self.counts.get(name, 0) + 1
+                return hook
+            setattr(self, method, make(method))
+
+
+@settings(max_examples=30, deadline=None)
+@given(minic_program(), st.integers(min_value=-10, max_value=10),
+       st.integers(min_value=-10, max_value=10))
+def test_instrumentation_preserves_behavior(source, a, b):
+    module = compile_source(source)
+    validate_module(module)
+    machine = Machine()
+    original = machine.instantiate(module)
+    try:
+        expected = original.invoke("main", [a, b])
+        trapped = None
+    except Trap as t:
+        expected, trapped = None, type(t)
+
+    result = instrument_module(module)
+    validate_module(result.module)
+
+    session = AnalysisSession(module, make_full_analysis())
+    if trapped is None:
+        assert session.invoke("main", [a, b]) == expected
+    else:
+        with pytest.raises(trapped):
+            session.invoke("main", [a, b])
+
+
+@settings(max_examples=15, deadline=None)
+@given(minic_program())
+def test_event_stream_invariants(source):
+    module = compile_source(source)
+    counter = EventCounter()
+    session = AnalysisSession(module, counter,
+                              groups=frozenset({"call", "return", "begin",
+                                                "end", "if"}))
+    try:
+        session.invoke("main", [3, 4])
+    except Trap:
+        return
+    counts = counter.counts
+    # calls are balanced
+    assert counts.get("call_pre", 0) == counts.get("call_post", 0)
+    # blocks are balanced (begin once per entry, end once per exit)
+    assert counts.get("begin", 0) == counts.get("end", 0)
+    # exactly one return per function activation: returns == calls + 1 (main)
+    assert counts.get("return_", 0) == counts.get("call_pre", 0) + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(minic_program())
+def test_instrumentation_is_deterministic(source):
+    module = compile_source(source)
+    first = instrument_module(module)
+    second = instrument_module(module)
+    from repro.wasm import encode_module
+    assert encode_module(first.module) == encode_module(second.module)
+    assert [s.name for s in first.info.hooks] == [s.name for s in second.info.hooks]
+
+
+@settings(max_examples=10, deadline=None)
+@given(minic_program())
+def test_original_module_not_mutated(source):
+    from repro.wasm import encode_module
+    module = compile_source(source)
+    before = encode_module(module)
+    instrument_module(module)
+    assert encode_module(module) == before

@@ -1,0 +1,381 @@
+"""Per-instruction instrumentation behaviour, following the paper's Table 3.
+
+Each test builds a tiny program containing one instruction class, runs it
+under an event-recording analysis, and checks both that the program result
+is unchanged and that the expected hook events (with correct values and
+locations) were observed.
+"""
+
+import pytest
+
+from repro.core import Analysis, analyze
+from repro.core.analysis import Location
+from repro.interp import Linker
+from repro.minic import compile_source
+from repro.wasm import validate_module
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.module import BrTable
+from repro.wasm.types import F32, F64, I32, I64, FuncType
+
+
+class Recorder(Analysis):
+    """Records every hook invocation as a tuple."""
+
+    def __init__(self):
+        self.events = []
+
+    def const_(self, loc, value): self.events.append(("const", loc, value))
+    def drop(self, loc, value): self.events.append(("drop", loc, value))
+    def select(self, loc, cond, first, second):
+        self.events.append(("select", loc, cond, first, second))
+    def unary(self, loc, op, inp, res): self.events.append(("unary", op, inp, res))
+    def binary(self, loc, op, a, b, r): self.events.append(("binary", op, a, b, r))
+    def local(self, loc, op, idx, val): self.events.append(("local", op, idx, val))
+    def global_(self, loc, op, idx, val): self.events.append(("global", op, idx, val))
+    def load(self, loc, op, memarg, val):
+        self.events.append(("load", op, memarg.addr, memarg.offset, val))
+    def store(self, loc, op, memarg, val):
+        self.events.append(("store", op, memarg.addr, memarg.offset, val))
+    def memory_size(self, loc, size): self.events.append(("memory_size", size))
+    def memory_grow(self, loc, delta, prev):
+        self.events.append(("memory_grow", delta, prev))
+    def call_pre(self, loc, func, args, tbl):
+        self.events.append(("call_pre", func, tuple(args), tbl))
+    def call_post(self, loc, results):
+        self.events.append(("call_post", tuple(results)))
+    def return_(self, loc, results): self.events.append(("return", tuple(results)))
+    def br(self, loc, target): self.events.append(("br", loc, target))
+    def br_if(self, loc, target, cond):
+        self.events.append(("br_if", loc, target.location, cond))
+    def br_table(self, loc, table, default, idx):
+        self.events.append(("br_table", idx))
+    def if_(self, loc, cond): self.events.append(("if", cond))
+    def begin(self, loc, kind): self.events.append(("begin", kind, loc))
+    def end(self, loc, kind, begin): self.events.append(("end", kind, loc, begin))
+    def nop(self, loc): self.events.append(("nop", loc))
+    def unreachable(self, loc): self.events.append(("unreachable", loc))
+
+    def of_kind(self, *kinds):
+        return [e for e in self.events if e[0] in kinds]
+
+
+def run(module, entry, args=(), linker=None):
+    recorder = Recorder()
+    session = analyze(module, recorder, linker=linker)
+    result = session.invoke(entry, args)
+    validate_module(session.result.module)
+    return result, recorder, session
+
+
+class TestRow1Const:
+    def test_const_value_and_location(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(-7)
+        fb.finish()
+        result, rec, _ = run(builder.build(), "f")
+        assert result == [0xFFFFFFF9]
+        consts = rec.of_kind("const")
+        assert consts == [("const", Location(0, 0), -7)]
+
+    def test_f64_const(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (F64,), export="f")
+        fb.f64_const(2.5)
+        fb.finish()
+        _, rec, _ = run(builder.build(), "f")
+        assert rec.of_kind("const") == [("const", Location(0, 0), 2.5)]
+
+    def test_i64_const_split_and_rejoined(self):
+        """Table 3 row 6: i64 crosses the host boundary as two i32 halves."""
+        value = -(1 << 62) + 12345
+        builder = ModuleBuilder()
+        fb = builder.function((), (I64,), export="f")
+        fb.i64_const(value)
+        fb.finish()
+        _, rec, _ = run(builder.build(), "f")
+        assert rec.of_kind("const") == [("const", Location(0, 0), value)]
+
+
+class TestRow2GeneralInstructions:
+    def test_unary_inputs_and_results(self):
+        module = compile_source("export func f(x: f64) -> f64 { return sqrt(x); }")
+        result, rec, _ = run(module, "f", [16.0])
+        assert result == [4.0]
+        assert ("unary", "f64.sqrt", 16.0, 4.0) in rec.events
+
+    def test_binary_inputs_and_results(self):
+        module = compile_source("export func f(a: i32, b: i32) -> i32 { return a * b; }")
+        result, rec, _ = run(module, "f", [6, -7])
+        assert result == [(-42) & 0xFFFFFFFF]
+        assert ("binary", "i32.mul", 6, -7, -42) in rec.events
+
+    def test_i64_binary(self):
+        module = compile_source(
+            "export func f(a: i64, b: i64) -> i64 { return a + b; }")
+        _, rec, _ = run(module, "f", [1 << 40, 5])
+        assert ("binary", "i64.add", 1 << 40, 5, (1 << 40) + 5) in rec.events
+
+    def test_load_store_with_address_and_offset(self):
+        builder = ModuleBuilder()
+        builder.add_memory(1)
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(8)
+        fb.i32_const(77)
+        fb.store("i32.store", offset=4)
+        fb.i32_const(8)
+        fb.load("i32.load", offset=4)
+        fb.finish()
+        result, rec, _ = run(builder.build(), "f")
+        assert result == [77]
+        assert ("store", "i32.store", 8, 4, 77) in rec.events
+        assert ("load", "i32.load", 8, 4, 77) in rec.events
+
+    def test_memory_grow_and_size(self):
+        builder = ModuleBuilder()
+        builder.add_memory(1, 5)
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(2)
+        fb.emit("memory.grow")
+        fb.emit("drop")
+        fb.emit("memory.size")
+        fb.finish()
+        result, rec, _ = run(builder.build(), "f")
+        assert result == [3]
+        assert ("memory_grow", 2, 1) in rec.events
+        assert ("memory_size", 3) in rec.events
+
+
+class TestRow3Calls:
+    def test_direct_call_pre_and_post(self, fib_module):
+        result, rec, _ = run(fib_module, "fib", [5])
+        assert result == [5]
+        pres = rec.of_kind("call_pre")
+        posts = rec.of_kind("call_post")
+        assert len(pres) == len(posts)  # balanced
+        assert pres[0] == ("call_pre", 0, (4,), None)
+
+    def test_call_args_of_all_types(self):
+        module = compile_source("""
+            func helper(a: i32, b: i64, c: f32, d: f64) -> f64 {
+                return f64(a) + f64(b) + f64(c) + d;
+            }
+            export func f() -> f64 {
+                return helper(1, 2L, 1.5f, 0.25);
+            }
+        """)
+        result, rec, _ = run(module, "f")
+        assert result == [4.75]
+        assert ("call_pre", 0, (1, 2, 1.5, 0.25), None) in rec.events
+        assert ("call_post", (4.75,)) in rec.events
+
+    def test_indirect_call_resolves_table_index(self):
+        module = compile_source("""
+            type op = func(i32) -> i32;
+            func inc(x: i32) -> i32 { return x + 1; }
+            func dec(x: i32) -> i32 { return x - 1; }
+            table [inc, dec];
+            export func f(which: i32, x: i32) -> i32 {
+                return call_indirect[op](which, x);
+            }
+        """)
+        result, rec, _ = run(module, "f", [1, 10])
+        assert result == [9]
+        pres = rec.of_kind("call_pre")
+        # func index 1 is `dec` (0=inc), resolved through the live table
+        assert pres == [("call_pre", 1, (10,), 1)]
+
+    def test_host_calls_also_hooked(self, print_linker):
+        module = compile_source("""
+            import func print_f64(x: f64);
+            export func f() { print_f64(3.5); }
+        """)
+        _, rec, _ = run(module, "f", linker=print_linker)
+        assert ("call_pre", 0, (3.5,), None) in rec.events
+        assert print_linker.printed == [3.5]
+
+    def test_return_hook_explicit_and_implicit(self):
+        module = compile_source("""
+            func implicit() -> i32 { var x: i32 = 3; if (x > 10) { return 0; } return x; }
+            export func f() -> i32 { return implicit(); }
+        """)
+        result, rec, _ = run(module, "f")
+        assert result == [3]
+        returns = rec.of_kind("return")
+        assert ("return", (3,)) in returns
+
+
+class TestRow4Polymorphic:
+    def test_drop_of_each_type(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (), export="f")
+        for const_op, value in [("i32.const", 1), ("i64.const", 1 << 50),
+                                ("f32.const", 0.5), ("f64.const", 2.5)]:
+            fb.emit(const_op, value=value)
+            fb.emit("drop")
+        fb.finish()
+        _, rec, _ = run(builder.build(), "f")
+        drops = rec.of_kind("drop")
+        assert [d[2] for d in drops] == [1, 1 << 50, 0.5, 2.5]
+
+    def test_select_reports_condition_and_operands(self):
+        module = compile_source(
+            "export func f(c: i32) -> f64 { return select(c, 1.5, 2.5); }")
+        result, rec, _ = run(module, "f", [0])
+        assert result == [2.5]
+        assert ("select", Location(0, 3), False, 1.5, 2.5) in rec.of_kind("select")
+
+
+class TestRow5ControlFlow:
+    def test_br_resolved_target(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.block()           # idx 0
+        fb.loop()            # idx 1
+        fb.br(1)             # idx 2 -> resolves past block end (idx 4+1)
+        fb.end()             # idx 3
+        fb.end()             # idx 4
+        fb.i32_const(9)      # idx 5
+        fb.finish()
+        result, rec, _ = run(builder.build(), "f")
+        assert result == [9]
+        brs = rec.of_kind("br")
+        assert len(brs) == 1
+        target = brs[0][2]
+        assert target.label == 1
+        assert target.location == Location(0, 5)
+
+    def test_begin_end_balanced(self, fib_module):
+        _, rec, _ = run(fib_module, "fib", [6])
+        begins = rec.of_kind("begin")
+        ends = rec.of_kind("end")
+        assert len(begins) == len(ends)
+        # every end's begin_location matches an observed begin
+        begin_locs = {(e[2], e[1]) for e in begins}
+        for _, kind, _loc, begin in ends:
+            if kind != "function":
+                assert (begin, kind) in begin_locs
+
+    def test_loop_begin_fires_every_iteration(self):
+        module = compile_source("""
+            export func f(n: i32) -> i32 {
+                var i: i32 = 0;
+                while (i < n) { i = i + 1; }
+                return i;
+            }
+        """)
+        _, rec, _ = run(module, "f", [4])
+        loop_begins = [e for e in rec.of_kind("begin") if e[1] == "loop"]
+        # the loop header is re-entered on each of the 4 iterations + entry
+        assert len(loop_begins) == 5
+
+    def test_end_hooks_fire_on_branch_out(self):
+        """§2.4.5: branching out of nested blocks calls their end hooks."""
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.block()
+        fb.block()
+        fb.block()
+        fb.i32_const(1)
+        fb.br_if(2)          # jumps out of all three blocks
+        fb.end()
+        fb.end()
+        fb.end()
+        fb.i32_const(3)
+        fb.finish()
+        _, rec, _ = run(builder.build(), "f")
+        ends = [e for e in rec.of_kind("end") if e[1] == "block"]
+        assert len(ends) == 3
+
+    def test_end_hooks_not_fired_when_br_if_not_taken(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (I32,), export="f")
+        fb.block()
+        fb.i32_const(0)
+        fb.br_if(0)
+        fb.end()
+        fb.i32_const(3)
+        fb.finish()
+        _, rec, _ = run(builder.build(), "f")
+        ends = [e for e in rec.of_kind("end") if e[1] == "block"]
+        assert len(ends) == 1  # only the natural end, not a branch-out end
+
+    def test_br_table_ends_fired_at_runtime(self):
+        """§2.4.5: which blocks a br_table leaves is only known at runtime."""
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), (I32,), export="f")
+        fb.block()           # outer
+        fb.block()           # inner
+        fb.get_local(0)
+        fb.emit("br_table", br_table=BrTable((0, 1), 1))
+        fb.end()
+        fb.end()
+        fb.i32_const(5)
+        fb.finish()
+        module = builder.build()
+        # index 0: leaves only the inner block
+        _, rec0, _ = run(module, "f", [0])
+        assert len([e for e in rec0.of_kind("end") if e[1] == "block"]) == 2
+        # index 1: leaves both blocks via the branch (outer end fires once
+        # from the branch; the natural path after the target is skipped)
+        _, rec1, _ = run(module, "f", [1])
+        assert len([e for e in rec1.of_kind("end") if e[1] == "block"]) == 2
+        assert rec1.of_kind("br_table") == [("br_table", 1)]
+
+    def test_if_hook_and_else_blocks(self):
+        module = compile_source("""
+            export func f(c: i32) -> i32 {
+                if (c > 0) { return 1; } else { return 2; }
+            }
+        """)
+        _, rec, _ = run(module, "f", [5])
+        assert ("if", True) in rec.events
+        kinds = [e[1] for e in rec.of_kind("begin")]
+        assert "if" in kinds and "else" not in kinds
+        _, rec2, _ = run(module, "f", [-5])
+        kinds2 = [e[1] for e in rec2.of_kind("begin")]
+        assert "else" in kinds2 and "if" not in kinds2
+
+
+class TestLocalsGlobals:
+    def test_local_ops_reported(self):
+        module = compile_source("""
+            export func f(x: i32) -> i32 {
+                var y: i32 = x + 1;
+                return y;
+            }
+        """)
+        _, rec, _ = run(module, "f", [10])
+        locals_ = rec.of_kind("local")
+        assert ("local", "get_local", 0, 10) in locals_
+        assert ("local", "set_local", 1, 11) in locals_
+        assert ("local", "get_local", 1, 11) in locals_
+
+    def test_global_ops_reported(self):
+        module = compile_source("""
+            global g: i64 = 5;
+            export func f() -> i64 {
+                g = g + 1;
+                return g;
+            }
+        """)
+        _, rec, _ = run(module, "f")
+        globals_ = rec.of_kind("global")
+        assert ("global", "get_global", 0, 5) in globals_
+        assert ("global", "set_global", 0, 6) in globals_
+
+
+class TestNopUnreachable:
+    def test_nop(self):
+        module = compile_source("export func f() { nop(); }")
+        _, rec, _ = run(module, "f")
+        assert len(rec.of_kind("nop")) == 1
+
+    def test_unreachable_hook_fires_before_trap(self):
+        from repro.wasm.errors import Trap
+        module = compile_source("export func f() { unreachable(); }")
+        recorder = Recorder()
+        session = analyze(module, recorder)
+        with pytest.raises(Trap):
+            session.invoke("f")
+        assert len(recorder.of_kind("unreachable")) == 1

@@ -1,0 +1,149 @@
+"""Unit tests for interpreter components: Memory, Table, Linker, host glue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interp.host import GlobalInstance, HostFunction, Linker
+from repro.interp.memory import Memory
+from repro.interp.table import Table
+from repro.wasm import Trap, WasmError
+from repro.wasm.types import F64, I32, PAGE_SIZE, FuncType, GlobalType, Limits
+
+
+class TestMemory:
+    def test_initial_size(self):
+        memory = Memory(Limits(2))
+        assert memory.size_pages == 2
+        assert memory.size_bytes == 2 * PAGE_SIZE
+        assert memory.read(0, 4) == b"\x00\x00\x00\x00"
+
+    def test_write_read(self):
+        memory = Memory(Limits(1))
+        memory.write(100, b"\xde\xad\xbe\xef")
+        assert memory.read(100, 4) == b"\xde\xad\xbe\xef"
+
+    def test_bounds_check(self):
+        memory = Memory(Limits(1))
+        with pytest.raises(Trap, match="out of bounds"):
+            memory.read(PAGE_SIZE - 3, 4)
+        with pytest.raises(Trap):
+            memory.write(PAGE_SIZE, b"\x01")
+        # last valid byte
+        memory.write(PAGE_SIZE - 1, b"\x01")
+
+    def test_grow(self):
+        memory = Memory(Limits(1, 3))
+        assert memory.grow(1) == 1
+        assert memory.size_pages == 2
+        assert memory.grow(2) == -1  # beyond max
+        assert memory.size_pages == 2
+        assert memory.grow(0) == 2
+
+    def test_grow_unbounded_capped_at_4gib(self):
+        memory = Memory(Limits(0))
+        assert memory.grow(70000) == -1
+
+    def test_typed_load_store(self):
+        memory = Memory(Limits(1))
+        memory.store("i64.store", 8, 0x1122334455667788)
+        assert memory.load("i64.load", 8) == 0x1122334455667788
+        assert memory.load("i32.load", 8) == 0x55667788
+        assert memory.load("i32.load8_u", 8) == 0x88
+        assert memory.load("i32.load8_s", 8) == 0xFFFFFF88  # sign-extended
+        memory.store("f64.store", 32, -2.5)
+        assert memory.load("f64.load", 32) == -2.5
+
+    def test_narrow_store_truncates(self):
+        memory = Memory(Limits(1))
+        memory.store("i32.store8", 0, 0x1FF)
+        assert memory.load("i32.load8_u", 0) == 0xFF
+        memory.store("i64.store32", 16, (1 << 40) | 7)
+        assert memory.load("i64.load32_u", 16) == 7
+
+    @given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+    def test_i64_roundtrip(self, value):
+        memory = Memory(Limits(1))
+        memory.store("i64.store", 0, value)
+        assert memory.load("i64.load", 0) == value
+
+    @given(st.integers(min_value=-2 ** 15, max_value=2 ** 15 - 1))
+    def test_sign_extension_consistent(self, value):
+        memory = Memory(Limits(1))
+        memory.store("i32.store16", 0, value & 0xFFFF)
+        loaded = memory.load("i32.load16_s", 0)
+        assert loaded == value & 0xFFFFFFFF
+
+
+class TestTable:
+    def test_basic(self):
+        table = Table(Limits(3))
+        assert len(table) == 3
+        table.set(1, 42)
+        assert table.get(1) == 42
+        assert table.lookup(1) == 42
+
+    def test_uninitialized_traps(self):
+        table = Table(Limits(2))
+        with pytest.raises(Trap, match="uninitialized"):
+            table.get(0)
+        assert table.lookup(0) is None
+
+    def test_out_of_bounds_traps(self):
+        table = Table(Limits(2))
+        with pytest.raises(Trap, match="out of bounds"):
+            table.get(5)
+        assert table.lookup(5) is None
+        with pytest.raises(Trap):
+            table.set(5, 1)
+
+
+class TestLinker:
+    def test_resolution(self):
+        linker = Linker()
+        linker.define("a", "b", 42)
+        assert linker.resolve("a", "b") == 42
+
+    def test_unresolved(self):
+        with pytest.raises(WasmError, match="unresolved import"):
+            Linker().resolve("env", "missing")
+
+    def test_define_function(self):
+        linker = Linker()
+        linker.define_function("env", "f", FuncType((I32,), (I32,)),
+                               lambda args: args[0])
+        host = linker.resolve("env", "f")
+        assert isinstance(host, HostFunction)
+        assert host.functype == FuncType((I32,), (I32,))
+
+    def test_define_memory_and_global(self):
+        linker = Linker()
+        memory = linker.define_memory("env", "mem", Limits(1))
+        assert isinstance(memory, Memory)
+        box = linker.define_global("env", "g", GlobalType(F64), 2.5)
+        assert isinstance(box, GlobalInstance)
+        assert box.value == 2.5
+
+    def test_import_type_checked_at_instantiation(self, machine):
+        from repro.wasm.builder import ModuleBuilder
+        builder = ModuleBuilder()
+        builder.import_function("env", "f", FuncType((I32,), (I32,)))
+        fb = builder.function((), ())
+        fb.finish()
+        linker = Linker()
+        linker.define_function("env", "f", FuncType((), ()), lambda args: None)
+        with pytest.raises(WasmError, match="has type"):
+            machine.instantiate(builder.build(), linker)
+
+    def test_shared_memory_between_host_and_module(self, machine):
+        from repro.wasm.builder import ModuleBuilder
+        builder = ModuleBuilder()
+        builder.import_memory("env", "mem", Limits(1))
+        fb = builder.function((), (I32,), export="peek")
+        fb.i32_const(4)
+        fb.load("i32.load")
+        fb.finish()
+        linker = Linker()
+        memory = linker.define_memory("env", "mem", Limits(1))
+        instance = machine.instantiate(builder.build(), linker)
+        memory.store("i32.store", 4, 777)
+        assert instance.invoke("peek") == [777]

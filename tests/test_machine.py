@@ -1,0 +1,295 @@
+"""The interpreter: control flow, calls, traps, memory, host functions."""
+
+import pytest
+
+from repro.interp import GlobalInstance, HostFunction, Linker, Machine
+from repro.minic import compile_source
+from repro.wasm import ExhaustionError, Trap, WasmError
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.module import BrTable
+from repro.wasm.types import F64, I32, I64, FuncType, GlobalType, Limits
+
+
+class TestBasics:
+    def test_add(self, machine, add_module):
+        instance = machine.instantiate(add_module)
+        assert instance.invoke("add", [2, 3]) == [5]
+
+    def test_arguments_coerced(self, machine, add_module):
+        instance = machine.instantiate(add_module)
+        assert instance.invoke("add", [-1, 1]) == [0]
+
+    def test_missing_export(self, machine, add_module):
+        instance = machine.instantiate(add_module)
+        with pytest.raises(WasmError, match="no export"):
+            instance.invoke("nope")
+
+    def test_wrong_arity(self, machine, add_module):
+        instance = machine.instantiate(add_module)
+        with pytest.raises(WasmError, match="arguments"):
+            instance.invoke("add", [1])
+
+
+class TestControlFlow:
+    def test_recursion(self, machine, fib_module):
+        instance = machine.instantiate(fib_module)
+        assert instance.invoke("fib", [12]) == [144]
+
+    def test_loop_with_break_continue(self, machine):
+        module = compile_source("""
+            export func f(n: i32) -> i32 {
+                var s: i32 = 0;
+                var i: i32 = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > n) { break; }
+                    if (i % 2 == 0) { continue; }
+                    s = s + i;
+                }
+                return s;
+            }
+        """)
+        instance = machine.instantiate(module)
+        assert instance.invoke("f", [10]) == [25]  # 1+3+5+7+9
+
+    def test_br_table_all_cases(self, machine):
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), (I32,), export="switch")
+        fb.block(I32)
+        fb.block()
+        fb.block()
+        fb.block()
+        fb.get_local(0)
+        fb.emit("br_table", br_table=BrTable((0, 1, 2), 2))
+        fb.end()
+        fb.i32_const(100)
+        fb.br(2)
+        fb.end()
+        fb.i32_const(200)
+        fb.br(1)
+        fb.end()
+        fb.i32_const(300)
+        fb.end()
+        fb.finish()
+        instance = machine.instantiate(builder.build())
+        assert instance.invoke("switch", [0]) == [100]
+        assert instance.invoke("switch", [1]) == [200]
+        assert instance.invoke("switch", [2]) == [300]
+        assert instance.invoke("switch", [99]) == [300]  # default
+
+    def test_branch_out_of_nested_loop(self, machine):
+        module = compile_source("""
+            export func f() -> i32 {
+                var n: i32 = 0;
+                var i: i32;
+                for (i = 0; i < 10; i = i + 1) {
+                    var j: i32;
+                    for (j = 0; j < 10; j = j + 1) {
+                        n = n + 1;
+                        if (n == 7) { return n * 100 + i * 10 + j; }
+                    }
+                }
+                return 0 - 1;
+            }
+        """)
+        instance = machine.instantiate(module)
+        assert instance.invoke("f") == [706]
+
+    def test_block_result_carried_by_branch(self, machine):
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), (I32,), export="f")
+        fb.block(I32)
+        fb.i32_const(42)
+        fb.get_local(0)
+        fb.br_if(0)
+        fb.emit("drop")
+        fb.i32_const(7)
+        fb.end()
+        fb.finish()
+        instance = machine.instantiate(builder.build())
+        assert instance.invoke("f", [1]) == [42]
+        assert instance.invoke("f", [0]) == [7]
+
+
+class TestCalls:
+    def test_host_function(self, machine):
+        builder = ModuleBuilder()
+        double = builder.import_function("env", "double", FuncType((I32,), (I32,)))
+        fb = builder.function((I32,), (I32,), export="f")
+        fb.get_local(0).call(double)
+        fb.finish()
+        linker = Linker().define_function("env", "double", FuncType((I32,), (I32,)),
+                                          lambda args: args[0] * 2)
+        instance = machine.instantiate(builder.build(), linker)
+        assert instance.invoke("f", [21]) == [42]
+
+    def test_host_result_coerced(self, machine):
+        builder = ModuleBuilder()
+        f = builder.import_function("env", "f", FuncType((), (I32,)))
+        fb = builder.function((), (I32,), export="g")
+        fb.call(f)
+        fb.finish()
+        linker = Linker().define_function("env", "f", FuncType((), (I32,)),
+                                          lambda args: -1)
+        instance = machine.instantiate(builder.build(), linker)
+        assert instance.invoke("g") == [0xFFFFFFFF]
+
+    def test_host_wrong_result_count(self, machine):
+        builder = ModuleBuilder()
+        f = builder.import_function("env", "f", FuncType((), (I32,)))
+        fb = builder.function((), (I32,), export="g")
+        fb.call(f)
+        fb.finish()
+        linker = Linker().define_function("env", "f", FuncType((), (I32,)),
+                                          lambda args: None)
+        instance = machine.instantiate(builder.build(), linker)
+        with pytest.raises(WasmError, match="returned"):
+            instance.invoke("g")
+
+    def test_indirect_call_type_mismatch_traps(self, machine):
+        builder = ModuleBuilder()
+        fb = builder.function((), (F64,), name="wrong")
+        fb.f64_const(1.0)
+        fb.finish()
+        wrong = fb.func_idx
+        builder.add_table(1, 1)
+        builder.add_element(0, [wrong])
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(0)
+        fb.call_indirect(builder.module.add_type(FuncType((), (I32,))))
+        fb.finish()
+        instance = machine.instantiate(builder.build())
+        with pytest.raises(Trap, match="type mismatch"):
+            instance.invoke("f")
+
+    def test_indirect_call_uninitialized_traps(self, machine):
+        builder = ModuleBuilder()
+        builder.add_table(4, 4)
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(2)
+        fb.call_indirect(builder.module.add_type(FuncType((), (I32,))))
+        fb.finish()
+        instance = machine.instantiate(builder.build())
+        with pytest.raises(Trap, match="uninitialized"):
+            instance.invoke("f")
+
+    def test_stack_exhaustion(self):
+        machine = Machine(max_call_depth=50)
+        module = compile_source("""
+            export func f(n: i32) -> i32 {
+                if (n <= 0) { return 0; }
+                return f(n - 1) + 1;
+            }
+        """)
+        instance = machine.instantiate(module)
+        assert instance.invoke("f", [30]) == [30]
+        with pytest.raises(ExhaustionError):
+            instance.invoke("f", [100])
+
+
+class TestMemory:
+    def test_roundtrip(self, machine, memory_module):
+        instance = machine.instantiate(memory_module)
+        assert instance.invoke("roundtrip", [1.5]) == [1.5 + 200 - 2]
+
+    def test_grow_and_size(self, machine, memory_module):
+        instance = machine.instantiate(memory_module)
+        # before=1 page, grow(2) returns 1, after=3 pages
+        assert instance.invoke("grow") == [3 * 1000 + 1 * 10 + 1]
+
+    def test_out_of_bounds_load_traps(self, machine):
+        module = compile_source("""
+            memory 1;
+            export func f(addr: i32) -> i32 { return mem_i32[addr]; }
+        """)
+        instance = machine.instantiate(module)
+        assert instance.invoke("f", [0]) == [0]
+        with pytest.raises(Trap, match="out of bounds"):
+            instance.invoke("f", [65536 // 4])
+
+    def test_grow_beyond_max_fails_gracefully(self, machine):
+        builder = ModuleBuilder()
+        builder.add_memory(1, 2)
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(5)
+        fb.emit("memory.grow")
+        fb.finish()
+        instance = machine.instantiate(builder.build())
+        assert instance.invoke("f") == [0xFFFFFFFF]  # -1: grow failed
+
+    def test_data_segment_initialization(self, machine):
+        builder = ModuleBuilder()
+        builder.add_memory(1)
+        builder.add_data(8, bytes([1, 2, 3, 4]))
+        fb = builder.function((), (I32,), export="f")
+        fb.i32_const(8)
+        fb.load("i32.load")
+        fb.finish()
+        instance = machine.instantiate(builder.build())
+        assert instance.invoke("f") == [0x04030201]  # little endian
+
+
+class TestGlobalsAndStart:
+    def test_globals(self, machine):
+        module = compile_source("""
+            global counter: i32 = 10;
+            export func bump() -> i32 {
+                counter = counter + 1;
+                return counter;
+            }
+        """)
+        instance = machine.instantiate(module)
+        assert instance.invoke("bump") == [11]
+        assert instance.invoke("bump") == [12]
+
+    def test_imported_global(self, machine):
+        builder = ModuleBuilder()
+        g = builder.import_global("env", "g", GlobalType(I64, mutable=False))
+        fb = builder.function((), (I64,), export="f")
+        fb.get_global(g)
+        fb.finish()
+        linker = Linker()
+        linker.define_global("env", "g", GlobalType(I64, mutable=False), 1 << 40)
+        instance = machine.instantiate(builder.build(), linker)
+        assert instance.invoke("f") == [1 << 40]
+
+    def test_start_function_runs(self, machine):
+        module = compile_source("""
+            global initialized: i32 = 0;
+            func init() { initialized = 123; }
+            start init;
+            export func get() -> i32 { return initialized; }
+        """)
+        instance = machine.instantiate(module)
+        assert instance.invoke("get") == [123]
+
+    def test_element_segment_out_of_bounds_traps(self, machine):
+        builder = ModuleBuilder()
+        builder.add_table(1, 1)
+        fb = builder.function((), ())
+        fb.finish()
+        builder.add_element(1, [fb.func_idx])  # offset 1 + 1 entry > size 1
+        with pytest.raises(Trap):
+            machine.instantiate(builder.build())
+
+
+class TestTraps:
+    def test_unreachable(self, machine):
+        module = compile_source("export func f() { unreachable(); }")
+        instance = machine.instantiate(module)
+        with pytest.raises(Trap, match="unreachable"):
+            instance.invoke("f")
+
+    def test_division_by_zero(self, machine):
+        module = compile_source("export func f(a: i32, b: i32) -> i32 { return a / b; }")
+        instance = machine.instantiate(module)
+        assert instance.invoke("f", [7, 2]) == [3]
+        with pytest.raises(Trap, match="divide by zero"):
+            instance.invoke("f", [7, 0])
+
+    def test_trunc_overflow(self, machine):
+        module = compile_source("export func f(x: f64) -> i32 { return i32(x); }")
+        instance = machine.instantiate(module)
+        assert instance.invoke("f", [-3.9]) == [0xFFFFFFFD]
+        with pytest.raises(Trap, match="overflow"):
+            instance.invoke("f", [1e20])

@@ -1,0 +1,276 @@
+"""The MiniC compiler: lexer, parser, type checker, and codegen semantics."""
+
+import pytest
+
+from repro.interp import Machine
+from repro.minic import (LexError, ParseError, TypeError_, compile_source,
+                         parse, tokenize)
+from repro.wasm import validate_module
+from repro.wasm.types import F64, I32
+
+
+def run(source, entry="f", args=(), linker=None):
+    module = compile_source(source)
+    validate_module(module)
+    instance = Machine().instantiate(module, linker)
+    return instance.invoke(entry, args)
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("var x: i32 = 10;")]
+        assert kinds == [("keyword", "var"), ("ident", "x"), ("op", ":"),
+                         ("ident", "i32"), ("op", "="), ("int", "10"),
+                         ("op", ";"), ("eof", "")]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3L 0x1F 1.5f 1e3")
+        assert [t.value for t in tokens[:-1]] == [1, 2.5, 3, 31, 1.5, 1000.0]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 // line\n /* block\n */ 2")
+        assert [t.value for t in tokens[:-1]] == [1, 2]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestParser:
+    def test_operator_precedence(self):
+        assert run("export func f() -> i32 { return 2 + 3 * 4; }") == [14]
+        assert run("export func f() -> i32 { return (2 + 3) * 4; }") == [20]
+
+    def test_associativity(self):
+        assert run("export func f() -> i32 { return 10 - 3 - 2; }") == [5]
+
+    def test_comparison_chains_via_logic(self):
+        assert run("export func f(x: i32) -> i32 { return x > 1 && x < 5; }",
+                   args=(3,)) == [1]
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("func f() { return 1 }")
+
+    def test_else_if_chain(self):
+        src = """
+        export func f(x: i32) -> i32 {
+            if (x == 0) { return 10; }
+            else if (x == 1) { return 20; }
+            else { return 30; }
+        }
+        """
+        assert run(src, args=(0,)) == [10]
+        assert run(src, args=(1,)) == [20]
+        assert run(src, args=(9,)) == [30]
+
+
+class TestTypeChecker:
+    def test_undefined_variable(self):
+        with pytest.raises(TypeError_, match="undefined name"):
+            compile_source("export func f() -> i32 { return y; }")
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeError_, match="mismatch"):
+            compile_source(
+                "export func f(x: f64) -> i32 { return x; }")
+
+    def test_explicit_cast_required_and_works(self):
+        assert run("export func f(x: f64) -> i32 { return i32(x); }",
+                   args=(3.7,)) == [3]
+
+    def test_literal_contextual_typing(self):
+        assert run("export func f() -> f64 { return 1 + 0.5; }") == [1.5]
+        assert run("export func f() -> i64 { return 5; }") == [5]
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(TypeError_):
+            compile_source("export func f(x: f64) -> f64 { return x % 2.0; }")
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(TypeError_, match="arguments"):
+            compile_source("""
+                func g(a: i32) -> i32 { return a; }
+                export func f() -> i32 { return g(1, 2); }
+            """)
+
+    def test_missing_return_detected(self):
+        with pytest.raises(TypeError_, match="fall off"):
+            compile_source("""
+                export func f(x: i32) -> i32 {
+                    if (x > 0) { return 1; }
+                }
+            """)
+
+    def test_block_scoping(self):
+        with pytest.raises(TypeError_, match="undefined"):
+            compile_source("""
+                export func f() -> i32 {
+                    if (1) { var y: i32 = 1; }
+                    return y;
+                }
+            """)
+
+    def test_shadowing_in_nested_scope(self):
+        assert run("""
+            export func f() -> i32 {
+                var x: i32 = 1;
+                { var x: i32 = 2; }
+                return x;
+            }
+        """) == [1]
+
+    def test_duplicate_function(self):
+        with pytest.raises(TypeError_, match="duplicate"):
+            compile_source("func f() {} func f() {}")
+
+    def test_condition_must_be_i32(self):
+        with pytest.raises(TypeError_):
+            compile_source("export func f(x: f64) -> i32 { if (x) { return 1; } return 0; }")
+
+
+class TestCodegenSemantics:
+    def test_signed_division(self):
+        assert run("export func f(a: i32, b: i32) -> i32 { return a / b; }",
+                   args=(-7, 2)) == [0xFFFFFFFD]  # -3
+
+    def test_unsigned_builtins(self):
+        assert run("export func f(a: i32, b: i32) -> i32 { return div_u(a, b); }",
+                   args=(-1, 2)) == [0x7FFFFFFF]
+        assert run("export func f(a: i32, b: i32) -> i32 { return lt_u(a, b); }",
+                   args=(-1, 0)) == [0]
+
+    def test_short_circuit_and(self):
+        # the right operand would trap if evaluated
+        assert run("""
+            export func f(x: i32) -> i32 {
+                return x != 0 && 10 / x > 1;
+            }
+        """, args=(0,)) == [0]
+
+    def test_short_circuit_or(self):
+        assert run("""
+            export func f(x: i32) -> i32 {
+                return x == 0 || 10 / x > 100;
+            }
+        """, args=(0,)) == [1]
+
+    def test_unary_operators(self):
+        assert run("export func f(x: i32) -> i32 { return -x; }", args=(5,)) \
+            == [0xFFFFFFFB]
+        assert run("export func f(x: i32) -> i32 { return !x; }", args=(5,)) == [0]
+        assert run("export func f(x: i32) -> i32 { return ~x; }", args=(0,)) \
+            == [0xFFFFFFFF]
+        assert run("export func f(x: f64) -> f64 { return -x; }", args=(2.5,)) \
+            == [-2.5]
+
+    def test_for_loop_with_continue_runs_step(self):
+        assert run("""
+            export func f() -> i32 {
+                var s: i32 = 0;
+                var i: i32;
+                for (i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    s = s + i;
+                }
+                return s;
+            }
+        """) == [25]
+
+    def test_nested_loops_break_inner_only(self):
+        assert run("""
+            export func f() -> i32 {
+                var n: i32 = 0;
+                var i: i32;
+                for (i = 0; i < 3; i = i + 1) {
+                    var j: i32;
+                    for (j = 0; j < 10; j = j + 1) {
+                        if (j == 2) { break; }
+                        n = n + 1;
+                    }
+                }
+                return n;
+            }
+        """) == [6]
+
+    def test_memory_views(self):
+        assert run("""
+            memory 1;
+            export func f() -> i32 {
+                mem_i32[10] = 0 - 1;
+                mem_u8[100] = 300;     // truncated to 44
+                mem_u16[60] = 70000;   // truncated to 4464
+                return mem_i32[10] + mem_u8[100] + mem_u16[60];
+            }
+        """) == [(-1 + (300 & 0xFF) + (70000 & 0xFFFF)) & 0xFFFFFFFF]
+
+    def test_i64_arithmetic(self):
+        assert run("""
+            export func f(x: i64) -> i64 {
+                return (x << 3L) + 1L;
+            }
+        """, args=(1 << 40,)) == [(1 << 43) + 1]
+
+    def test_f32_precision(self):
+        import struct
+        expected = struct.unpack("<f", struct.pack("<f", 0.1))[0] * 2
+        result = run("export func f(x: f32) -> f64 { return f64(x + x); }",
+                     args=(0.1,))
+        assert result == [struct.unpack("<f", struct.pack("<f", expected))[0]]
+
+    def test_select_builtin(self):
+        assert run("export func f(c: i32) -> f64 { return select(c, 1.5, 2.5); }",
+                   args=(1,)) == [1.5]
+
+    def test_float_builtins(self):
+        assert run("export func f(x: f64) -> f64 { return max(floor(x), 1.0); }",
+                   args=(2.7,)) == [2.0]
+        assert run("export func f(x: f64) -> f64 { return copysign(3.0, x); }",
+                   args=(-1.0,)) == [-3.0]
+
+    def test_int_builtins(self):
+        assert run("export func f(x: i32) -> i32 { return popcnt(x); }",
+                   args=(0xFF,)) == [8]
+        assert run("export func f(x: i64) -> i64 { return clz(x); }",
+                   args=(1,)) == [63]
+
+    def test_globals_and_exported_global(self):
+        module = compile_source("""
+            export global counter: i32 = 5;
+            export func bump() -> i32 { counter = counter + 2; return counter; }
+        """)
+        instance = Machine().instantiate(module)
+        assert instance.invoke("bump") == [7]
+        assert instance.exported_global("counter").value == 7
+
+    def test_indirect_calls(self):
+        assert run("""
+            type unop = func(i32) -> i32;
+            func double(x: i32) -> i32 { return x * 2; }
+            func square(x: i32) -> i32 { return x * x; }
+            table [double, square];
+            export func f(which: i32, x: i32) -> i32 {
+                return call_indirect[unop](which, x);
+            }
+        """, args=(1, 5)) == [25]
+
+    def test_imports(self, print_linker):
+        result = run("""
+            import func print_i32(x: i32);
+            export func f() -> i32 { print_i32(11); return 1; }
+        """, linker=print_linker)
+        assert result == [1]
+        assert print_linker.printed == [11]
+
+    def test_expression_statement_drops_value(self):
+        # a bare call result is dropped (exercises the drop instruction)
+        module = compile_source("""
+            func g() -> i32 { return 9; }
+            export func f() -> i32 { g(); return 1; }
+        """)
+        ops = [instr.op for instr in module.functions[1].body]
+        assert "drop" in ops

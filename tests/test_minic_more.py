@@ -1,0 +1,140 @@
+"""Additional MiniC coverage: globals, casts matrix, errors, kernels helpers."""
+
+import pytest
+
+from repro.interp import Machine
+from repro.minic import ParseError, TypeError_, compile_source
+from repro.wasm import validate_module
+
+
+def run(source, entry="f", args=()):
+    module = compile_source(source)
+    validate_module(module)
+    return Machine().instantiate(module).invoke(entry, args)
+
+
+class TestCastMatrix:
+    CASES = [
+        ("i32", "i64", 7, 7),
+        ("i32", "f32", -3, -3.0),
+        ("i32", "f64", 12, 12.0),
+        ("i64", "i32", (1 << 32) + 9, 9),
+        ("i64", "f64", 1 << 40, float(1 << 40)),
+        ("f32", "f64", 1.5, 1.5),
+        ("f64", "f32", 2.5, 2.5),
+        ("f64", "i32", -7.9, (-7) & 0xFFFFFFFF),
+        ("f64", "i64", 9.99, 9),
+        ("f32", "i32", 3.5, 3),
+    ]
+
+    @pytest.mark.parametrize("src_t,dst_t,value,expected", CASES)
+    def test_cast(self, src_t, dst_t, value, expected):
+        result = run(f"export func f(x: {src_t}) -> {dst_t} "
+                     f"{{ return {dst_t}(x); }}", args=(value,))
+        assert result == [expected]
+
+    def test_identity_cast(self):
+        assert run("export func f(x: i32) -> i32 { return i32(x); }",
+                   args=(5,)) == [5]
+
+
+class TestGlobalsAndStart:
+    def test_global_literal_coercion(self):
+        module = compile_source("""
+            global g: f64 = 3;
+            export func f() -> f64 { return g; }
+        """)
+        assert Machine().instantiate(module).invoke("f") == [3.0]
+
+    def test_global_requires_literal(self):
+        with pytest.raises(TypeError_, match="literal"):
+            compile_source("""
+                func make() -> i32 { return 1; }
+                global g: i32 = make();
+            """)
+
+    def test_unknown_start_function(self):
+        with pytest.raises(TypeError_, match="not found"):
+            compile_source("start nothing;")
+
+    def test_start_with_params_rejected(self):
+        with pytest.raises(TypeError_, match="start"):
+            compile_source("func s(x: i32) {} start s;")
+
+
+class TestParserErrors:
+    def test_duplicate_memory(self):
+        with pytest.raises(ParseError, match="duplicate memory"):
+            compile_source("memory 1; memory 2;")
+
+    def test_duplicate_table(self):
+        with pytest.raises(ParseError, match="duplicate table"):
+            compile_source("func a() {} table [a]; table [a];")
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment"):
+            compile_source("export func f() { 1 + 2 = 3; }")
+
+    def test_table_entry_must_be_function(self):
+        with pytest.raises(TypeError_, match="not a function"):
+            compile_source("global g: i32 = 0; table [g];")
+
+    def test_unknown_indirect_type(self):
+        with pytest.raises(TypeError_, match="undefined function type"):
+            compile_source("""
+                export func f() -> i32 { return call_indirect[nope](0); }
+            """)
+
+
+class TestSemanticsCorners:
+    def test_while_zero_iterations(self):
+        assert run("""
+            export func f() -> i32 {
+                var n: i32 = 0;
+                while (0) { n = n + 1; }
+                return n;
+            }
+        """) == [0]
+
+    def test_for_without_clauses(self):
+        assert run("""
+            export func f() -> i32 {
+                var n: i32 = 0;
+                for (;;) {
+                    n = n + 1;
+                    if (n == 5) { break; }
+                }
+                return n;
+            }
+        """) == [5]
+
+    def test_deeply_nested_expression(self):
+        expr = "1"
+        for _ in range(30):
+            expr = f"({expr} + 1)"
+        assert run(f"export func f() -> i32 {{ return {expr}; }}") == [31]
+
+    def test_logical_ops_normalize_to_bool(self):
+        assert run("export func f(a: i32, b: i32) -> i32 { return a && b; }",
+                   args=(7, 9)) == [1]
+        assert run("export func f(a: i32, b: i32) -> i32 { return a || b; }",
+                   args=(0, 0)) == [0]
+
+    def test_remainder_sign(self):
+        assert run("export func f(a: i32, b: i32) -> i32 { return a % b; }",
+                   args=(-7, 3)) == [(-1) & 0xFFFFFFFF]
+
+    def test_memory_grow_in_expression(self):
+        assert run("""
+            memory 1;
+            export func f() -> i32 {
+                return memory_grow(1) + memory_size();
+            }
+        """) == [3]  # grow returns 1 (old size), size is then 2
+
+    def test_i64_shift_by_i64(self):
+        assert run("export func f(x: i64) -> i64 { return x >> 2L; }",
+                   args=(-8,)) == [((-8 >> 2)) & ((1 << 64) - 1)]
+
+    def test_hex_literals(self):
+        assert run("export func f() -> i32 { return 0xFF & 0x0F; }") == [15]

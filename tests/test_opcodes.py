@@ -1,0 +1,90 @@
+"""The opcode table: completeness and consistency with the spec."""
+
+from repro.wasm import opcodes
+from repro.wasm.opcodes import BY_BYTE, BY_NAME, HookGroup, Imm
+from repro.wasm.types import F32, F64, I32, I64
+
+
+class TestTableCompleteness:
+    def test_number_of_opcodes_matches_mvp(self):
+        # the MVP defines exactly 172 opcodes
+        assert len(BY_BYTE) == 172
+
+    def test_numeric_instruction_count_matches_paper(self):
+        # the paper (§2.3) mentions "123 numeric instructions alone";
+        # that is the unary+binary operators, excluding the 4 consts
+        non_const = [op for op in opcodes.NUMERIC_OPS
+                     if op.group is not HookGroup.CONST]
+        assert len(non_const) == 123
+        assert len(opcodes.NUMERIC_OPS) == 127
+
+    def test_no_gaps_in_numeric_ranges(self):
+        for byte in range(0x45, 0xC0):
+            assert byte in BY_BYTE, hex(byte)
+
+    def test_control_opcodes(self):
+        assert BY_BYTE[0x00].mnemonic == "unreachable"
+        assert BY_BYTE[0x0B].mnemonic == "end"
+        assert BY_BYTE[0x10].mnemonic == "call"
+        assert BY_BYTE[0x11].mnemonic == "call_indirect"
+
+    def test_memory_opcodes(self):
+        assert BY_BYTE[0x28].mnemonic == "i32.load"
+        assert BY_BYTE[0x3E].mnemonic == "i64.store32"
+        assert BY_BYTE[0x3F].mnemonic == "memory.size"
+        assert BY_BYTE[0x40].mnemonic == "memory.grow"
+
+
+class TestSignatures:
+    def test_binary_signature(self):
+        params, results = BY_NAME["i32.add"].signature
+        assert params == (I32, I32) and results == (I32,)
+
+    def test_comparison_returns_i32(self):
+        for name in ["i64.lt_s", "f32.eq", "f64.ge"]:
+            assert BY_NAME[name].signature[1] == (I32,)
+
+    def test_eqz_is_unary(self):
+        assert BY_NAME["i64.eqz"].signature == ((I64,), (I32,))
+        assert BY_NAME["i64.eqz"].group is HookGroup.UNARY
+
+    def test_conversions(self):
+        assert BY_NAME["i32.wrap/i64"].signature == ((I64,), (I32,))
+        assert BY_NAME["f64.promote/f32"].signature == ((F32,), (F64,))
+        assert BY_NAME["i64.reinterpret/f64"].signature == ((F64,), (I64,))
+
+    def test_loads_take_address(self):
+        for name, out in [("i32.load8_s", I32), ("i64.load32_u", I64),
+                          ("f32.load", F32)]:
+            assert BY_NAME[name].signature == ((I32,), (out,))
+
+    def test_stores_take_address_and_value(self):
+        assert BY_NAME["i64.store16"].signature == ((I32, I64), ())
+
+    def test_polymorphic_ops_have_no_signature(self):
+        for name in ["drop", "select", "call", "return", "br", "get_local"]:
+            assert BY_NAME[name].signature is None
+
+
+class TestImmediates:
+    def test_kinds(self):
+        assert BY_NAME["block"].imm is Imm.BLOCKTYPE
+        assert BY_NAME["br_table"].imm is Imm.BR_TABLE
+        assert BY_NAME["call"].imm is Imm.FUNC_IDX
+        assert BY_NAME["call_indirect"].imm is Imm.TYPE_IDX
+        assert BY_NAME["i64.const"].imm is Imm.CONST_I64
+        assert BY_NAME["f32.load"].imm is Imm.MEMARG
+        assert BY_NAME["memory.grow"].imm is Imm.MEM_IDX
+
+
+class TestHookGroups:
+    def test_groups_cover_every_instruction(self):
+        # every opcode belongs to some Wasabi hook group
+        for op in BY_BYTE.values():
+            assert op.group is not None, op.mnemonic
+
+    def test_paper_era_mnemonics(self):
+        # the analysis API passes paper-era (2018) names to hooks
+        assert "get_local" in BY_NAME
+        assert "i32.trunc_s/f32" in BY_NAME
+        assert "local.get" not in BY_NAME

@@ -1,0 +1,170 @@
+"""Selective instrumentation (paper §2.4.2): only requested groups are
+instrumented, groups are independent, and unused groups cost nothing."""
+
+import pytest
+
+from repro.core import (ALL_GROUPS, Analysis, analyze, instrument_module,
+                        used_groups)
+from repro.core.instrument import InstrumentationConfig
+from repro.minic import compile_source
+from repro.wasm import encode_module, validate_module
+from repro.wasm.errors import WasmError
+
+SOURCE = """
+import func print_f64(x: f64);
+memory 1;
+global g: i32 = 1;
+export func main(n: i32) -> f64 {
+    var s: f64 = 0.0;
+    var i: i32;
+    for (i = 0; i < n; i = i + 1) {
+        mem_f64[i] = f64(i) * 0.5;
+        s = s + mem_f64[i];
+        g = g + 1;
+    }
+    print_f64(s);
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def module(print_linker):
+    return compile_source(SOURCE, "sel")
+
+
+def original_result(module, print_linker):
+    from repro.interp import Machine
+    instance = Machine().instantiate(module, print_linker)
+    return instance.invoke("main", [10])
+
+
+class TestGroupSelection:
+    def test_unknown_group_rejected(self, module):
+        with pytest.raises(WasmError, match="unknown hook group"):
+            instrument_module(module, groups={"frobnicate"})
+
+    def test_empty_selection_is_identity_behavior(self, module, print_linker):
+        result = instrument_module(module, groups=frozenset())
+        assert result.hook_count == 0
+        validate_module(result.module)
+        # no imports added, bodies unchanged in length
+        assert result.module.num_imported_functions == module.num_imported_functions
+        assert result.module.instruction_count() == module.instruction_count()
+
+    @pytest.mark.parametrize("group", sorted(ALL_GROUPS))
+    def test_each_group_alone_is_valid_and_faithful(self, group, module,
+                                                    print_linker):
+        expected = original_result(module, print_linker)
+        result = instrument_module(module, groups={group})
+        validate_module(result.module)
+        # run it: groups not present in the program produce 0 hooks but
+        # must still execute identically
+        from repro.core.runtime import WasabiRuntime
+        from repro.core.hooks import HOOK_MODULE
+        from repro.interp import Machine, Linker
+        from repro.wasm.types import F64, FuncType
+
+        class Sink(Analysis):
+            pass
+
+        runtime = WasabiRuntime(result, Sink())
+        linker = Linker()
+        linker.define_function("env", "print_f64", FuncType((F64,), ()),
+                               lambda args: None)
+        for name, hf in runtime.host_functions().items():
+            linker.define(HOOK_MODULE, name, hf)
+        instance = Machine().instantiate(result.module, linker)
+        runtime.bind(instance)
+        assert instance.invoke("main", [10]) == expected
+
+    def test_selective_is_smaller_than_full(self, module):
+        full = len(encode_module(instrument_module(module).module))
+        only_call = len(encode_module(
+            instrument_module(module, groups={"call"}).module))
+        original = len(encode_module(module))
+        assert original < only_call < full
+
+    def test_hook_counts_grow_with_selection(self, module):
+        one = instrument_module(module, groups={"const"}).hook_count
+        two = instrument_module(module, groups={"const", "binary"}).hook_count
+        assert 0 < one < two
+
+
+class TestUsedGroups:
+    def test_base_analysis_uses_nothing(self):
+        assert used_groups(Analysis()) == frozenset()
+
+    def test_single_hook(self):
+        class OnlyBinary(Analysis):
+            def binary(self, loc, op, a, b, r):
+                pass
+
+        assert used_groups(OnlyBinary()) == frozenset({"binary"})
+
+    def test_call_pre_and_post_map_to_call_group(self):
+        class Pre(Analysis):
+            def call_pre(self, loc, f, args, t):
+                pass
+
+        class Post(Analysis):
+            def call_post(self, loc, results):
+                pass
+
+        assert used_groups(Pre()) == frozenset({"call"})
+        assert used_groups(Post()) == frozenset({"call"})
+
+    def test_session_derives_groups_from_analysis(self, module, print_linker):
+        class OnlyLoad(Analysis):
+            def __init__(self):
+                self.loads = 0
+
+            def load(self, loc, op, memarg, value):
+                self.loads += 1
+
+        analysis = OnlyLoad()
+        session = analyze(module, analysis, linker=print_linker,
+                          entry="main", args=(10,))
+        assert analysis.loads == 10
+        # only load hooks were generated
+        assert all(spec.kind == "load" for spec in session.result.info.hooks)
+
+
+class TestIndependence:
+    """Instrumenting a subset must observe exactly what full instrumentation
+    observes for those hooks (§2.4.2: instrumentations are independent)."""
+
+    def test_load_events_identical_under_selective_and_full(self, module,
+                                                            print_linker):
+        class Loads(Analysis):
+            def __init__(self):
+                self.seen = []
+
+            def load(self, loc, op, memarg, value):
+                self.seen.append((loc, op, memarg.addr, value))
+
+        selective = Loads()
+        analyze(module, selective, linker=print_linker,
+                entry="main", args=(6,))
+
+        full = Loads()
+        printed2: list = []
+        from repro.interp import Linker
+        from repro.wasm.types import F64, FuncType
+        linker2 = Linker().define_function(
+            "env", "print_f64", FuncType((F64,), ()), lambda a: None)
+        analyze(module, full, linker=linker2, groups=ALL_GROUPS,
+                entry="main", args=(6,))
+        assert selective.seen == full.seen
+
+
+class TestLocationAblation:
+    def test_no_locations_config(self, module, print_linker):
+        config = InstrumentationConfig(groups=frozenset({"binary"}),
+                                       emit_locations=False)
+        result = instrument_module(module, config=config)
+        validate_module(result.module)
+        smaller = len(encode_module(result.module))
+        with_locs = len(encode_module(
+            instrument_module(module, groups={"binary"}).module))
+        assert smaller < with_locs

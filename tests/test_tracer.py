@@ -1,0 +1,76 @@
+"""The execution tracer extension: structured event capture and export."""
+
+import json
+
+from repro import analyze
+from repro.analyses.tracer import Event, ExecutionTracer
+from repro.core.analysis import Location
+from repro.minic import compile_source
+
+
+def program():
+    return compile_source("""
+        memory 1;
+        func helper(x: i32) -> i32 { return x + 1; }
+        export func main(n: i32) -> i32 {
+            mem_i32[0] = helper(n);
+            return mem_i32[0];
+        }
+    """)
+
+
+class TestCapture:
+    def test_event_stream_order(self):
+        tracer = ExecutionTracer()
+        analyze(program(), tracer, entry="main", args=(4,))
+        kinds = [e.kind for e in tracer.events]
+        # the call's pre event precedes the callee's function begin
+        assert kinds.index("call_pre") < kinds.index("begin") or \
+            kinds[0] == "begin"
+        pre = next(e for e in tracer.events if e.kind == "call_pre")
+        assert pre.payload == (0, (4,), None)  # helper is function 0
+        store = next(e for e in tracer.events if e.kind == "store")
+        assert store.payload == ("i32.store", 0, 5)
+
+    def test_filtering(self):
+        tracer = ExecutionTracer(keep=lambda e: e.kind == "binary")
+        analyze(program(), tracer, entry="main", args=(4,))
+        assert tracer.events
+        assert all(e.kind == "binary" for e in tracer.events)
+
+    def test_bounded_capture(self):
+        tracer = ExecutionTracer(max_events=5)
+        analyze(program(), tracer, entry="main", args=(4,))
+        assert len(tracer.events) == 5
+        assert tracer.dropped > 0
+
+    def test_slice_by_function(self):
+        tracer = ExecutionTracer()
+        analyze(program(), tracer, entry="main", args=(1,))
+        helper_events = tracer.slice_by_function(0)
+        assert helper_events
+        assert all(e.location.func == 0 for e in helper_events)
+
+    def test_kinds_summary(self):
+        tracer = ExecutionTracer()
+        analyze(program(), tracer, entry="main", args=(1,))
+        kinds = tracer.kinds()
+        assert kinds["call_pre"] == kinds["call_post"] == 1
+        assert kinds["store"] == kinds["load"] == 1
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self):
+        tracer = ExecutionTracer()
+        analyze(program(), tracer, entry="main", args=(2,))
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == len(tracer.events)
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == tracer.events[0].kind
+        assert all({"kind", "func", "instr", "payload"} <= set(p) for p in parsed)
+
+    def test_event_json(self):
+        event = Event("load", Location(1, 2), ("i32.load", 8, 7))
+        data = json.loads(event.to_json())
+        assert data == {"kind": "load", "func": 1, "instr": 2,
+                        "payload": ["i32.load", 8, 7]}

@@ -1,0 +1,232 @@
+"""The validator: accepts valid modules, rejects ill-typed ones."""
+
+import pytest
+
+from repro.wasm import Instr, ValidationError, validate_module
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.module import BrTable
+from repro.wasm.types import F64, I32, I64, FuncType, GlobalType, Limits
+
+
+def build_single(body_fn, params=(), results=(), **module_kwargs):
+    builder = ModuleBuilder()
+    if module_kwargs.get("memory"):
+        builder.add_memory(1)
+    fb = builder.function(params, results)
+    body_fn(fb)
+    fb.finish()
+    return builder.build()
+
+
+def assert_invalid(body_fn, match, params=(), results=(), **kw):
+    module = build_single(body_fn, params, results, **kw)
+    with pytest.raises(ValidationError, match=match):
+        validate_module(module)
+
+
+class TestOperandStack:
+    def test_underflow(self):
+        assert_invalid(lambda fb: fb.emit("i32.add"), "underflow",
+                       results=(I32,))
+
+    def test_type_mismatch(self):
+        assert_invalid(
+            lambda fb: fb.i32_const(1).f64_const(2.0).emit("i32.add"),
+            "type mismatch", results=(I32,))
+
+    def test_leftover_values(self):
+        assert_invalid(lambda fb: fb.i32_const(1).i32_const(2), "superfluous",
+                       results=(I32,))
+
+    def test_missing_result(self):
+        assert_invalid(lambda fb: fb.emit("nop"), "underflow", results=(I32,))
+
+    def test_valid_arith(self):
+        validate_module(build_single(
+            lambda fb: fb.i32_const(1).i32_const(2).emit("i32.add"),
+            results=(I32,)))
+
+
+class TestControlFlow:
+    def test_branch_label_out_of_range(self):
+        assert_invalid(lambda fb: fb.br(1), "label")
+
+    def test_branch_carries_block_result(self):
+        def body(fb):
+            fb.block(I32)
+            fb.i32_const(5)
+            fb.br(0)
+            fb.end()
+        validate_module(build_single(body, results=(I32,)))
+
+    def test_branch_missing_block_result(self):
+        def body(fb):
+            fb.block(I32)
+            fb.br(0)          # must provide an i32
+            fb.end()
+        assert_invalid(body, "underflow", results=(I32,))
+
+    def test_loop_label_takes_no_values(self):
+        def body(fb):
+            fb.loop(I32)
+            fb.i32_const(5)
+            fb.br(0)          # to loop start: no values expected
+            fb.end()
+        # 5 is left on the stack when branching; since br clears to the
+        # loop's start arity (0), the value is simply discarded -> valid
+        validate_module(build_single(body, results=(I32,)))
+
+    def test_if_without_else_needs_empty_type(self):
+        def body(fb):
+            fb.i32_const(1)
+            fb.if_(I32)
+            fb.i32_const(2)
+            fb.end()
+        assert_invalid(body, "else", results=(I32,))
+
+    def test_if_else_ok(self):
+        def body(fb):
+            fb.i32_const(1)
+            fb.if_(I32)
+            fb.i32_const(2)
+            fb.else_()
+            fb.i32_const(3)
+            fb.end()
+        validate_module(build_single(body, results=(I32,)))
+
+    def test_else_branch_types_checked(self):
+        def body(fb):
+            fb.i32_const(1)
+            fb.if_(I32)
+            fb.i32_const(2)
+            fb.else_()
+            fb.f64_const(3.0)
+            fb.end()
+        assert_invalid(body, "type mismatch", results=(I32,))
+
+    def test_else_without_if(self):
+        assert_invalid(lambda fb: fb.emit("else"), "else")
+
+    def test_br_table_inconsistent_targets(self):
+        def body(fb):
+            fb.block(I32)
+            fb.block()
+            fb.i32_const(0)
+            fb.emit("br_table", br_table=BrTable((0, 1), 0))
+            fb.end()
+            fb.i32_const(1)
+            fb.end()
+        assert_invalid(body, "inconsistent", results=(I32,))
+
+    def test_unreachable_code_is_polymorphic(self):
+        def body(fb):
+            fb.emit("unreachable")
+            fb.emit("i32.add")      # types as anything in dead code
+            fb.emit("drop")
+        validate_module(build_single(body, results=()))
+
+    def test_code_after_return_checked_loosely(self):
+        def body(fb):
+            fb.i32_const(1)
+            fb.emit("return")
+            fb.emit("f64.mul")
+            fb.emit("drop")
+        validate_module(build_single(body, results=(I32,)))
+
+
+class TestVariables:
+    def test_local_out_of_range(self):
+        assert_invalid(lambda fb: fb.get_local(3), "local index")
+
+    def test_local_type_checked(self):
+        def body(fb):
+            local = fb.add_local(F64)
+            fb.i32_const(1)
+            fb.set_local(local)
+        assert_invalid(body, "type mismatch")
+
+    def test_set_immutable_global_rejected(self):
+        builder = ModuleBuilder()
+        glob = builder.add_global(I32, mutable=False, init=1)
+        fb = builder.function((), ())
+        fb.i32_const(2).set_global(glob)
+        fb.finish()
+        with pytest.raises(ValidationError, match="immutable"):
+            validate_module(builder.build())
+
+    def test_global_out_of_range(self):
+        assert_invalid(lambda fb: fb.get_global(0).emit("drop"), "global index")
+
+
+class TestCallsAndMemory:
+    def test_call_out_of_range(self):
+        assert_invalid(lambda fb: fb.call(5), "out-of-range")
+
+    def test_call_argument_types(self, fib_module):
+        validate_module(fib_module)
+
+    def test_call_indirect_requires_table(self):
+        def body(fb):
+            fb.i32_const(0)
+            fb.emit("call_indirect", idx=0)
+        assert_invalid(body, "table")
+
+    def test_memory_instruction_requires_memory(self):
+        assert_invalid(lambda fb: fb.i32_const(0).load("i32.load").emit("drop"),
+                       "memory")
+
+    def test_natural_alignment_enforced(self):
+        def body(fb):
+            fb.i32_const(0)
+            fb.load("i32.load8_u", align=1)  # 2**1 > natural 2**0
+            fb.emit("drop")
+        assert_invalid(body, "alignment", memory=True)
+
+    def test_select_operand_types_must_match(self):
+        def body(fb):
+            fb.i32_const(1)
+            fb.f64_const(2.0)
+            fb.i32_const(0)
+            fb.emit("select")
+            fb.emit("drop")
+        assert_invalid(body, "select")
+
+
+class TestModuleLevel:
+    def test_duplicate_export_names(self):
+        builder = ModuleBuilder()
+        fb = builder.function((), (), export="x")
+        fb.finish()
+        builder.export_function("x", fb.func_idx)
+        with pytest.raises(ValidationError, match="duplicate export"):
+            validate_module(builder.build())
+
+    def test_start_function_signature(self):
+        builder = ModuleBuilder()
+        fb = builder.function((I32,), ())
+        fb.finish()
+        builder.set_start(fb.func_idx)
+        with pytest.raises(ValidationError, match="start"):
+            validate_module(builder.build())
+
+    def test_element_segment_function_bounds(self):
+        builder = ModuleBuilder()
+        builder.add_table(2)
+        builder.add_element(0, [7])
+        with pytest.raises(ValidationError, match="element"):
+            validate_module(builder.build())
+
+    def test_global_initializer_type(self):
+        builder = ModuleBuilder()
+        builder.module.globals.append(
+            __import__("repro.wasm.module", fromlist=["Global"]).Global(
+                GlobalType(I32), [Instr("f64.const", value=1.0)]))
+        with pytest.raises(ValidationError, match="initializer"):
+            validate_module(builder.build())
+
+    def test_two_memories_rejected(self):
+        builder = ModuleBuilder()
+        builder.add_memory(1)
+        builder.add_memory(1)
+        with pytest.raises(ValidationError, match="memory"):
+            validate_module(builder.build())
