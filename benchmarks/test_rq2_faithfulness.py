@@ -8,7 +8,7 @@ the 63-program spec suite. We report the same counts over our suite
 
 from __future__ import annotations
 
-from repro.core import Analysis, instrument_module
+from repro.core import instrument_module
 from repro.eval import (check_workload, make_full_analysis,
                         polybench_workloads, realworld_workloads, render_table)
 from repro.interp import Linker, Machine

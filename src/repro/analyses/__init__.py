@@ -16,16 +16,16 @@ MemoryTracer           load, store                                 §4.2
 
 from .basic_blocks import BasicBlockProfiler
 from .boundary import BoundaryCrossing, HostBoundaryAnalysis
-from .heap_profile import GrowEvent, HeapProfiler
-from .hot_loops import HotLoopAnalysis, LoopStats
-from .shadow import ShadowMemory, access_width
-from .tracer import Event, ExecutionTracer
 from .call_graph import CallGraphAnalysis
 from .coverage import BranchCoverage, InstructionCoverage
 from .cryptominer import SIGNATURE_OPS, CryptominerDetector
+from .heap_profile import GrowEvent, HeapProfiler
+from .hot_loops import HotLoopAnalysis, LoopStats
 from .instruction_mix import InstructionMixAnalysis
 from .memory_tracing import Access, MemoryTracer
+from .shadow import ShadowMemory, access_width
 from .taint import CLEAN, TaintAnalysis, TaintFlow
+from .tracer import Event, ExecutionTracer
 
 #: The Table-4 inventory: (analysis class, hooks description).
 ALL_ANALYSES = [

@@ -12,8 +12,7 @@ host-side trace.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from ..core.analysis import Analysis, Location
 from ..core.metadata import ModuleInfo

@@ -10,7 +10,7 @@ pre-registered), and the written working set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.analysis import Analysis, Location
 from .shadow import ShadowMemory, access_width

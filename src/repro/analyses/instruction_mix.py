@@ -7,9 +7,8 @@ performance and security analyses. Uses *all* hooks.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
 
-from ..core.analysis import Analysis, BranchTarget, Location, MemArg
+from ..core.analysis import Analysis
 
 
 class InstructionMixAnalysis(Analysis):

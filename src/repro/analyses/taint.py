@@ -18,7 +18,7 @@ stack cannot drift across branches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.analysis import Analysis, Location
 from ..core.metadata import ModuleInfo

@@ -10,8 +10,8 @@ program.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable
 
 from ..core.analysis import Analysis, Location
 

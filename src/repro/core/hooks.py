@@ -15,7 +15,7 @@ runtime re-joins them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..wasm.types import FuncType, I32, I64, ValType
 

@@ -23,15 +23,14 @@ overhead to what the analysis actually observes.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from threading import Lock
 
-from ..wasm import opcodes
 from ..wasm.errors import WasmError
 from ..wasm.module import Export, Function, Import, Instr, Module
-from ..wasm.types import FuncType, I32, I64, ValType
-from ..wasm.validation import ExprValidator, UNKNOWN, _Unknown
-from .analysis import ALL_GROUPS, BranchTarget, Location
+from ..wasm.types import I32, I64, ValType
+from ..wasm.validation import ExprValidator, _Unknown
+from .analysis import ALL_GROUPS, Location
 from .control import ControlFrame, ControlStack
 from .hooks import HOOK_MODULE, HookRegistry, HookSpec
 from .metadata import BrTableInfo, EndEvent, ModuleInfo, StaticInfo

@@ -108,8 +108,20 @@ class WasabiRuntime:
         payload = spec.payload
         info = self.info
 
-        def loc_and_vals(args: list) -> tuple[Location, list]:
-            return self._split_args(spec, args)
+        # Fast path: without i64 values there is no split-halves re-joining,
+        # so the raw args *are* the values and the generic cursor walk in
+        # _split_args can be skipped. Hooks fire once per executed
+        # instruction, so this is the hottest code outside the interpreter.
+        if any(t is I64 for t in spec.value_types):
+            def loc_and_vals(args: list) -> tuple[Location, list]:
+                return self._split_args(spec, args)
+        elif self._with_locations:
+            def loc_and_vals(args: list) -> tuple[Location, list]:
+                return Location(args[-2], to_signed(args[-1], 32)), args[:-2]
+        else:
+            no_loc = Location(-1, -1)
+            def loc_and_vals(args: list) -> tuple[Location, list]:
+                return no_loc, args[:]
 
         if kind == "const":
             valtype = payload[0]

@@ -13,7 +13,7 @@ from typing import Sequence
 from ..interp.host import Linker
 from ..interp.machine import Instance, Machine
 from ..wasm.module import Module
-from .analysis import ALL_GROUPS, Analysis, used_groups
+from .analysis import Analysis, used_groups
 from .hooks import HOOK_MODULE
 from .instrument import (InstrumentationConfig, InstrumentationResult,
                          instrument_module)

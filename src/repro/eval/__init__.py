@@ -12,17 +12,20 @@ from .overhead import (OverheadReport, baseline_runtime, instrumented_runtime,
                        overhead_sweep)
 from .report import render_fig8, render_fig9, render_table, render_table5
 from .sizes import SizeReport, measure_size, size_sweep
-from .timing import TimingReport, instrument_binary, time_instrumentation
+from .timing import (InterpBenchReport, TimingReport, bench_interpreter,
+                     geomean_speedup, instrument_binary, interp_bench_payload,
+                     time_instrumentation, time_workload)
 from .workloads import (POLYBENCH_FAST_SUBSET, Workload, default_workloads,
                         polybench_workloads, realworld_workloads)
 
 __all__ = [
-    "FIGURE_GROUPS", "FaithfulnessResult", "OverheadReport",
-    "POLYBENCH_FAST_SUBSET", "SizeReport", "TimingReport", "Workload",
-    "baseline_runtime", "check_workload", "default_workloads",
-    "instrument_binary", "instrumented_runtime", "make_full_analysis",
+    "FIGURE_GROUPS", "FaithfulnessResult", "InterpBenchReport",
+    "OverheadReport", "POLYBENCH_FAST_SUBSET", "SizeReport", "TimingReport",
+    "Workload", "baseline_runtime", "bench_interpreter", "check_workload",
+    "default_workloads", "geomean_speedup", "instrument_binary",
+    "instrumented_runtime", "interp_bench_payload", "make_full_analysis",
     "make_group_analysis", "measure_size", "overhead_sweep",
     "polybench_workloads", "realworld_workloads", "render_fig8",
     "render_fig9", "render_table", "render_table5", "run_instrumented",
-    "run_original", "size_sweep", "time_instrumentation",
+    "run_original", "size_sweep", "time_instrumentation", "time_workload",
 ]

@@ -42,15 +42,19 @@ def _time_run(invoke, repeats: int) -> float:
     return best
 
 
-def baseline_runtime(workload: Workload, repeats: int = 3) -> float:
-    machine = Machine()
+def baseline_runtime(workload: Workload, repeats: int = 3,
+                     predecode: bool | None = None) -> float:
+    """Uninstrumented runtime; ``predecode`` selects the engine
+    (None = the :envvar:`REPRO_PREDECODE` default)."""
+    machine = Machine(predecode=predecode)
     instance = machine.instantiate(workload.module(), workload.linker())
     return _time_run(lambda: instance.invoke(workload.entry, workload.args),
                      repeats)
 
 
 def instrumented_runtime(workload: Workload, config: str,
-                         repeats: int = 3) -> float:
+                         repeats: int = 3,
+                         predecode: bool | None = None) -> float:
     if config == "all":
         analysis = make_full_analysis()
         groups = None
@@ -58,21 +62,24 @@ def instrumented_runtime(workload: Workload, config: str,
         analysis = make_group_analysis(config)
         groups = frozenset({config})
     session = AnalysisSession(workload.module(), analysis,
-                              linker=workload.linker(), groups=groups)
+                              linker=workload.linker(), groups=groups,
+                              machine=Machine(predecode=predecode))
     return _time_run(lambda: session.invoke(workload.entry, workload.args),
                      repeats)
 
 
 def overhead_sweep(workload: Workload, configs: list[str] | None = None,
-                   repeats: int = 3, include_all: bool = True
-                   ) -> list[OverheadReport]:
+                   repeats: int = 3, include_all: bool = True,
+                   predecode: bool | None = None) -> list[OverheadReport]:
     """Relative runtime for every hook group (Figure 9's x-axis)."""
-    baseline = baseline_runtime(workload, repeats)
+    baseline = baseline_runtime(workload, repeats, predecode=predecode)
     reports = []
     for config in (configs or FIGURE_GROUPS):
-        elapsed = instrumented_runtime(workload, config, repeats)
+        elapsed = instrumented_runtime(workload, config, repeats,
+                                       predecode=predecode)
         reports.append(OverheadReport(workload.name, config, baseline, elapsed))
     if include_all:
-        elapsed = instrumented_runtime(workload, "all", repeats)
+        elapsed = instrumented_runtime(workload, "all", repeats,
+                                       predecode=predecode)
         reports.append(OverheadReport(workload.name, "all", baseline, elapsed))
     return reports

@@ -1,20 +1,27 @@
-"""RQ3: time to instrument (paper Table 5).
+"""RQ3: time to instrument (paper Table 5) and raw interpreter timing.
 
 Measures the full binary→binary pipeline: decode the ``.wasm`` bytes,
 instrument for all hooks, re-encode — the same work Wasabi's CLI does.
 Reports mean ± stddev over repetitions, and throughput in MB/s.
+
+Also times the two interpreter engines against each other (the legacy
+string-dispatch loop vs. the pre-decoded threaded loop), which backs the
+``BENCH_interp.json`` artifact the CI perf floor is anchored to.
 """
 
 from __future__ import annotations
 
+import math
 import statistics
 import time
 from dataclasses import dataclass
 
 from ..core.instrument import InstrumentationConfig, instrument_module
+from ..interp.machine import Machine
 from ..wasm.decoder import decode_module
 from ..wasm.encoder import encode_module
 from ..wasm.module import Module
+from .workloads import Workload
 
 
 @dataclass
@@ -52,3 +59,76 @@ def time_instrumentation(name: str, module: Module, repeats: int = 5,
         mean_seconds=statistics.mean(samples),
         stdev_seconds=statistics.stdev(samples) if len(samples) > 1 else 0.0,
         repeats=repeats)
+
+
+# -- interpreter engine timing (predecoded vs. legacy dispatch) ---------------
+
+
+@dataclass
+class InterpBenchReport:
+    """One workload timed on both interpreter engines."""
+
+    name: str
+    legacy_seconds: float
+    predecoded_seconds: float
+    repeats: int
+
+    @property
+    def speedup(self) -> float:
+        if self.predecoded_seconds == 0:
+            return float("inf")
+        return self.legacy_seconds / self.predecoded_seconds
+
+
+def time_workload(workload: Workload, repeats: int = 3,
+                  predecode: bool | None = None) -> float:
+    """Best-of-``repeats`` uninstrumented runtime on the chosen engine.
+
+    Instantiates fresh per repeat (memory/globals reset) but times only the
+    invoke, so decode cost is excluded — matching how the overhead sweep
+    times its baseline.
+    """
+    module = workload.module()
+    best = float("inf")
+    for _ in range(repeats):
+        machine = Machine(predecode=predecode)
+        instance = machine.instantiate(module, workload.linker())
+        start = time.perf_counter()
+        instance.invoke(workload.entry, workload.args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_interpreter(workloads: list[Workload],
+                      repeats: int = 3) -> list[InterpBenchReport]:
+    """Time every workload on the legacy and predecoded engines."""
+    reports = []
+    for workload in workloads:
+        legacy = time_workload(workload, repeats, predecode=False)
+        predecoded = time_workload(workload, repeats, predecode=True)
+        reports.append(InterpBenchReport(workload.name, legacy, predecoded,
+                                         repeats))
+    return reports
+
+
+def geomean_speedup(reports: list[InterpBenchReport]) -> float:
+    if not reports:
+        return 1.0
+    return math.exp(sum(math.log(r.speedup) for r in reports) / len(reports))
+
+
+def interp_bench_payload(reports: list[InterpBenchReport]) -> dict:
+    """The JSON payload recorded as ``BENCH_interp.json``."""
+    return {
+        "workloads": [
+            {
+                "name": r.name,
+                "legacy_seconds": r.legacy_seconds,
+                "predecoded_seconds": r.predecoded_seconds,
+                "speedup": r.speedup,
+                "repeats": r.repeats,
+            }
+            for r in reports
+        ],
+        "geomean_speedup": geomean_speedup(reports),
+    }

@@ -7,7 +7,7 @@ the program needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..interp.host import Linker
@@ -40,9 +40,11 @@ class Workload:
         linker = Linker()
         if self.needs_print:
             if sink is None:
-                printer = lambda args: None
+                def printer(args):
+                    return None
             else:
-                printer = lambda args: sink.append(args[0])
+                def printer(args):
+                    return sink.append(args[0])
             linker.define_function("env", "print_f64", FuncType((F64,), ()),
                                    printer)
         return linker

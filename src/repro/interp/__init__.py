@@ -1,15 +1,22 @@
 """A WebAssembly interpreter with exact MVP semantics.
 
 Stands in for the browser engine the paper runs instrumented binaries on.
+Two engines share the same observable behaviour: the default pre-decoded
+threaded loop (see :mod:`repro.interp.predecode`) and the legacy
+string-dispatch loop (``Machine(predecode=False)`` / ``REPRO_PREDECODE=0``),
+kept for differential testing.
 """
 
 from .host import GlobalInstance, HostFunction, Linker
 from .machine import (DEFAULT_MAX_CALL_DEPTH, Instance, Machine, WasmFunction,
-                      instantiate)
+                      instantiate, predecode_default)
 from .memory import Memory
+from .predecode import DecodedFunction, cached_decode, decode_function
 from .table import Table
 
 __all__ = [
-    "DEFAULT_MAX_CALL_DEPTH", "GlobalInstance", "HostFunction", "Instance",
-    "Linker", "Machine", "Memory", "Table", "WasmFunction", "instantiate",
+    "DEFAULT_MAX_CALL_DEPTH", "DecodedFunction", "GlobalInstance",
+    "HostFunction", "Instance", "Linker", "Machine", "Memory", "Table",
+    "WasmFunction", "cached_decode", "decode_function", "instantiate",
+    "predecode_default",
 ]

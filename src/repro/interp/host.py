@@ -7,7 +7,7 @@ generated low-level hooks are :class:`HostFunction` objects.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
 from ..wasm.errors import WasmError
 from ..wasm.types import FuncType, GlobalType, Limits

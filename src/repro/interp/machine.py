@@ -1,22 +1,36 @@
 """The WebAssembly interpreter (our stand-in for the browser engine).
 
-Executes validated modules with exact value semantics. Function bodies are
-flat instruction lists; a per-function *matching table* precomputed at
-instantiation maps each ``block``/``loop``/``if``/``else`` to its matching
-``end`` (and ``else``), so structured branches are O(1) jumps.
+Executes validated modules with exact value semantics. Two execution engines
+share the same observable behaviour:
+
+* the **pre-decoded, direct-threaded engine** (default): function bodies are
+  translated once by :mod:`repro.interp.predecode` into flat arrays of
+  ``(opcode-id, operand, ...)`` tuples with constants pre-masked, arithmetic
+  handlers pre-resolved, and block/else/end targets baked into the stream;
+  the decoded form is cached per :class:`~repro.wasm.module.Function` so
+  repeated instantiations decode once;
+* the **legacy string-dispatch loop**, kept for differential testing: pass
+  ``Machine(predecode=False)`` or set ``REPRO_PREDECODE=0``.
+
+Function bodies are flat instruction lists; in the legacy engine a
+per-function *matching table* maps each ``block``/``loop``/``if``/``else``
+to its matching ``end``, so structured branches are O(1) jumps.
 """
 
 from __future__ import annotations
 
+import os
+import struct
 import sys
 from typing import Sequence
 
 from ..wasm.errors import ExhaustionError, Trap, WasmError
 from ..wasm.module import Function, Instr, Module
 from ..wasm.numeric import f32_round
-from ..wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+from ..wasm.types import FuncType, GlobalType, MemoryType, TableType, ValType
 from .host import GlobalInstance, HostFunction, Linker
 from .memory import Memory
+from .predecode import DecodedFunction, cached_decode
 from .table import Table
 from .values import BINOPS, MASK32, MASK64, UNOPS, default_value
 
@@ -24,8 +38,17 @@ from .values import BINOPS, MASK32, MASK64, UNOPS, default_value
 DEFAULT_MAX_CALL_DEPTH = 700
 
 
+def predecode_default() -> bool:
+    """Whether new machines pre-decode, from ``REPRO_PREDECODE`` (default on)."""
+    return os.environ.get("REPRO_PREDECODE", "1").lower() not in ("0", "false", "no", "off")
+
+
 class BlockMatching:
-    """For one body: maps block-start indices to their ``else``/``end``."""
+    """For one body: maps block-start indices to their ``else``/``end``.
+
+    Used by the legacy execution loop only; the pre-decoded engine resolves
+    these targets into the instruction stream at decode time.
+    """
 
     __slots__ = ("end_of", "else_of")
 
@@ -56,16 +79,42 @@ class BlockMatching:
 
 
 class WasmFunction:
-    """A defined function bound to its instance, with precomputed matching."""
+    """A defined function bound to its instance, with precomputed dispatch.
 
-    __slots__ = ("instance", "func", "functype", "matching", "local_types")
+    ``decoded`` holds the pre-decoded threaded stream (None on machines with
+    ``predecode=False``); ``matching`` is the legacy block-matching table,
+    built lazily so pre-decoding machines never pay for it.
+    """
+
+    __slots__ = ("instance", "func", "functype", "local_types", "default_locals",
+                 "result_arity", "decoded", "_matching")
 
     def __init__(self, instance: "Instance", func: Function, functype: FuncType):
         self.instance = instance
         self.func = func
         self.functype = functype
-        self.matching = BlockMatching(func.body)
         self.local_types = list(func.locals)
+        self.default_locals = [default_value(t) for t in func.locals]
+        self.result_arity = len(functype.results)
+        self._matching: BlockMatching | None = None
+        machine = instance.machine
+        if machine.predecode:
+            decoded, hit = cached_decode(func, instance.module)
+            self.decoded: DecodedFunction | None = decoded
+            if hit:
+                machine.predecode_cache_hits += 1
+            else:
+                machine.predecode_cache_misses += 1
+        else:
+            self.decoded = None
+            # keep the legacy engine's eager instantiation-time validation
+            self._matching = BlockMatching(func.body)
+
+    @property
+    def matching(self) -> BlockMatching:
+        if self._matching is None:
+            self._matching = BlockMatching(self.func.body)
+        return self._matching
 
     @property
     def name(self) -> str:
@@ -115,7 +164,11 @@ class Instance:
 
 
 def _coerce(valtype: ValType, value: int | float) -> int | float:
-    """Coerce a host-provided value to canonical runtime representation."""
+    """Coerce a host-provided value to canonical runtime representation.
+
+    Used for *arguments* crossing the host→wasm boundary, where JavaScript
+    style leniency (truncation, masking) is the expected behaviour.
+    """
     if valtype is ValType.I32:
         return int(value) & MASK32
     if valtype is ValType.I64:
@@ -125,11 +178,44 @@ def _coerce(valtype: ValType, value: int | float) -> int | float:
     return float(value)
 
 
-class Machine:
-    """Executes instances. One machine may host several instances."""
+def _coerce_host_result(valtype: ValType, value: int | float,
+                        name: str) -> int | float:
+    """Coerce one host-function result, rejecting lossy conversions.
 
-    def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH):
+    A host function that returns a float for an integer result slot (or a
+    non-numeric value for any slot) is a bug in the host code; silently
+    truncating it would corrupt the executing program, so it raises.
+    """
+    if valtype is ValType.I32 or valtype is ValType.I64:
+        if not isinstance(value, int):  # note: bool is an int subclass
+            raise WasmError(
+                f"host function {name} returned non-integer {value!r} "
+                f"for an {valtype.value} result")
+        return value & (MASK32 if valtype is ValType.I32 else MASK64)
+    if not isinstance(value, (int, float)):
+        raise WasmError(
+            f"host function {name} returned non-numeric {value!r} "
+            f"for an {valtype.value} result")
+    if valtype is ValType.F32:
+        return f32_round(float(value))
+    return float(value)
+
+
+class Machine:
+    """Executes instances. One machine may host several instances.
+
+    ``predecode`` selects the execution engine: True for the pre-decoded
+    threaded loop, False for the legacy string-dispatch loop, None (default)
+    to follow the ``REPRO_PREDECODE`` environment variable.
+    """
+
+    def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
+                 predecode: bool | None = None):
         self.max_call_depth = max_call_depth
+        self.predecode = predecode_default() if predecode is None else predecode
+        #: Decoded-stream cache statistics for this machine's instantiations.
+        self.predecode_cache_hits = 0
+        self.predecode_cache_misses = 0
         self._depth = 0
         # The interpreter recurses ~2 Python frames per Wasm call.
         needed = 3 * max_call_depth + 200
@@ -240,23 +326,272 @@ class Machine:
         self._depth += 1
         try:
             if isinstance(func, HostFunction):
-                raw = func.fn(args)
-                if raw is None:
-                    results: list[int | float] = []
-                elif isinstance(raw, (list, tuple)):
-                    results = list(raw)
-                else:
-                    results = [raw]
-                if len(results) != len(functype.results):
-                    raise WasmError(
-                        f"host function {func.name} returned {len(results)} "
-                        f"values, declared {len(functype.results)}")
-                return [_coerce(t, v) for t, v in zip(functype.results, results)]
+                return self._host_results(func, func.fn(args))
+            if func.decoded is not None:
+                return self._exec_decoded(func, args)
             return self._exec(func, args)
         finally:
             self._depth -= 1
 
-    # -- the interpreter loop ---------------------------------------------------
+    @staticmethod
+    def _host_results(func: HostFunction, raw: object) -> list[int | float]:
+        """Normalize and strictly coerce a host function's return value."""
+        declared = func.functype.results
+        if raw is None:
+            results: list[int | float] = []
+        elif isinstance(raw, (list, tuple)):
+            results = list(raw)
+        else:
+            results = [raw]
+        if len(results) != len(declared):
+            raise WasmError(
+                f"host function {func.name} returned {len(results)} "
+                f"values, declared {len(declared)}")
+        return [_coerce_host_result(t, v, func.name)
+                for t, v in zip(declared, results)]
+
+    def _invoke_callee(self, callee: "HostFunction | WasmFunction",
+                       call_args: list[int | float]) -> list[int | float]:
+        """Call sequence for the pre-decoded engine.
+
+        Wasm values on the operand stack are already canonical, so wasm→wasm
+        and wasm→host calls skip the argument re-coercion and arity check of
+        :meth:`call` (the host-call fast path of the Wasabi runtime hooks).
+        """
+        if callee.__class__ is WasmFunction:
+            if self._depth >= self.max_call_depth:
+                raise ExhaustionError("call stack exhausted")
+            self._depth += 1
+            try:
+                if callee.decoded is not None:
+                    return self._exec_decoded(callee, call_args)
+                return self._exec(callee, call_args)
+            finally:
+                self._depth -= 1
+        raw = callee.fn(call_args)
+        if raw is None and not callee.functype.results:
+            return _NO_RESULTS  # void host call: the hot hook path
+        return self._host_results(callee, raw)
+
+    # -- the pre-decoded interpreter loop ------------------------------------------
+
+    def _exec_decoded(self, wfunc: WasmFunction,
+                      args: list[int | float]) -> list[int | float]:
+        instance = wfunc.instance
+        code = wfunc.decoded.code
+        functions = instance.functions
+        globals_ = instance.globals
+        memory = instance.memory
+        # memory.grow extends the bytearray in place, so its identity is
+        # stable for the lifetime of the instance and safe to cache here
+        memdata = memory.data if memory is not None else None
+        locals_ = args + wfunc.default_locals
+        stack: list[int | float] = []
+        append = stack.append
+        pop = stack.pop
+        unpack_from = struct.unpack_from
+        pack_into = struct.pack_into
+        result_arity = wfunc.result_arity
+        n_instrs = len(code)
+        # label entries: (is_loop, block_pc, cont_pc, height, arity);
+        # the implicit function block is the bottom-most label.
+        labels: list[tuple[bool, int, int, int, int]] = [
+            (False, -1, n_instrs, 0, result_arity)
+        ]
+        pc = 0
+
+        while pc < n_instrs:
+            ins = code[pc]
+            op = ins[0]
+
+            if op == 0:  # OP_GET_LOCAL
+                append(locals_[ins[1]])
+            elif op == 1:  # OP_BINARY
+                b = pop()
+                stack[-1] = ins[1](stack[-1], b)
+            elif op == 2:  # OP_CONST (pre-masked / pre-rounded)
+                append(ins[1])
+            elif op == 3:  # OP_SET_LOCAL
+                locals_[ins[1]] = pop()
+            elif op == 30:  # OP_GET_LOCAL_CONST (fused)
+                append(locals_[ins[1]])
+                append(ins[2])
+                pc += 2
+                continue
+            elif op == 31:  # OP_CONST_BINARY (fused)
+                stack[-1] = ins[1](stack[-1], ins[2])
+                pc += 2
+                continue
+            elif op == 32:  # OP_GET_LOCAL_BINARY (fused)
+                stack[-1] = ins[1](stack[-1], locals_[ins[2]])
+                pc += 2
+                continue
+            elif op == 33:  # OP_GET2_LOCAL (fused)
+                append(locals_[ins[1]])
+                append(locals_[ins[2]])
+                pc += 2
+                continue
+            elif op == 4:  # OP_LOAD_INT: (_, fmt, offset, mask)
+                addr = pop() + ins[2]
+                try:
+                    append(unpack_from(ins[1], memdata, addr)[0] & ins[3])
+                except struct.error:
+                    raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+            elif op == 5:  # OP_LOAD_FLOAT: (_, fmt, offset)
+                addr = pop() + ins[2]
+                try:
+                    append(unpack_from(ins[1], memdata, addr)[0])
+                except struct.error:
+                    raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+            elif op == 6:  # OP_STORE_INT: (_, fmt, offset, width_mask)
+                value = pop()
+                addr = pop() + ins[2]
+                try:
+                    pack_into(ins[1], memdata, addr, value & ins[3])
+                except struct.error:
+                    raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
+            elif op == 7:  # OP_STORE_FLOAT: (_, fmt, offset)
+                value = pop()
+                addr = pop() + ins[2]
+                try:
+                    pack_into(ins[1], memdata, addr, value)
+                except struct.error:
+                    raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
+            elif op == 8:  # OP_BR_IF
+                if pop():
+                    is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
+                    if is_loop:
+                        del stack[height:]
+                        del labels[len(labels) - 1 - ins[1]:]
+                        pc = block_pc
+                        continue
+                    if arity:
+                        carried = stack[len(stack) - arity:]
+                        del stack[height:]
+                        stack.extend(carried)
+                    else:
+                        del stack[height:]
+                    del labels[len(labels) - 1 - ins[1]:]
+                    pc = cont_pc
+                    continue
+            elif op == 9:  # OP_UNARY
+                stack[-1] = ins[1](stack[-1])
+            elif op == 10:  # OP_TEE_LOCAL
+                locals_[ins[1]] = stack[-1]
+            elif op == 11:  # OP_BR
+                is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
+                if is_loop:
+                    del stack[height:]
+                    del labels[len(labels) - 1 - ins[1]:]
+                    pc = block_pc
+                    continue
+                if arity:
+                    carried = stack[len(stack) - arity:]
+                    del stack[height:]
+                    stack.extend(carried)
+                else:
+                    del stack[height:]
+                del labels[len(labels) - 1 - ins[1]:]
+                pc = cont_pc
+                continue
+            elif op == 12:  # OP_END
+                if labels:
+                    labels.pop()
+                # the function's final end simply falls off the loop
+            elif op == 13:  # OP_LOOP
+                labels.append((True, pc, pc + 1, len(stack), 0))
+            elif op == 14:  # OP_IF: (_, cont_pc, arity, false_pc)
+                condition = pop()
+                labels.append((False, pc, ins[1], len(stack), ins[2]))
+                if not condition:
+                    pc = ins[3]
+                    continue
+            elif op == 15:  # OP_BLOCK: (_, cont_pc, arity)
+                labels.append((False, pc, ins[1], len(stack), ins[2]))
+            elif op == 16:  # OP_JUMP (else reached from the then-arm)
+                pc = ins[1]
+                continue
+            elif op == 17:  # OP_CALL: (_, func_idx, n_params)
+                n_params = ins[2]
+                if n_params:
+                    call_args = stack[-n_params:]
+                    del stack[-n_params:]
+                else:
+                    call_args = []
+                results = self._invoke_callee(functions[ins[1]], call_args)
+                if results:
+                    stack.extend(results)
+            elif op == 18:  # OP_RETURN
+                return stack[len(stack) - result_arity:]
+            elif op == 19:  # OP_GET_GLOBAL
+                append(globals_[ins[1]].value)
+            elif op == 20:  # OP_SET_GLOBAL
+                globals_[ins[1]].value = pop()
+            elif op == 21:  # OP_SELECT
+                condition = pop()
+                second = pop()
+                first = pop()
+                append(first if condition else second)
+            elif op == 22:  # OP_DROP
+                pop()
+            elif op == 23:  # OP_CALL_INDIRECT: (_, expected_type, n_params)
+                table_idx = pop()
+                func_addr = instance.table.get(table_idx)
+                callee = functions[func_addr]
+                if callee.functype != ins[1]:
+                    raise Trap(f"indirect call type mismatch: entry {table_idx} "
+                               f"has {callee.functype}, expected {ins[1]}")
+                n_params = ins[2]
+                if n_params:
+                    call_args = stack[-n_params:]
+                    del stack[-n_params:]
+                else:
+                    call_args = []
+                results = self._invoke_callee(callee, call_args)
+                if results:
+                    stack.extend(results)
+            elif op == 24:  # OP_BR_TABLE: (_, labels, default)
+                index = pop()
+                table_labels = ins[1]
+                depth = table_labels[index] if index < len(table_labels) else ins[2]
+                is_loop, block_pc, cont_pc, height, arity = labels[-1 - depth]
+                if is_loop:
+                    del stack[height:]
+                    del labels[len(labels) - 1 - depth:]
+                    pc = block_pc
+                    continue
+                if arity:
+                    carried = stack[len(stack) - arity:]
+                    del stack[height:]
+                    stack.extend(carried)
+                else:
+                    del stack[height:]
+                del labels[len(labels) - 1 - depth:]
+                pc = cont_pc
+                continue
+            elif op == 25:  # OP_MEMORY_SIZE
+                append(memory.size_pages)
+            elif op == 26:  # OP_MEMORY_GROW
+                delta = pop()
+                append(memory.grow(delta) & MASK32)
+            elif op == 27:  # OP_NOP
+                pass
+            elif op == 28:  # OP_UNREACHABLE
+                raise Trap("unreachable executed")
+            else:  # OP_RAISE: malformed instruction decoded to a placeholder
+                raise ins[1]
+            pc += 1
+
+        return stack[len(stack) - result_arity:] if result_arity else []
+
+    @staticmethod
+    def _oob(fmt: str, addr: int, memdata: bytearray | None, what: str) -> str:
+        width = struct.calcsize(fmt)
+        size = len(memdata) if memdata is not None else 0
+        return (f"out of bounds memory access ({what} of {width} bytes "
+                f"at address {addr}, memory is {size} bytes)")
+
+    # -- the legacy interpreter loop ---------------------------------------------
 
     def _exec(self, wfunc: WasmFunction, args: list[int | float]) -> list[int | float]:
         instance = wfunc.instance
@@ -416,6 +751,10 @@ class Machine:
             del stack[height:]
         del labels[len(labels) - 1 - label:]
         return cont_pc
+
+
+#: Shared empty result list for void host calls. Never mutated.
+_NO_RESULTS: list[int | float] = []
 
 
 def instantiate(module: Module, linker: Linker | None = None,

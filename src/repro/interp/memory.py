@@ -56,11 +56,11 @@ class Memory:
     # Integers are returned in canonical unsigned representation.
 
     def load(self, op: str, addr: int) -> int | float:
-        loader = _LOADERS[op]
+        loader = LOADERS[op]
         return loader(self, addr)
 
     def store(self, op: str, addr: int, value: int | float) -> None:
-        storer = _STORERS[op]
+        storer = STORERS[op]
         storer(self, addr, value)
 
 
@@ -98,7 +98,7 @@ def _float_storer(fmt: str):
     return store
 
 
-_LOADERS = {
+LOADERS = {
     "i32.load": _int_loader(4, False, 32),
     "i64.load": _int_loader(8, False, 64),
     "f32.load": _float_loader("<f", 4),
@@ -115,7 +115,7 @@ _LOADERS = {
     "i64.load32_u": _int_loader(4, False, 64),
 }
 
-_STORERS = {
+STORERS = {
     "i32.store": _int_storer(4),
     "i64.store": _int_storer(8),
     "f32.store": _float_storer("<f"),

@@ -172,6 +172,12 @@ def _fadd32(a, b):
     return f32_round(a + b)
 
 
+def _fcopysign(a: float, b: float) -> float:
+    if math.isnan(a):
+        return math.copysign(_CANONICAL_NAN, b)
+    return math.copysign(abs(a), b)
+
+
 def _trunc_to_int(x: float, bits: int, signed: bool, what: str) -> int:
     if math.isnan(x):
         raise Trap(f"invalid conversion to integer ({what} of NaN)")
@@ -252,7 +258,7 @@ def _register_float_ops(prefix: str, narrow: bool) -> None:
     BINOPS[f"{prefix}.div"] = lambda a, b: rnd(_fdiv(a, b))
     BINOPS[f"{prefix}.min"] = _fmin
     BINOPS[f"{prefix}.max"] = _fmax
-    BINOPS[f"{prefix}.copysign"] = lambda a, b: math.copysign(abs(a), b) if not math.isnan(a) else math.copysign(_CANONICAL_NAN, b)
+    BINOPS[f"{prefix}.copysign"] = _fcopysign
     BINOPS[f"{prefix}.eq"] = lambda a, b: _bool(a == b)
     BINOPS[f"{prefix}.ne"] = lambda a, b: _bool(a != b or math.isnan(a) or math.isnan(b))
     BINOPS[f"{prefix}.lt"] = lambda a, b: _bool(a < b)
@@ -293,6 +299,17 @@ UNOPS.update({
     "f32.reinterpret/i32": f32_from_bits,
     "f64.reinterpret/i64": f64_from_bits,
 })
+
+
+# -- combined handler table ----------------------------------------------------
+# The pre-decoder resolves every arithmetic mnemonic through this single
+# arity-tagged table, so the interpreter's hot loop never probes UNOPS and
+# BINOPS separately.
+
+OP_HANDLERS: dict[str, tuple[int, UnOp | BinOp]] = {}
+OP_HANDLERS.update({name: (1, fn) for name, fn in UNOPS.items()})
+OP_HANDLERS.update({name: (2, fn) for name, fn in BINOPS.items()})
+assert len(OP_HANDLERS) == len(UNOPS) + len(BINOPS), "unary/binary mnemonic clash"
 
 
 def default_value(valtype) -> int | float:

@@ -16,8 +16,8 @@ from ..wasm.module import Module
 from ..wasm.types import F32, F64, I32, I64, FuncType, ValType
 from . import ast
 from .errors import MiniCError
-from .typecheck import CheckedProgram, FuncSig, check
 from .parser import parse
+from .typecheck import CheckedProgram, check
 
 _BIN_OPS_INT = {
     "+": "add", "-": "sub", "*": "mul", "/": "div_s", "%": "rem_s",

@@ -13,9 +13,9 @@ from . import leb128, opcodes
 from .errors import DecodeError
 from .module import (BrTable, CustomSection, DataSegment, ElemSegment, Export,
                      Function, Global, Import, Instr, MemArg, Module)
+from .encoder import MAGIC, VERSION
 from .types import (BYTE_TO_VALTYPE, EMPTY_BLOCKTYPE_BYTE, FuncType,
                     GlobalType, Limits, MemoryType, TableType, ValType)
-from .encoder import MAGIC, VERSION
 
 
 class _Reader:

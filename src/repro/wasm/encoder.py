@@ -12,7 +12,7 @@ import struct
 
 from . import leb128, opcodes
 from .errors import EncodeError
-from .module import (BrTable, CustomSection, DataSegment, ElemSegment, Export,
+from .module import (BrTable, DataSegment, ElemSegment, Export,
                      Function, Global, Import, Instr, MemArg, Module)
 from .numeric import to_signed
 from .types import (EMPTY_BLOCKTYPE_BYTE, VALTYPE_TO_BYTE, FuncType,

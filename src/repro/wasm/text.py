@@ -8,7 +8,7 @@ S-expression printer.
 
 from __future__ import annotations
 
-from .module import Function, Instr, Module
+from .module import Instr, Module
 from .types import GlobalType, MemoryType, TableType
 
 

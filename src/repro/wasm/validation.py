@@ -11,12 +11,12 @@ instrumentation".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from . import opcodes
 from .errors import ValidationError
 from .module import Function, Instr, Module
-from .types import I32, FuncType, ValType
+from .types import I32, ValType
 
 
 class _Unknown:

@@ -212,10 +212,12 @@ export func main() -> f64 {{
     }}
     for (t = 0; t < {tsteps}; t = t + 1) {{
         for (i = 1; i < {n} - 1; i = i + 1) {{
-            mem_f64[{b} + i] = 0.33333 * (mem_f64[{a} + i - 1] + mem_f64[{a} + i] + mem_f64[{a} + i + 1]);
+            mem_f64[{b} + i] = 0.33333 * (mem_f64[{a} + i - 1]
+                + mem_f64[{a} + i] + mem_f64[{a} + i + 1]);
         }}
         for (i = 1; i < {n} - 1; i = i + 1) {{
-            mem_f64[{a} + i] = 0.33333 * (mem_f64[{b} + i - 1] + mem_f64[{b} + i] + mem_f64[{b} + i + 1]);
+            mem_f64[{a} + i] = 0.33333 * (mem_f64[{b} + i - 1]
+                + mem_f64[{b} + i] + mem_f64[{b} + i + 1]);
         }}
         print_f64(checksum_f64({a}, {n}));
     }}

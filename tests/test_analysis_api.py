@@ -2,8 +2,6 @@
 
 import inspect
 
-import pytest
-
 from repro.core import Analysis, BranchTarget, Location, MemArg, analyze
 from repro.core.analysis import ALL_GROUPS, BLOCK_TYPES, HOOK_METHOD_TO_GROUP
 from repro.minic import compile_source

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.minic import compile_source
 from repro.wasm import (DecodeError, Instr, Limits, Module, decode_module,
                         encode_module, validate_module)
 from repro.wasm.builder import ModuleBuilder

@@ -4,7 +4,7 @@ from repro import analyze
 from repro.analyses.boundary import HostBoundaryAnalysis
 from repro.interp import Linker
 from repro.minic import compile_source
-from repro.wasm.types import F64, I32, FuncType
+from repro.wasm.types import I32, FuncType
 
 
 def make_app():

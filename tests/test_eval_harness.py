@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.analysis import ALL_GROUPS, Analysis, used_groups
+from repro.core.analysis import ALL_GROUPS, used_groups
 from repro.eval import (FIGURE_GROUPS, OverheadReport, SizeReport,
                         baseline_runtime, instrumented_runtime,
                         make_full_analysis, make_group_analysis,

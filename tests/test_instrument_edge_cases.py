@@ -1,7 +1,6 @@
 """Instrumenter edge cases: dead code, empty bodies, i64 everywhere,
 imports-only modules, deep nesting, multiple memories of hooks."""
 
-import pytest
 
 from repro.core import Analysis, AnalysisSession, analyze, instrument_module
 from repro.eval import make_full_analysis
@@ -10,7 +9,7 @@ from repro.minic import compile_source
 from repro.wasm import validate_module
 from repro.wasm.builder import ModuleBuilder
 from repro.wasm.module import BrTable
-from repro.wasm.types import F64, I32, I64, FuncType
+from repro.wasm.types import I32, I64, FuncType
 
 
 def faithful(module, entry, args=()):

@@ -10,12 +10,11 @@ import pytest
 
 from repro.core import Analysis, analyze
 from repro.core.analysis import Location
-from repro.interp import Linker
 from repro.minic import compile_source
 from repro.wasm import validate_module
 from repro.wasm.builder import ModuleBuilder
 from repro.wasm.module import BrTable
-from repro.wasm.types import F32, F64, I32, I64, FuncType
+from repro.wasm.types import F64, I32, I64
 
 
 class Recorder(Analysis):

@@ -2,12 +2,12 @@
 
 import pytest
 
-from repro.interp import GlobalInstance, HostFunction, Linker, Machine
+from repro.interp import Linker, Machine
 from repro.minic import compile_source
 from repro.wasm import ExhaustionError, Trap, WasmError
 from repro.wasm.builder import ModuleBuilder
 from repro.wasm.module import BrTable
-from repro.wasm.types import F64, I32, I64, FuncType, GlobalType, Limits
+from repro.wasm.types import F64, I32, I64, FuncType, GlobalType
 
 
 class TestBasics:

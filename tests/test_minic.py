@@ -6,7 +6,6 @@ from repro.interp import Machine
 from repro.minic import (LexError, ParseError, TypeError_, compile_source,
                          parse, tokenize)
 from repro.wasm import validate_module
-from repro.wasm.types import F64, I32
 
 
 def run(source, entry="f", args=(), linker=None):

@@ -6,7 +6,7 @@ from repro.wasm import (Instr, Module, WasmError, format_body, format_module,
                         validate_module)
 from repro.wasm.builder import ModuleBuilder
 from repro.wasm.module import MemArg, check_instr
-from repro.wasm.types import F64, I32, I64, FuncType, GlobalType, Limits
+from repro.wasm.types import F64, I32, I64, FuncType, GlobalType
 
 
 class TestIndexSpaces:

@@ -1,0 +1,313 @@
+"""The pre-decoded threaded engine: cache behaviour, differential
+equivalence with the legacy loop, and host-result coercion.
+
+Engine selection is always explicit here (``Machine(predecode=...)``) so
+these tests mean the same thing under the CI differential job, which sets
+``REPRO_PREDECODE=0`` for the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.interp import Machine, cached_decode, decode_function, predecode_default
+from repro.interp.host import HostFunction, Linker
+from repro.interp.predecode import (OP_CONST_BINARY, OP_GET2_LOCAL,
+                                    OP_GET_LOCAL_CONST, OP_RAISE)
+from repro.minic import compile_source
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.errors import ExhaustionError, Trap, WasmError
+from repro.wasm.module import BrTable, Instr
+from repro.wasm.types import F32, F64, I32, I64, FuncType
+
+
+def _bits(values: list[int | float]) -> list[bytes]:
+    """Bit patterns of a result list (distinguishes 0.0/-0.0, NaN payloads)."""
+    return [struct.pack("<d", v) if isinstance(v, float)
+            else v.to_bytes(8, "little") for v in values]
+
+
+# -- decoded-stream cache ---------------------------------------------------------
+
+
+class TestDecodeCache:
+    def test_second_instantiation_hits_cache(self, fib_module):
+        machine = Machine(predecode=True)
+        machine.instantiate(fib_module)
+        assert machine.predecode_cache_misses == 1
+        assert machine.predecode_cache_hits == 0
+        machine.instantiate(fib_module)
+        assert machine.predecode_cache_misses == 1
+        assert machine.predecode_cache_hits == 1
+
+    def test_cache_shared_across_machines(self, memory_module):
+        Machine(predecode=True).instantiate(memory_module)
+        second = Machine(predecode=True)
+        second.instantiate(memory_module)
+        assert second.predecode_cache_hits >= 1
+        assert second.predecode_cache_misses == 0
+
+    def test_cached_results_identical(self, fib_module):
+        machine = Machine(predecode=True)
+        first = machine.instantiate(fib_module)
+        second = machine.instantiate(fib_module)
+        assert machine.predecode_cache_hits >= 1
+        assert first.invoke("fib", [12]) == second.invoke("fib", [12]) == [144]
+
+    def test_body_replacement_invalidates(self, add_module):
+        machine = Machine(predecode=True)
+        instance = machine.instantiate(add_module)
+        assert instance.invoke("add", [2, 3]) == [5]
+        func = add_module.functions[0]
+        func.body = [Instr("get_local", idx=0), Instr("get_local", idx=1),
+                     Instr("i32.sub"), Instr("end")]
+        fresh = machine.instantiate(add_module)
+        assert machine.predecode_cache_misses == 2  # re-decoded, not reused
+        assert fresh.invoke("add", [7, 3]) == [4]
+
+    def test_cached_decode_returns_hit_flag(self, add_module):
+        func = add_module.functions[0]
+        func.body = list(func.body)  # drop any cache from other tests
+        _, hit = cached_decode(func, add_module)
+        assert not hit
+        _, hit = cached_decode(func, add_module)
+        assert hit
+
+    def test_legacy_machine_does_not_decode(self, add_module):
+        machine = Machine(predecode=False)
+        machine.instantiate(add_module)
+        assert machine.predecode_cache_hits == 0
+        assert machine.predecode_cache_misses == 0
+
+
+class TestEngineSelection:
+    def test_default_follows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PREDECODE", raising=False)
+        assert predecode_default() is True
+        for off in ("0", "false", "no", "off", "False", "OFF"):
+            monkeypatch.setenv("REPRO_PREDECODE", off)
+            assert predecode_default() is False
+        monkeypatch.setenv("REPRO_PREDECODE", "1")
+        assert predecode_default() is True
+
+    def test_explicit_flag_overrides_env(self, monkeypatch, add_module):
+        monkeypatch.setenv("REPRO_PREDECODE", "0")
+        machine = Machine(predecode=True)
+        assert machine.predecode
+        machine.instantiate(add_module)
+        assert machine.predecode_cache_misses + machine.predecode_cache_hits == 1
+
+
+# -- differential: both engines, same observable behaviour ------------------------
+
+
+def _both_engines(module, name, args, linker_fn=lambda: None):
+    results = []
+    for predecode in (False, True):
+        machine = Machine(predecode=predecode)
+        instance = machine.instantiate(module, linker_fn())
+        results.append(instance.invoke(name, args))
+    return results
+
+
+class TestEngineDifferential:
+    def test_fib(self, fib_module):
+        legacy, fast = _both_engines(fib_module, "fib", [15])
+        assert _bits(legacy) == _bits(fast) == _bits([610])
+
+    def test_memory_roundtrip(self, memory_module):
+        legacy, fast = _both_engines(memory_module, "roundtrip", [2.5])
+        assert _bits(legacy) == _bits(fast)
+        legacy, fast = _both_engines(memory_module, "grow", [])
+        assert _bits(legacy) == _bits(fast)
+
+    def test_br_table_and_nested_blocks(self):
+        builder = ModuleBuilder("brt")
+        fb = builder.function((I32,), (I32,), name="classify", export="classify")
+        fb.block().block().block()
+        fb.get_local(0)
+        fb.emit("br_table", br_table=BrTable((0, 1), 2))
+        fb.end()                     # depth 0: x == 0
+        fb.i32_const(100)
+        fb.emit("return")
+        fb.end()                     # depth 1: x == 1
+        fb.i32_const(200)
+        fb.emit("return")
+        fb.end()                     # default
+        fb.i32_const(999)
+        fb.finish()
+        module = builder.build()
+        for x in range(0, 5):
+            legacy, fast = _both_engines(module, "classify", [x])
+            assert legacy == fast
+            assert legacy == [{0: 100, 1: 200}.get(x, 999)]
+
+    def test_floats_bit_identical(self):
+        module = compile_source("""
+            export func mix(a: f64, b: f64) -> f64 {
+                var c: f32 = f32(a) * f32(b);
+                return f64(c) + a / b;
+            }
+        """)
+        for a, b in [(1.5, -3.25), (0.0, -0.0), (1e308, 1e-308), (-7.0, 0.0)]:
+            legacy, fast = _both_engines(module, "mix", [a, b])
+            assert _bits(legacy) == _bits(fast)
+
+    def test_traps_identical(self):
+        module = compile_source("""
+            memory 1;
+            export func div(a: i32, b: i32) -> i32 { return a / b; }
+            export func oob(a: i32) -> i32 { return mem_i32[a]; }
+        """)
+        for name, args in [("div", [1, 0]), ("oob", [1 << 20])]:
+            messages = []
+            for predecode in (False, True):
+                machine = Machine(predecode=predecode)
+                instance = machine.instantiate(module)
+                with pytest.raises(Trap) as excinfo:
+                    instance.invoke(name, args)
+                messages.append(str(excinfo.value))
+            assert messages[0] == messages[1]
+
+    def test_unreachable_and_exhaustion(self):
+        builder = ModuleBuilder("traps")
+        fb = builder.function((), (), name="boom", export="boom")
+        fb.emit("unreachable")
+        fb.finish()
+        module = builder.build()
+        for predecode in (False, True):
+            instance = Machine(predecode=predecode).instantiate(module)
+            with pytest.raises(Trap, match="unreachable"):
+                instance.invoke("boom", [])
+
+        deep = compile_source("""
+            export func down(n: i32) -> i32 { return down(n + 1); }
+        """)
+        for predecode in (False, True):
+            instance = Machine(predecode=predecode).instantiate(deep)
+            with pytest.raises(ExhaustionError):
+                instance.invoke("down", [0])
+
+    def test_indirect_calls(self):
+        module = compile_source("""
+            type unop = func(i32) -> i32;
+            func double(x: i32) -> i32 { return x * 2; }
+            func square(x: i32) -> i32 { return x * x; }
+            table [double, square];
+            export func apply(f: i32, x: i32) -> i32 {
+                return call_indirect[unop](f, x);
+            }
+        """)
+        for f, x in [(0, 21), (1, 7)]:
+            legacy, fast = _both_engines(module, "apply", [f, x])
+            assert legacy == fast
+
+
+# -- decode details ---------------------------------------------------------------
+
+
+class TestDecodeDetails:
+    def test_malformed_instruction_fails_at_run_time(self):
+        builder = ModuleBuilder("bad")
+        fb = builder.function((), (I32,), name="bad", export="bad")
+        fb.emit("i32.const", value=1)
+        fb.finish()
+        module = builder.build()
+        module.functions[0].body.insert(1, Instr("i32.bogus_op"))
+        # instantiation succeeds on both engines...
+        for predecode in (False, True):
+            instance = Machine(predecode=predecode).instantiate(module)
+            # ...the error surfaces only when the bad instruction executes
+            with pytest.raises(WasmError):
+                instance.invoke("bad", [])
+
+    def test_raise_placeholder_in_stream(self):
+        builder = ModuleBuilder("bad")
+        fb = builder.function((), (), name="f")
+        fb.emit("nop")
+        fb.finish()
+        module = builder.build()
+        module.functions[0].body.insert(0, Instr("i32.bogus_op"))
+        decoded = decode_function(module.functions[0], module)
+        assert decoded.code[0][0] == OP_RAISE
+        assert len(decoded.code) == len(module.functions[0].body)
+
+    def test_superinstruction_fusion(self):
+        module = compile_source("""
+            export func addressish(i: i32, j: i32) -> i32 {
+                return (i * 8 + j) * 4;
+            }
+        """)
+        func = module.functions[0]
+        decoded = decode_function(func, module)
+        fused = {ins[0] for ins in decoded.code}
+        assert fused & {OP_GET_LOCAL_CONST, OP_CONST_BINARY, OP_GET2_LOCAL}
+        legacy, fast = _both_engines(module, "addressish", [3, 5])
+        assert legacy == fast == [116]
+
+
+# -- host-function result coercion (regression: silent float→i32 truncation) -----
+
+
+class TestHostResultCoercion:
+    def _module_calling_host(self, result_type):
+        builder = ModuleBuilder("host")
+        functype = FuncType((), (result_type,))
+        builder.import_function("env", "source", functype)
+        fb = builder.function((), (result_type,), name="go", export="go")
+        fb.emit("call", idx=0)
+        fb.finish()
+        return builder.build(), functype
+
+    def _run(self, result_type, host_value, predecode):
+        module, functype = self._module_calling_host(result_type)
+        linker = Linker()
+        linker.define_function("env", "source", functype,
+                               lambda args: host_value)
+        machine = Machine(predecode=predecode)
+        instance = machine.instantiate(module, linker)
+        return instance.invoke("go", [])
+
+    @pytest.mark.parametrize("predecode", [False, True])
+    def test_float_for_i32_result_raises(self, predecode):
+        with pytest.raises(WasmError, match="non-integer"):
+            self._run(I32, 2.5, predecode)
+
+    @pytest.mark.parametrize("predecode", [False, True])
+    def test_float_for_i64_result_raises(self, predecode):
+        with pytest.raises(WasmError, match="non-integer"):
+            self._run(I64, 1.0, predecode)
+
+    @pytest.mark.parametrize("predecode", [False, True])
+    def test_non_numeric_result_raises(self, predecode):
+        with pytest.raises(WasmError, match="non-numeric"):
+            self._run(F64, "nope", predecode)
+
+    @pytest.mark.parametrize("predecode", [False, True])
+    def test_wrong_arity_raises(self, predecode):
+        with pytest.raises(WasmError, match="returned 2 values"):
+            self._run(I32, (1, 2), predecode)
+
+    @pytest.mark.parametrize("predecode", [False, True])
+    def test_valid_results_still_coerced(self, predecode):
+        assert self._run(I32, -1, predecode) == [0xFFFFFFFF]
+        assert self._run(F32, 1.1, predecode) == \
+            [struct.unpack("<f", struct.pack("<f", 1.1))[0]]
+        assert self._run(I64, True, predecode) == [1]
+
+    def test_host_function_direct_call(self):
+        # the HostFunction import path used by Machine.call directly
+        functype = FuncType((), (I32,))
+        host = HostFunction(functype, lambda args: 0.5, name="bad_host")
+        builder = ModuleBuilder("direct")
+        builder.import_function("env", "f", functype)
+        fb = builder.function((), (I32,), name="go", export="go")
+        fb.emit("call", idx=0)
+        fb.finish()
+        linker = Linker()
+        linker.define("env", "f", host)
+        instance = Machine(predecode=True).instantiate(builder.build(), linker)
+        with pytest.raises(WasmError, match="bad_host"):
+            instance.invoke("go", [])

@@ -9,7 +9,7 @@ from repro.core.runtime import WasabiRuntime, _present
 from repro.interp import Linker, Machine
 from repro.minic import compile_source
 from repro.wasm import encode_module, validate_module
-from repro.wasm.types import F32, F64, I32, I64, FuncType
+from repro.wasm.types import F32, F64, I32, I64
 
 
 class TestValuePresentation:

@@ -5,7 +5,7 @@ import pytest
 from repro.wasm import Instr, ValidationError, validate_module
 from repro.wasm.builder import ModuleBuilder
 from repro.wasm.module import BrTable
-from repro.wasm.types import F64, I32, I64, FuncType, GlobalType, Limits
+from repro.wasm.types import F64, I32, GlobalType
 
 
 def build_single(body_fn, params=(), results=(), **module_kwargs):

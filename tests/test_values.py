@@ -6,7 +6,7 @@ import struct
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.interp.values import BINOPS, UNOPS, MASK32, MASK64
+from repro.interp.values import BINOPS, MASK32, MASK64, UNOPS
 from repro.wasm.errors import Trap
 from repro.wasm.numeric import to_signed, to_unsigned
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.interp import Linker, Machine
 from repro.wasm import validate_module
-from repro.wasm.types import F64, I32, FuncType, GlobalType, Limits
+from repro.wasm.types import F64, FuncType
 from repro.wasm.wat import WatError, parse_wat
 
 

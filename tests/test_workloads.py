@@ -2,12 +2,12 @@
 
 import pytest
 
+from repro.eval import polybench_workloads, realworld_workloads
+from repro.eval.faithfulness import run_original
 from repro.interp import Machine
 from repro.wasm import encode_module, validate_module
 from repro.workloads import corpus, engine_demo, pdf_toolkit
-from repro.workloads.polybench import KERNELS, compile_kernel, get_kernel, kernel_names
-from repro.eval import polybench_workloads, realworld_workloads
-from repro.eval.faithfulness import run_original
+from repro.workloads.polybench import compile_kernel, get_kernel, kernel_names
 
 
 class TestPolybenchSuite:
