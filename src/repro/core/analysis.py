@@ -174,6 +174,15 @@ class Analysis:
     def start(self) -> None:
         """The module's start function is about to run."""
 
+    def used_groups(self) -> frozenset[str]:
+        """Hook groups this analysis implements (see :func:`used_groups`).
+
+        :class:`~repro.core.session.AnalysisSession` calls this when no
+        explicit ``groups`` are given, automating the selective
+        instrumentation the paper suggests in §2.4.2.
+        """
+        return used_groups(self)
+
 
 #: Maps high-level hook method names to instrumentation hook groups.
 HOOK_METHOD_TO_GROUP = {

@@ -17,10 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..interp.predecode import HOOK_IMPORT_MODULE
 from ..wasm.types import FuncType, I32, I64, ValType
 
 #: Import namespace used for generated hooks in the instrumented module.
-HOOK_MODULE = "__wasabi_hooks"
+#: Aliased from the engine's constant: the pre-decoded interpreter
+#: recognizes calls into this namespace and fuses them into pre-bound
+#: ``OP_HOOK`` dispatchers, so the two names must agree.
+HOOK_MODULE = HOOK_IMPORT_MODULE
 
 #: Hook kinds as they appear in low-level hook keys/names.
 HookKey = tuple

@@ -118,3 +118,31 @@ class StaticInfo:
 
     def hook_by_name(self) -> dict[str, HookSpec]:
         return {spec.name: spec for spec in self.hooks}
+
+    # -- per-site accessors --------------------------------------------------------
+    # Used by the runtime's site-specialized dispatch: each is resolved once
+    # per call site at specialization time, never per event.
+
+    def memarg_offset(self, func: int, instr: int) -> int:
+        """Static offset of the load/store at a location (0 if unknown)."""
+        return self.memarg_offsets.get((func, instr), 0)
+
+    def var_index(self, func: int, instr: int) -> int:
+        """Local/global index touched at a location."""
+        return self.var_indices[(func, instr)]
+
+    def call_target(self, func: int, instr: int) -> int:
+        """Original callee index of the direct call at a location."""
+        return self.call_targets[(func, instr)]
+
+    def br_target(self, func: int, instr: int) -> BranchTarget:
+        """Resolved target of the br/br_if at a location."""
+        return self.br_targets[(func, instr)]
+
+    def br_table_info(self, func: int, instr: int) -> BrTableInfo:
+        """Resolved targets/traversed-ends of the br_table at a location."""
+        return self.br_tables[(func, instr)]
+
+    def begin_location(self, func: int, instr: int, kind: str) -> Location:
+        """Begin location matching the block end at a location."""
+        return self.begin_of_end[(func, instr, kind)]

@@ -14,6 +14,23 @@ hooks). These functions
   traversed blocks at runtime (§2.4.5),
 
 before invoking the user's high-level hooks.
+
+Two dispatch strategies coexist:
+
+* the **generic dispatcher** (:meth:`WasabiRuntime._make_dispatcher`) parses
+  the trailing location parameters and looks up per-site static information
+  in dictionaries on *every* event — this is the only possible strategy on
+  engines that call hook imports like any other host function, and it is
+  kept as the differential-testing oracle;
+* the **site factory** (:meth:`WasabiRuntime._site_factory`) is handed to
+  the pre-decoding engine via the ``site_factory`` host-function attribute.
+  The engine calls it once per fused ``const/const/call`` site, and the
+  returned closure has the :class:`Location`, static info (branch targets,
+  memarg offsets, variable indices, call targets, begin/end matching), and
+  value converters all pre-bound, so per event nothing is looked up.
+
+Hooks whose high-level methods the analysis does not override dispatch to a
+shared no-op in both strategies.
 """
 
 from __future__ import annotations
@@ -43,6 +60,84 @@ def _present(valtype: ValType, raw: int | float) -> int | float:
     return raw
 
 
+#: hook kind → analysis method(s) a dispatcher for that kind may invoke.
+_KIND_TO_METHODS: dict[str, tuple[str, ...]] = {
+    "const": ("const_",),
+    "drop": ("drop",),
+    "select": ("select",),
+    "unary": ("unary",),
+    "binary": ("binary",),
+    "load": ("load",),
+    "store": ("store",),
+    "local": ("local",),
+    "global": ("global_",),
+    "memory_size": ("memory_size",),
+    "memory_grow": ("memory_grow",),
+    "call_pre": ("call_pre",),
+    "call_post": ("call_post",),
+    "return": ("return_",),
+    "br": ("br",),
+    "br_if": ("br_if",),
+    # the br_table dispatcher also fires the end hooks of traversed blocks
+    "br_table": ("br_table", "end"),
+    "if": ("if_",),
+    "begin": ("begin",),
+    "end": ("end",),
+    "nop": ("nop",),
+    "unreachable": ("unreachable",),
+}
+
+
+def _overrides(analysis: Analysis, method_name: str) -> bool:
+    """Whether ``analysis`` overrides a hook method of :class:`Analysis`.
+
+    Instance attributes (as installed by ``CompositeAnalysis``) count as
+    overrides just like subclass methods.
+    """
+    impl = getattr(analysis, method_name)
+    return getattr(impl, "__func__", impl) is not getattr(Analysis, method_name)
+
+
+_SIGN32 = 1 << 31
+_SIGN64 = 1 << 63
+
+
+def _part_extractors(value_types: tuple[ValType, ...]):
+    """Per logical hook value: ``(raw, presented)`` extractor pairs.
+
+    Each extractor takes the flat (post-i64-split) raw argument list and
+    returns one logical value; ``raw`` keeps the engine's canonical unsigned
+    form (used for addresses and table indices), ``presented`` applies the
+    Figure-5 conversion of :func:`_present`. Split i64 halves are re-joined
+    by both. Index arithmetic happens here, once, at specialization time.
+    """
+    raws: list = []
+    presented: list = []
+    cursor = 0
+    for valtype in value_types:
+        if valtype is I64:
+            lo, hi = cursor, cursor + 1
+            raws.append(lambda a, lo=lo, hi=hi: a[lo] | (a[hi] << 32))
+            # branch-free sign conversion: (x ^ 2**63) - 2**63
+            presented.append(
+                lambda a, lo=lo, hi=hi:
+                ((a[lo] | (a[hi] << 32)) ^ _SIGN64) - _SIGN64)
+            cursor += 2
+        else:
+            i = cursor
+            raws.append(lambda a, i=i: a[i])
+            if valtype is ValType.I32:
+                presented.append(lambda a, i=i: (a[i] ^ _SIGN32) - _SIGN32)
+            else:
+                presented.append(lambda a, i=i: a[i])
+            cursor += 1
+    return raws, presented
+
+
+def _noop_dispatcher(args: list) -> None:
+    """Shared dispatcher for hooks whose analysis methods are not overridden."""
+
+
 class WasabiRuntime:
     """Builds and owns the low-level hook host functions for one analysis."""
 
@@ -68,11 +163,27 @@ class WasabiRuntime:
     # -- host function generation ----------------------------------------------
 
     def host_functions(self) -> dict[str, HostFunction]:
-        """One generated host function per low-level hook."""
-        return {spec.name: HostFunction(spec.functype,
-                                        self._make_dispatcher(spec),
-                                        name=spec.name)
-                for spec in self.info.hooks}
+        """One generated host function per low-level hook.
+
+        Each host function is annotated for the pre-decoding engine:
+        ``is_wasabi_hook`` marks it void-by-construction, and (when hooks
+        carry location parameters) ``site_factory`` lets the engine request
+        a per-call-site specialized dispatcher at instantiation time.
+        """
+        out: dict[str, HostFunction] = {}
+        for spec in self.info.hooks:
+            host = HostFunction(spec.functype, self._make_dispatcher(spec),
+                                name=spec.name)
+            host.is_wasabi_hook = True
+            if self._with_locations:
+                host.site_factory = self._site_factory(spec)
+            out[spec.name] = host
+        return out
+
+    def _hook_is_live(self, spec: HookSpec) -> bool:
+        """Whether any analysis method this hook dispatches to is overridden."""
+        return any(_overrides(self.analysis, method)
+                   for method in _KIND_TO_METHODS[spec.kind])
 
     def _split_args(self, spec: HookSpec,
                     raw: list[int | float]) -> tuple[Location, list[int | float]]:
@@ -108,6 +219,11 @@ class WasabiRuntime:
         payload = spec.payload
         info = self.info
 
+        # A hook whose high-level methods the analysis never overrides can
+        # only ever reach Analysis' empty default bodies: share one no-op.
+        if not self._hook_is_live(spec):
+            return _noop_dispatcher
+
         # Fast path: without i64 values there is no split-halves re-joining,
         # so the raw args *are* the values and the generic cursor walk in
         # _split_args can be skipped. Hooks fire once per executed
@@ -121,7 +237,7 @@ class WasabiRuntime:
         else:
             no_loc = Location(-1, -1)
             def loc_and_vals(args: list) -> tuple[Location, list]:
-                return no_loc, args[:]
+                return no_loc, args
 
         if kind == "const":
             valtype = payload[0]
@@ -272,3 +388,256 @@ class WasabiRuntime:
             raise ValueError(f"unknown hook kind {kind!r}")
 
         return dispatch
+
+    # -- per-call-site specialization ---------------------------------------------
+
+    def _site_factory(self, spec: HookSpec) -> Callable[[int, int], Callable[[list], None]]:
+        """Build the specialization factory the pre-decoding engine calls.
+
+        The engine invokes the returned factory once per fused
+        ``const/const/call`` hook site with the two raw location constants;
+        the factory returns a dispatcher over the popped value arguments
+        with everything constant at that site — the :class:`Location`,
+        memarg offset, variable index, direct-call target, branch targets,
+        br_table entries, begin/end matching, and the value converters —
+        resolved here, never per event. A factory raising (a site with no
+        static info) makes the engine fall back to the generic dispatcher,
+        which fails or succeeds at event time exactly like the
+        unspecialized engine.
+        """
+        analysis = self.analysis
+        kind = spec.kind
+        payload = spec.payload
+        info = self.info
+
+        if not self._hook_is_live(spec):
+            def noop_factory(func_const: int, instr_const: int) -> Callable[[list], None]:
+                return _noop_dispatcher
+            return noop_factory
+
+        raws, presented = _part_extractors(spec.value_types)
+        # the hottest dispatchers (pure-i32 and pure-float shapes) are
+        # flattened below to avoid even the per-value extractor calls
+        all_i32 = all(t is ValType.I32 for t in spec.value_types)
+        all_float = all(t not in (ValType.I32, I64) for t in spec.value_types)
+
+        if kind in ("const", "drop"):
+            hook = analysis.const_ if kind == "const" else analysis.drop
+            if all_i32:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, (args[0] ^ _SIGN32) - _SIGN32)
+                    return dispatch
+            elif all_float:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, args[0])
+                    return dispatch
+            else:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, ((args[0] | (args[1] << 32)) ^ _SIGN64)
+                             - _SIGN64)
+                    return dispatch
+        elif kind == "select":
+            hook = analysis.select
+            first, second, condition = presented[0], presented[1], raws[2]
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc, bool(condition(args)), first(args), second(args))
+                return dispatch
+        elif kind == "unary":
+            hook = analysis.unary
+            op = payload[0]
+            if all_i32:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, (args[0] ^ _SIGN32) - _SIGN32,
+                             (args[1] ^ _SIGN32) - _SIGN32)
+                    return dispatch
+            elif all_float:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, args[0], args[1])
+                    return dispatch
+            else:
+                inp, res = presented[0], presented[1]
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, inp(args), res(args))
+                    return dispatch
+        elif kind == "binary":
+            hook = analysis.binary
+            op = payload[0]
+            if all_i32:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, (args[0] ^ _SIGN32) - _SIGN32,
+                             (args[1] ^ _SIGN32) - _SIGN32,
+                             (args[2] ^ _SIGN32) - _SIGN32)
+                    return dispatch
+            elif all_float:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, args[0], args[1], args[2])
+                    return dispatch
+            else:
+                first, second, res = presented[0], presented[1], presented[2]
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, first(args), second(args), res(args))
+                    return dispatch
+        elif kind in ("load", "store"):
+            hook = analysis.load if kind == "load" else analysis.store
+            op = payload[0]
+            valtype = spec.value_types[1]  # (address, value)
+            if valtype is ValType.I32:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    offset = info.memarg_offset(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, MemArg(args[0], offset),
+                             (args[1] ^ _SIGN32) - _SIGN32)
+                    return dispatch
+            elif valtype is I64:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    offset = info.memarg_offset(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, MemArg(args[0], offset),
+                             ((args[1] | (args[2] << 32)) ^ _SIGN64) - _SIGN64)
+                    return dispatch
+            else:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    offset = info.memarg_offset(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, MemArg(args[0], offset), args[1])
+                    return dispatch
+        elif kind in ("local", "global"):
+            hook = analysis.local if kind == "local" else analysis.global_
+            op = payload[0]
+            if all_i32:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    index = info.var_index(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, index, (args[0] ^ _SIGN32) - _SIGN32)
+                    return dispatch
+            elif all_float:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    index = info.var_index(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, index, args[0])
+                    return dispatch
+            else:
+                def bind(loc: Location) -> Callable[[list], None]:
+                    index = info.var_index(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, op, index,
+                             ((args[0] | (args[1] << 32)) ^ _SIGN64)
+                             - _SIGN64)
+                    return dispatch
+        elif kind == "memory_size":
+            hook = analysis.memory_size
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc, args[0])
+                return dispatch
+        elif kind == "memory_grow":
+            hook = analysis.memory_grow
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc, args[0], args[1])
+                return dispatch
+        elif kind == "call_pre":
+            hook = analysis.call_pre
+            if payload[0] == "indirect":
+                arg_parts = presented[1:]  # raws[0] is the raw table index
+                def bind(loc: Location) -> Callable[[list], None]:
+                    def dispatch(args: list) -> None:
+                        table_index = args[0]
+                        call_args = [part(args) for part in arg_parts]
+                        target = -1
+                        instance = self.instance
+                        if instance is not None and instance.table is not None:
+                            entry = instance.table.lookup(table_index)
+                            if entry is not None:
+                                target = self._original_func_idx(entry)
+                        hook(loc, target, call_args, table_index)
+                    return dispatch
+            else:
+                arg_parts = presented
+                def bind(loc: Location) -> Callable[[list], None]:
+                    target = info.call_target(loc.func, loc.instr)
+                    def dispatch(args: list) -> None:
+                        hook(loc, target, [part(args) for part in arg_parts], None)
+                    return dispatch
+        elif kind in ("call_post", "return"):
+            hook = analysis.call_post if kind == "call_post" else analysis.return_
+            parts = presented
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc, [part(args) for part in parts])
+                return dispatch
+        elif kind == "br":
+            hook = analysis.br
+            def bind(loc: Location) -> Callable[[list], None]:
+                target = info.br_target(loc.func, loc.instr)
+                def dispatch(args: list) -> None:
+                    hook(loc, target)
+                return dispatch
+        elif kind == "br_if":
+            hook = analysis.br_if
+            def bind(loc: Location) -> Callable[[list], None]:
+                target = info.br_target(loc.func, loc.instr)
+                def dispatch(args: list) -> None:
+                    hook(loc, target, bool(args[0]))
+                return dispatch
+        elif kind == "br_table":
+            br_hook = analysis.br_table if _overrides(analysis, "br_table") else None
+            end_hook = analysis.end if _overrides(analysis, "end") else None
+            def bind(loc: Location) -> Callable[[list], None]:
+                table_info = info.br_table_info(loc.func, loc.instr)
+                targets, default = table_info.targets, table_info.default
+                ended, n_entries = table_info.ended, len(table_info.targets)
+                def dispatch(args: list) -> None:
+                    table_index = args[0]
+                    if br_hook is not None:
+                        br_hook(loc, targets, default, table_index)
+                    if end_hook is not None:
+                        taken = table_index if table_index < n_entries else -1
+                        for event in ended[taken]:
+                            end_hook(event.end, event.kind, event.begin)
+                return dispatch
+        elif kind == "if":
+            hook = analysis.if_
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc, bool(args[0]))
+                return dispatch
+        elif kind == "begin":
+            hook = analysis.begin
+            block_type = payload[0]
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc, block_type)
+                return dispatch
+        elif kind == "end":
+            hook = analysis.end
+            block_type = payload[0]
+            def bind(loc: Location) -> Callable[[list], None]:
+                begin = info.begin_location(loc.func, loc.instr, block_type)
+                def dispatch(args: list) -> None:
+                    hook(loc, block_type, begin)
+                return dispatch
+        elif kind in ("nop", "unreachable"):
+            hook = analysis.nop if kind == "nop" else analysis.unreachable
+            def bind(loc: Location) -> Callable[[list], None]:
+                def dispatch(args: list) -> None:
+                    hook(loc)
+                return dispatch
+        else:  # pragma: no cover - registry only produces known kinds
+            raise ValueError(f"unknown hook kind {kind!r}")
+
+        def factory(func_const: int, instr_const: int) -> Callable[[list], None]:
+            # the begin-function hook's instr index is emitted as -1 and
+            # arrives pre-masked; the func index is always nonnegative
+            return bind(Location(func_const, to_signed(instr_const, 32)))
+        return factory

@@ -13,7 +13,7 @@ from typing import Sequence
 from ..interp.host import Linker
 from ..interp.machine import Instance, Machine
 from ..wasm.module import Module
-from .analysis import Analysis, used_groups
+from .analysis import Analysis
 from .hooks import HOOK_MODULE
 from .instrument import (InstrumentationConfig, InstrumentationResult,
                          instrument_module)
@@ -32,9 +32,12 @@ class AnalysisSession:
         self.original = module
         self.analysis = analysis
         if groups is None:
-            groups = used_groups(analysis)
+            # selective instrumentation (§2.4.2): only instrument for the
+            # hooks the analysis actually overrides
+            groups = analysis.used_groups()
+        self.groups: frozenset[str] = frozenset(groups)
         self.result: InstrumentationResult = instrument_module(
-            module, groups=groups, config=config)
+            module, groups=self.groups, config=config)
         self.runtime = WasabiRuntime(self.result, analysis)
 
         linker = linker or Linker()

@@ -8,7 +8,8 @@ from .faithfulness import (FaithfulnessResult, check_workload, run_instrumented,
                            run_original)
 from .hooks_matrix import (FIGURE_GROUPS, make_full_analysis,
                            make_group_analysis)
-from .overhead import (OverheadReport, baseline_runtime, instrumented_runtime,
+from .overhead import (OverheadReport, baseline_runtime,
+                       hook_dispatch_payload, instrumented_runtime,
                        overhead_sweep)
 from .report import render_fig8, render_fig9, render_table, render_table5
 from .sizes import SizeReport, measure_size, size_sweep
@@ -22,7 +23,8 @@ __all__ = [
     "FIGURE_GROUPS", "FaithfulnessResult", "InterpBenchReport",
     "OverheadReport", "POLYBENCH_FAST_SUBSET", "SizeReport", "TimingReport",
     "Workload", "baseline_runtime", "bench_interpreter", "check_workload",
-    "default_workloads", "geomean_speedup", "instrument_binary",
+    "default_workloads", "geomean_speedup", "hook_dispatch_payload",
+    "instrument_binary",
     "instrumented_runtime", "interp_bench_payload", "make_full_analysis",
     "make_group_analysis", "measure_size", "overhead_sweep",
     "polybench_workloads", "realworld_workloads", "render_fig8",

@@ -9,14 +9,17 @@ kept for differential testing.
 
 from .host import GlobalInstance, HostFunction, Linker
 from .machine import (DEFAULT_MAX_CALL_DEPTH, Instance, Machine, WasmFunction,
-                      instantiate, predecode_default)
+                      bind_hook_sites, instantiate, predecode_default,
+                      specialize_hooks_default)
 from .memory import Memory
-from .predecode import DecodedFunction, cached_decode, decode_function
+from .predecode import (HOOK_IMPORT_MODULE, DecodedFunction, cached_decode,
+                        decode_function)
 from .table import Table
 
 __all__ = [
     "DEFAULT_MAX_CALL_DEPTH", "DecodedFunction", "GlobalInstance",
-    "HostFunction", "Instance", "Linker", "Machine", "Memory", "Table",
-    "WasmFunction", "cached_decode", "decode_function", "instantiate",
-    "predecode_default",
+    "HOOK_IMPORT_MODULE", "HostFunction", "Instance", "Linker", "Machine",
+    "Memory", "Table", "WasmFunction", "bind_hook_sites", "cached_decode",
+    "decode_function", "instantiate", "predecode_default",
+    "specialize_hooks_default",
 ]

@@ -30,7 +30,7 @@ from ..wasm.numeric import f32_round
 from ..wasm.types import FuncType, GlobalType, MemoryType, TableType, ValType
 from .host import GlobalInstance, HostFunction, Linker
 from .memory import Memory
-from .predecode import DecodedFunction, cached_decode
+from .predecode import OP_CALL, OP_CONST, OP_HOOK, DecodedFunction, cached_decode
 from .table import Table
 from .values import BINOPS, MASK32, MASK64, UNOPS, default_value
 
@@ -41,6 +41,14 @@ DEFAULT_MAX_CALL_DEPTH = 700
 def predecode_default() -> bool:
     """Whether new machines pre-decode, from ``REPRO_PREDECODE`` (default on)."""
     return os.environ.get("REPRO_PREDECODE", "1").lower() not in ("0", "false", "no", "off")
+
+
+def specialize_hooks_default() -> bool:
+    """Whether hook call sites are fused into pre-bound ``OP_HOOK``
+    dispatchers, from ``REPRO_SPECIALIZE_HOOKS`` (default on). Only
+    meaningful on pre-decoding machines."""
+    return os.environ.get("REPRO_SPECIALIZE_HOOKS", "1").lower() not in (
+        "0", "false", "no", "off")
 
 
 class BlockMatching:
@@ -78,12 +86,99 @@ class BlockMatching:
                 # an end with no open block is the function's final end
 
 
+def _generic_hook_dispatcher(host: HostFunction, extra: tuple):
+    """Per-site dispatcher for a hook import *without* a site factory.
+
+    Semantically identical to executing the original const/const/call
+    sequence: the pre-fused constants are appended to the popped value args
+    and the host function is called. Wasabi-generated dispatchers
+    (``is_wasabi_hook``) are void by construction; anything else keeps the
+    strict host-result check of the generic call path.
+    """
+    fn = host.fn
+    if getattr(host, "is_wasabi_hook", False):
+        if not extra:
+            return fn
+
+        def dispatch(values: list) -> None:
+            values.extend(extra)
+            fn(values)
+
+        return dispatch
+
+    def dispatch(values: list) -> None:
+        if extra:
+            values.extend(extra)
+        raw = fn(values)
+        if raw is not None:
+            # a void import returning values is a host bug: reuse the strict
+            # coercion path, which raises unless the result list is empty
+            Machine._host_results(host, raw)
+
+    return dispatch
+
+
+def bind_hook_sites(decoded: DecodedFunction,
+                    functions: list) -> DecodedFunction:
+    """Specialize a decoded stream's hook call sites for one instance.
+
+    For every recorded site, the linked host function is resolved and the
+    site is rewritten into an ``OP_HOOK`` superinstruction carrying a
+    pre-bound dispatcher closure:
+
+    * hosts annotated with a ``site_factory`` (the Wasabi runtime's
+      location-aware hooks) get a closure bound to this exact call site —
+      Location, static info, and presentation converters all resolved once;
+    * any other hook import gets a generic closure that merely pre-fuses
+      the constant operands (still skipping per-event marshalling).
+
+    The shared per-:class:`~repro.wasm.module.Function` decode cache is
+    never mutated: the returned stream is a per-instance copy.
+    """
+    code = list(decoded.code)
+    original = decoded.code
+    for pc in decoded.hook_sites:
+        ins = original[pc]
+        if ins[0] != OP_CALL:  # pragma: no cover - sites always decode to calls
+            continue
+        host = functions[ins[1]]
+        if not isinstance(host, HostFunction):  # pragma: no cover - imports are host fns
+            continue
+        n_params = ins[2]
+        factory = getattr(host, "site_factory", None)
+        if (pc >= 2 and n_params >= 2
+                and original[pc - 1][0] == OP_CONST
+                and original[pc - 2][0] == OP_CONST):
+            func_const = original[pc - 2][1]
+            instr_const = original[pc - 1][1]
+            bound = None
+            if factory is not None:
+                try:
+                    bound = factory(func_const, instr_const)
+                except Exception:
+                    # a site the runtime has no static info for: keep the
+                    # generic path, which fails (or not) at event time
+                    # exactly like the unspecialized engine
+                    bound = None
+            if bound is None:
+                bound = _generic_hook_dispatcher(host, (func_const, instr_const))
+            code[pc - 2] = (OP_HOOK, bound, n_params - 2, 3)
+        else:
+            # bare hook call (e.g. emit_locations=False): the host function
+            # is itself the per-hook dispatcher; bind it without the
+            # _invoke_callee indirection
+            code[pc] = (OP_HOOK, _generic_hook_dispatcher(host, ()), n_params, 1)
+    return DecodedFunction(code, decoded.source_body, decoded.hook_sites)
+
+
 class WasmFunction:
     """A defined function bound to its instance, with precomputed dispatch.
 
     ``decoded`` holds the pre-decoded threaded stream (None on machines with
-    ``predecode=False``); ``matching`` is the legacy block-matching table,
-    built lazily so pre-decoding machines never pay for it.
+    ``predecode=False``); on machines with ``specialize_hooks`` the stream's
+    hook call sites are rebound per instance into ``OP_HOOK`` dispatchers;
+    ``matching`` is the legacy block-matching table, built lazily so
+    pre-decoding machines never pay for it.
     """
 
     __slots__ = ("instance", "func", "functype", "local_types", "default_locals",
@@ -100,6 +195,8 @@ class WasmFunction:
         machine = instance.machine
         if machine.predecode:
             decoded, hit = cached_decode(func, instance.module)
+            if decoded.hook_sites and machine.specialize_hooks:
+                decoded = bind_hook_sites(decoded, instance.functions)
             self.decoded: DecodedFunction | None = decoded
             if hit:
                 machine.predecode_cache_hits += 1
@@ -207,12 +304,20 @@ class Machine:
     ``predecode`` selects the execution engine: True for the pre-decoded
     threaded loop, False for the legacy string-dispatch loop, None (default)
     to follow the ``REPRO_PREDECODE`` environment variable.
+
+    ``specialize_hooks`` controls call-site-specialized hook dispatch on the
+    pre-decoded engine (None follows ``REPRO_SPECIALIZE_HOOKS``, default
+    on). With it disabled, hook calls take the generic host-call path —
+    the differential oracle for the specialized dispatchers.
     """
 
     def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
-                 predecode: bool | None = None):
+                 predecode: bool | None = None,
+                 specialize_hooks: bool | None = None):
         self.max_call_depth = max_call_depth
         self.predecode = predecode_default() if predecode is None else predecode
+        self.specialize_hooks = (specialize_hooks_default()
+                                 if specialize_hooks is None else specialize_hooks)
         #: Decoded-stream cache statistics for this machine's instantiations.
         self.predecode_cache_hits = 0
         self.predecode_cache_misses = 0
@@ -430,6 +535,16 @@ class Machine:
                 append(locals_[ins[1]])
                 append(locals_[ins[2]])
                 pc += 2
+                continue
+            elif op == 34:  # OP_HOOK: (_, bound_dispatcher, n_args, skip)
+                n_params = ins[2]
+                if n_params:
+                    call_args = stack[-n_params:]
+                    del stack[-n_params:]
+                else:
+                    call_args = []
+                ins[1](call_args)
+                pc += ins[3]
                 continue
             elif op == 4:  # OP_LOAD_INT: (_, fmt, offset, mask)
                 addr = pop() + ins[2]

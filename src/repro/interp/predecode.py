@@ -17,7 +17,14 @@ dicts. This module translates each function body *once* into a flat array of
   pcs (subsuming the legacy ``BlockMatching`` side tables), and
 * ``call``/``call_indirect`` carry their callee's parameter count (and, for
   indirect calls, the expected :class:`FuncType`) so the call sequence does
-  no type-table lookups at run time.
+  no type-table lookups at run time, and
+* calls into the Wasabi hook namespace (:data:`HOOK_IMPORT_MODULE`,
+  identified via the module's import section) are recorded as *hook call
+  sites*. At instantiation time the machine fuses each
+  ``i32.const func / i32.const instr / call <hook>`` site into an
+  :data:`OP_HOOK` superinstruction bound to a per-site dispatcher closure,
+  so an executed hook does no location marshalling and no static-info
+  lookups (see ``repro.interp.machine.bind_hook_sites``).
 
 The decoded stream is cached *on the* :class:`~repro.wasm.module.Function`
 *object itself* (``func._decoded``), so re-instantiating the same module —
@@ -83,6 +90,21 @@ OP_CONST_BINARY = 31       # (_, fn, const)       — stack[-1] = fn(top, const)
 OP_GET_LOCAL_BINARY = 32   # (_, fn, local_idx)   — stack[-1] = fn(top, local)
 OP_GET2_LOCAL = 33         # (_, i, j)            — push two locals
 
+# Call-site-specialized hook dispatch. Decoding records *where* calls into
+# the Wasabi hook import namespace happen (``DecodedFunction.hook_sites``);
+# the machine rewrites those slots per instance into
+# ``(OP_HOOK, bound_dispatcher, n_value_args, skip)``: pop the value args,
+# call the pre-bound closure, advance ``skip`` pcs (3 when the two location
+# constants were fused in, 1 for a bare call). The const/call slots keep
+# their ordinary decoding so branches into the middle of a (never-branched-
+# into, in practice) hook sequence still behave like the source program.
+OP_HOOK = 34
+
+#: Import namespace of Wasabi's generated low-level hooks. The instrumenter
+#: (``repro.core.hooks.HOOK_MODULE``) aliases this constant, so the engine
+#: and the instrumenter cannot drift apart.
+HOOK_IMPORT_MODULE = "__wasabi_hooks"
+
 # Loads decode to a struct format executed directly against the memory
 # bytearray with ``struct.unpack_from`` (one C call instead of a chain of
 # Python-level accessor calls); integer results are masked back to the
@@ -121,14 +143,19 @@ class DecodedFunction:
     ``code`` is a flat list of tuples, one per source instruction (1:1 with
     ``source_body``). ``source_body`` keeps a strong reference to the body
     list the stream was decoded from, which both prevents ``id`` recycling
-    and lets the cache detect body replacement.
+    and lets the cache detect body replacement. ``hook_sites`` lists the
+    pcs of ``call`` instructions targeting Wasabi hook imports; it is empty
+    for uninstrumented modules, whose decode is entirely unaffected.
     """
 
-    __slots__ = ("code", "source_body")
+    __slots__ = ("code", "source_body", "hook_sites")
 
-    def __init__(self, code: list[tuple], source_body: list[Instr]):
+    def __init__(
+        self, code: list[tuple], source_body: list[Instr], hook_sites: tuple[int, ...] = ()
+    ):
         self.code = code
         self.source_body = source_body
+        self.hook_sites = hook_sites
 
     def __len__(self) -> int:
         return len(self.code)
@@ -256,14 +283,35 @@ def _decode_instr(
     raise WasmError(f"cannot pre-decode {op}")
 
 
-def _fuse_pairs(code: list[tuple]) -> None:
+def _hook_import_indices(module: Module) -> frozenset[int]:
+    """Function indices of imports in the Wasabi hook namespace.
+
+    Only void imports qualify: generated low-level hooks never return
+    values, and restricting the match keeps arbitrary same-named imports
+    with results on the fully generic call path.
+    """
+    indices: list[int] = []
+    func_idx = 0
+    for imp in module.imports:
+        if isinstance(imp.desc, int):  # function import
+            if imp.module == HOOK_IMPORT_MODULE and not module.types[imp.desc].results:
+                indices.append(func_idx)
+            func_idx += 1
+    return frozenset(indices)
+
+
+def _fuse_pairs(code: list[tuple], blocked: frozenset[int] | set[int] = frozenset()) -> None:
     """Rewrite hot adjacent pairs into superinstructions, in place.
 
     Overlapping fusions are fine: a fused slot is only *entered* at its own
     pc, and it always skips exactly one slot, whose unfused decoding is kept
-    for branches that target it directly.
+    for branches that target it directly. Slots in ``blocked`` (the leading
+    location constant of a hook call site) are never consumed as the second
+    half of a pair, so the machine's hook-site fusion stays reachable.
     """
     for pc in range(len(code) - 1):
+        if pc + 1 in blocked:
+            continue
         first = code[pc]
         fop = first[0]
         second = code[pc + 1]
@@ -283,6 +331,7 @@ def decode_function(func: Function, module: Module) -> DecodedFunction:
     """Decode one function body into its threaded form (uncached)."""
     body = func.body
     end_of, else_of = match_blocks(body)
+    hook_imports = _hook_import_indices(module)
     code: list[tuple] = []
     for pc, instr in enumerate(body):
         try:
@@ -293,8 +342,21 @@ def decode_function(func: Function, module: Module) -> DecodedFunction:
             # decoding them to a raising placeholder instead of refusing to
             # instantiate.
             code.append((OP_RAISE, WasmError(f"cannot execute {instr}: {exc}")))
-    _fuse_pairs(code)
-    return DecodedFunction(code, body)
+    hook_sites: tuple[int, ...] = ()
+    blocked: set[int] = set()
+    if hook_imports:
+        hook_sites = tuple(
+            pc for pc, ins in enumerate(code) if ins[0] == OP_CALL and ins[1] in hook_imports
+        )
+        for pc in hook_sites:
+            # the instrumentation idiom: two i32.const location operands
+            # directly before the hook call — reserve the first const slot
+            # for the machine's OP_HOOK rewrite
+            consts = pc >= 2 and code[pc - 1][0] == OP_CONST and code[pc - 2][0] == OP_CONST
+            if consts and code[pc][2] >= 2:
+                blocked.add(pc - 2)
+    _fuse_pairs(code, blocked)
+    return DecodedFunction(code, body, hook_sites)
 
 
 def cached_decode(func: Function, module: Module) -> tuple[DecodedFunction, bool]:
