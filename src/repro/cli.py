@@ -9,7 +9,12 @@ the equivalent, plus the usual binary-toolkit conveniences:
   python -m repro objdump app.wasm            # WAT-style disassembly
   python -m repro compile kernel.mc -o kernel.wasm
   python -m repro run app.wasm main 1 2 --analysis mix
+  python -m repro run app.wasm main --fuel 1000000 --timeout 5
   python -m repro stats app.wasm              # sizes, sections, instr mix
+  python -m repro fuzz --mutants 5000         # fault-injection campaign
+
+Exit codes: 0 success, 1 failure (invalid module, trap, fuzz escapes),
+2 usage error, 4 resource exhaustion (fuel/deadline/memory budget hit).
 """
 
 from __future__ import annotations
@@ -22,12 +27,16 @@ from pathlib import Path
 from .analyses import (BasicBlockProfiler, BranchCoverage, CallGraphAnalysis,
                        CryptominerDetector, InstructionCoverage,
                        InstructionMixAnalysis, MemoryTracer)
-from .core import ALL_GROUPS, Analysis, AnalysisSession, instrument_module
-from .interp import Linker, Machine
+from .core import (ALL_GROUPS, ERROR_POLICIES, Analysis, AnalysisSession,
+                   instrument_module)
+from .interp import Linker, Machine, ResourceLimits
 from .minic import compile_source
-from .wasm import (decode_module, encode_module, format_module,
-                   validate_module)
+from .wasm import (ResourceExhausted, decode_module, encode_module,
+                   format_module, validate_module)
 from .wasm.types import F64, I32, FuncType
+
+#: Exit status for a run aborted by a ResourceLimits bound.
+EXIT_RESOURCE_EXHAUSTED = 4
 
 ANALYSES = {
     "mix": InstructionMixAnalysis,
@@ -121,18 +130,37 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _limits_from_args(args: argparse.Namespace) -> ResourceLimits | None:
+    if args.fuel is None and args.timeout is None and args.max_memory_pages is None:
+        return None
+    return ResourceLimits(fuel=args.fuel, deadline_seconds=args.timeout,
+                          max_memory_pages=args.max_memory_pages)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     module = _load(args.input)
     call_args = [float(a) if "." in a else int(a) for a in args.args]
     printed: list = []
     linker = _default_linker(printed)
+    limits = _limits_from_args(args)
+    try:
+        return _run(args, module, call_args, printed, linker, limits)
+    except ResourceExhausted as exc:
+        print(f"repro: resource limit hit: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE_EXHAUSTED
+
+
+def _run(args: argparse.Namespace, module, call_args, printed, linker,
+         limits: ResourceLimits | None) -> int:
     if args.analysis == "none" and not args.instrument:
-        machine = Machine()
+        machine = Machine(limits=limits)
         instance = machine.instantiate(module, linker)
         result = instance.invoke(args.entry, call_args)
     else:
         analysis = ANALYSES[args.analysis]()
-        session = AnalysisSession(module, analysis, linker=linker)
+        session = AnalysisSession(module, analysis, linker=linker,
+                                  limits=limits,
+                                  on_analysis_error=args.on_analysis_error)
         result = session.invoke(args.entry, call_args)
         if isinstance(analysis, InstructionMixAnalysis):
             print(analysis.report())
@@ -149,6 +177,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"[print] {value}")
     print(f"{args.entry}({', '.join(map(str, call_args))}) = {result}")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Run the seeded fault-injection campaign (see repro.eval.faultinject)."""
+    from .eval.faultinject import run_campaign
+
+    engines: tuple[bool, ...] = (True, False)
+    if args.engine == "predecode":
+        engines = (True,)
+    elif args.engine == "legacy":
+        engines = (False,)
+    result = run_campaign(mutants=args.mutants, seed=args.seed,
+                          execute=not args.no_execute, engines=engines)
+    print(result.summary())
+    for failure in result.failures:
+        print(f"ESCAPE {failure}", file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -203,11 +248,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--analysis", choices=sorted(ANALYSES), default="none")
     p.add_argument("--instrument", action="store_true",
                    help="instrument even without an analysis")
+    p.add_argument("--fuel", type=int, default=None,
+                   help="abort after this many metered events "
+                        "(taken branches + calls)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget per invocation")
+    p.add_argument("--max-memory-pages", type=int, default=None,
+                   help="cap linear memory at this many 64 KiB pages")
+    p.add_argument("--on-analysis-error", choices=ERROR_POLICIES,
+                   default="raise",
+                   help="policy when an analysis hook raises (default: raise)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("stats", help="summarize a .wasm binary")
     p.add_argument("input")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("fuzz", help="seeded fault-injection campaign over "
+                                    "the decode/validate/instrument pipeline")
+    p.add_argument("--mutants", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=20260806)
+    p.add_argument("--engine", choices=("both", "predecode", "legacy"),
+                   default="both",
+                   help="engine(s) for the execute stage (default: both)")
+    p.add_argument("--no-execute", action="store_true",
+                   help="skip executing statically valid mutants")
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

@@ -9,14 +9,14 @@ from .instrument import (InstrumentationConfig, InstrumentationResult,
                          instrument_module)
 from .metadata import (BrTableInfo, EndEvent, FunctionInfo, ModuleInfo,
                        StaticInfo)
-from .runtime import WasabiRuntime
+from .runtime import ERROR_POLICIES, WasabiRuntime
 from .session import AnalysisSession, analyze
 
 __all__ = [
     "ALL_GROUPS", "Analysis", "AnalysisSession", "BranchTarget",
     "BrTableInfo", "CompositeAnalysis", "ControlFrame", "ControlStack", "EndEvent", "FunctionInfo",
-    "HOOK_MODULE", "HookRegistry", "HookSpec", "InstrumentationConfig",
-    "InstrumentationResult", "Location", "MemArg", "ModuleInfo", "StaticInfo",
-    "WasabiRuntime", "analyze", "eager_hook_count", "instrument_module",
-    "used_groups",
+    "ERROR_POLICIES", "HOOK_MODULE", "HookRegistry", "HookSpec",
+    "InstrumentationConfig", "InstrumentationResult", "Location", "MemArg",
+    "ModuleInfo", "StaticInfo", "WasabiRuntime", "analyze",
+    "eager_hook_count", "instrument_module", "used_groups",
 ]

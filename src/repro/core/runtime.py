@@ -31,20 +31,36 @@ Two dispatch strategies coexist:
 
 Hooks whose high-level methods the analysis does not override dispatch to a
 shared no-op in both strategies.
+
+**Fault containment.** Every dispatcher (generic and specialized) runs the
+analysis under a containment wrapper: an exception escaping a hook is
+wrapped in :class:`~repro.wasm.errors.AnalysisError` carrying the hook name
+and :class:`Location`, and then handled per the runtime's
+``on_analysis_error`` policy — ``raise`` (propagate to the embedder),
+``abort`` (trap the guest with :class:`~repro.wasm.errors.AnalysisAbort`),
+``quarantine`` (atomically swap that hook's dispatchers — specialized
+``OP_HOOK`` sites included, via the host functions' site registries — for
+the shared no-op and keep the guest running), or ``log`` (record, report on
+stderr, keep dispatching).
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Callable
 
 from ..interp.host import HostFunction
 from ..interp.machine import Instance
+from ..wasm.errors import AnalysisAbort, AnalysisError
 from ..wasm.numeric import to_signed
 from ..wasm.types import I64, ValType
 from .analysis import Analysis, Location, MemArg
 from .hooks import HookSpec, split_i64
 from .instrument import InstrumentationResult
 from .metadata import StaticInfo
+
+#: Valid ``on_analysis_error`` policies.
+ERROR_POLICIES = ("raise", "abort", "quarantine", "log")
 
 
 def _present(valtype: ValType, raw: int | float) -> int | float:
@@ -141,10 +157,20 @@ def _noop_dispatcher(args: list) -> None:
 class WasabiRuntime:
     """Builds and owns the low-level hook host functions for one analysis."""
 
-    def __init__(self, result: InstrumentationResult, analysis: Analysis):
+    def __init__(self, result: InstrumentationResult, analysis: Analysis,
+                 on_analysis_error: str = "raise"):
+        if on_analysis_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_analysis_error must be one of {ERROR_POLICIES}, "
+                f"got {on_analysis_error!r}")
         self.info: StaticInfo = result.info
         self.analysis = analysis
+        self.on_analysis_error = on_analysis_error
         self.instance: Instance | None = None
+        #: AnalysisError records for every contained hook fault, in order.
+        self.hook_faults: list[AnalysisError] = []
+        self._quarantined: set[str] = set()
+        self._hosts: dict[str, HostFunction] = {}
         self._num_original_imports = sum(
             1 for f in self.info.module_info.functions if f.imported)
         self._num_hooks = len(self.info.hooks)
@@ -172,18 +198,93 @@ class WasabiRuntime:
         """
         out: dict[str, HostFunction] = {}
         for spec in self.info.hooks:
-            host = HostFunction(spec.functype, self._make_dispatcher(spec),
-                                name=spec.name)
+            dispatcher = self._contain(self._make_dispatcher(spec), spec.name)
+            host = HostFunction(spec.functype, dispatcher, name=spec.name)
             host.is_wasabi_hook = True
+            # every OP_HOOK site bound from this host is recorded here by
+            # bind_hook_sites, so quarantine() can swap them for the no-op
+            host.site_registry = []
             if self._with_locations:
                 host.site_factory = self._site_factory(spec)
             out[spec.name] = host
+        self._hosts.update(out)
         return out
 
     def _hook_is_live(self, spec: HookSpec) -> bool:
         """Whether any analysis method this hook dispatches to is overridden."""
         return any(_overrides(self.analysis, method)
                    for method in _KIND_TO_METHODS[spec.kind])
+
+    # -- fault containment ---------------------------------------------------
+
+    def _contain(self, inner: Callable[[list], None], hook_name: str,
+                 location: Location | None = None) -> Callable[[list], None]:
+        """Wrap a dispatcher so hook exceptions are contained per policy.
+
+        The shared no-op passes through unwrapped (it cannot raise), so
+        dead hooks keep identity-comparable no-op dispatch. Exceptions that
+        are already :class:`AnalysisError` (a nested contained dispatch, or
+        an :class:`AnalysisAbort` trap in flight) propagate unwrapped.
+        ``KeyboardInterrupt``/``SystemExit`` are never contained.
+        """
+        if inner is _noop_dispatcher:
+            return inner
+
+        def contained(args: list) -> None:
+            try:
+                inner(args)
+            except AnalysisError:
+                raise
+            except Exception as exc:
+                self._hook_fault(exc, hook_name, location, args)
+
+        return contained
+
+    def _hook_fault(self, exc: Exception, hook_name: str,
+                    location: Location | None, args: list) -> None:
+        """Record one contained hook fault and apply the error policy."""
+        if location is None:
+            # generic dispatchers have no statically bound Location; recover
+            # it from the trailing location parameters when present
+            if self._with_locations and len(args) >= 2:
+                try:
+                    location = Location(args[-2], to_signed(args[-1], 32))
+                except (TypeError, IndexError):
+                    location = None
+        where = f" at {location}" if location is not None else ""
+        message = (f"analysis hook {hook_name!r} raised "
+                   f"{type(exc).__name__}: {exc}{where}")
+        policy = self.on_analysis_error
+        cls = AnalysisAbort if policy == "abort" else AnalysisError
+        error = cls(message, hook_name=hook_name, location=location)
+        error.__cause__ = exc
+        self.hook_faults.append(error)
+        if policy == "raise" or policy == "abort":
+            raise error
+        if policy == "quarantine":
+            self.quarantine(hook_name)
+        print(f"repro: contained {message}"
+              + (" (hook quarantined)" if policy == "quarantine" else ""),
+              file=sys.stderr)
+
+    def quarantine(self, hook_name: str) -> None:
+        """Atomically replace every dispatcher of one hook with the no-op.
+
+        Swaps the host function's ``fn`` (the generic/legacy dispatch path)
+        and every specialized ``OP_HOOK`` site recorded in its site
+        registry. Each swap is a single reference assignment, so a swap is
+        atomic under the GIL and takes effect immediately — the engines read
+        dispatchers from the live instruction stream, so even sites reached
+        later in the *current* invocation dispatch to the no-op.
+        """
+        self._quarantined.add(hook_name)
+        host = self._hosts.get(hook_name)
+        if host is None:
+            return
+        host.fn = _noop_dispatcher
+        for code, pc in host.site_registry:
+            ins = code[pc]
+            code[pc] = (ins[0], _noop_dispatcher, ins[2], ins[3])
 
     def _split_args(self, spec: HookSpec,
                     raw: list[int | float]) -> tuple[Location, list[int | float]]:
@@ -636,8 +737,13 @@ class WasabiRuntime:
         else:  # pragma: no cover - registry only produces known kinds
             raise ValueError(f"unknown hook kind {kind!r}")
 
+        hook_name = spec.name
+
         def factory(func_const: int, instr_const: int) -> Callable[[list], None]:
             # the begin-function hook's instr index is emitted as -1 and
             # arrives pre-masked; the func index is always nonnegative
-            return bind(Location(func_const, to_signed(instr_const, 32)))
+            if hook_name in self._quarantined:
+                return _noop_dispatcher
+            location = Location(func_const, to_signed(instr_const, 32))
+            return self._contain(bind(location), hook_name, location)
         return factory

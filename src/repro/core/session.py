@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..interp.host import Linker
+from ..interp.limits import ResourceLimits, ResourceUsage
 from ..interp.machine import Instance, Machine
 from ..wasm.module import Module
 from .analysis import Analysis
@@ -21,14 +22,26 @@ from .runtime import WasabiRuntime
 
 
 class AnalysisSession:
-    """An instrumented module instance wired to an analysis."""
+    """An instrumented module instance wired to an analysis.
+
+    ``limits`` applies :class:`~repro.interp.limits.ResourceLimits` to the
+    machine the session constructs (mutually exclusive with passing a
+    pre-built ``machine``); ``on_analysis_error`` selects the runtime's
+    hook-fault policy (see :class:`~repro.core.runtime.WasabiRuntime`).
+    """
 
     def __init__(self, module: Module, analysis: Analysis,
                  linker: Linker | None = None,
                  groups: frozenset[str] | set[str] | None = None,
                  config: InstrumentationConfig | None = None,
                  machine: Machine | None = None,
-                 run_start: bool = True):
+                 run_start: bool = True,
+                 limits: ResourceLimits | None = None,
+                 on_analysis_error: str = "raise"):
+        if machine is not None and limits is not None:
+            raise ValueError(
+                "pass either a pre-built machine or limits, not both "
+                "(construct the machine with Machine(limits=...) instead)")
         self.original = module
         self.analysis = analysis
         if groups is None:
@@ -38,13 +51,14 @@ class AnalysisSession:
         self.groups: frozenset[str] = frozenset(groups)
         self.result: InstrumentationResult = instrument_module(
             module, groups=self.groups, config=config)
-        self.runtime = WasabiRuntime(self.result, analysis)
+        self.runtime = WasabiRuntime(self.result, analysis,
+                                     on_analysis_error=on_analysis_error)
 
         linker = linker or Linker()
         for name, host_func in self.runtime.host_functions().items():
             linker.define(HOOK_MODULE, name, host_func)
 
-        self.machine = machine or Machine()
+        self.machine = machine or Machine(limits=limits)
         # Instantiate without running start: the runtime must be bound (and
         # the high-level start hook fired) before any hook executes.
         self.instance: Instance = self.machine.instantiate(
@@ -58,6 +72,17 @@ class AnalysisSession:
     def module_info(self):
         """Static module info exposed to analyses (``Wasabi.module.info``)."""
         return self.result.info.module_info
+
+    @property
+    def hook_faults(self):
+        """Contained hook faults recorded by the runtime, in order."""
+        return self.runtime.hook_faults
+
+    def resource_usage(self) -> ResourceUsage:
+        """The machine's resource usage plus the runtime's fault count."""
+        usage = self.machine.resource_usage()
+        usage.hook_faults = len(self.runtime.hook_faults)
+        return usage
 
     def invoke(self, export_name: str,
                args: Sequence[int | float] = ()) -> list[int | float]:

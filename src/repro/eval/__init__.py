@@ -6,6 +6,8 @@ package; everything here is importable for ad-hoc experimentation too.
 
 from .faithfulness import (FaithfulnessResult, check_workload, run_instrumented,
                            run_original)
+from .faultinject import (CampaignResult, Failure, mutate, regenerate_mutant,
+                          run_campaign, run_pipeline, seed_corpus)
 from .hooks_matrix import (FIGURE_GROUPS, make_full_analysis,
                            make_group_analysis)
 from .overhead import (OverheadReport, baseline_runtime,
@@ -20,14 +22,18 @@ from .workloads import (POLYBENCH_FAST_SUBSET, Workload, default_workloads,
                         polybench_workloads, realworld_workloads)
 
 __all__ = [
-    "FIGURE_GROUPS", "FaithfulnessResult", "InterpBenchReport",
+    "CampaignResult", "FIGURE_GROUPS", "Failure", "FaithfulnessResult",
+    "InterpBenchReport",
     "OverheadReport", "POLYBENCH_FAST_SUBSET", "SizeReport", "TimingReport",
     "Workload", "baseline_runtime", "bench_interpreter", "check_workload",
     "default_workloads", "geomean_speedup", "hook_dispatch_payload",
     "instrument_binary",
     "instrumented_runtime", "interp_bench_payload", "make_full_analysis",
-    "make_group_analysis", "measure_size", "overhead_sweep",
-    "polybench_workloads", "realworld_workloads", "render_fig8",
-    "render_fig9", "render_table", "render_table5", "run_instrumented",
-    "run_original", "size_sweep", "time_instrumentation", "time_workload",
+    "make_group_analysis", "measure_size", "mutate", "overhead_sweep",
+    "polybench_workloads", "realworld_workloads", "regenerate_mutant",
+    "render_fig8",
+    "render_fig9", "render_table", "render_table5", "run_campaign",
+    "run_instrumented",
+    "run_original", "run_pipeline", "seed_corpus", "size_sweep",
+    "time_instrumentation", "time_workload",
 ]

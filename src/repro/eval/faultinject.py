@@ -1,0 +1,407 @@
+"""Seeded fault-injection harness for the binary pipeline.
+
+Generates deterministic corrupted variants of known-good ``.wasm`` binaries
+(bit flips, LEB128 continuation-bit tampering, section-size lies,
+truncations, splices, insertions) and drives each mutant through the full
+pipeline — decode → validate → instrument → encode → re-decode, optionally
+followed by fuel-limited execution on both engines — asserting that the
+toolkit only ever fails with :class:`~repro.wasm.errors.WasmError`
+subclasses. Any other exception (``IndexError``, ``struct.error``,
+``KeyError``, …) is an *escape*: a path where malformed input reaches code
+that assumed well-formedness.
+
+Everything is keyed off one integer seed, so a campaign is exactly
+reproducible: a failure record carries the seed, corpus entry, and mutant
+index needed to regenerate the offending binary with
+:func:`regenerate_mutant`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.analysis import ALL_GROUPS
+from ..core.instrument import instrument_module
+from ..interp.host import Linker
+from ..interp.limits import ResourceLimits
+from ..interp.machine import Machine
+from ..minic import compile_source
+from ..wasm.builder import ModuleBuilder
+from ..wasm.decoder import decode_module
+from ..wasm.encoder import encode_module
+from ..wasm.errors import WasmError
+from ..wasm.types import F64, I32, FuncType
+from ..wasm.validation import validate_module
+
+#: Pipeline stages, in order; a mutant "reaches" the last stage it survived.
+STAGES = ("decode", "validate", "instrument", "encode", "redecode", "execute")
+
+#: Execution budget for mutants that survive static checking. Tight on
+#: purpose: a mutant that validates is a legitimate (if weird) program, and
+#: the campaign only needs to prove the engines fail cleanly, not run it to
+#: completion.
+EXECUTE_LIMITS = ResourceLimits(fuel=20_000, deadline_seconds=2.0,
+                                max_memory_pages=64, max_call_depth=64)
+
+
+# -- seed corpus ----------------------------------------------------------------
+
+
+def _kitchen_sink_module():
+    """A small module exercising every section id the decoder knows."""
+    builder = ModuleBuilder("kitchen_sink")
+    printer = builder.import_function("env", "print_f64", FuncType((F64,), ()))
+    builder.add_memory(1, 4)
+    glob = builder.add_global(I32, mutable=True, init=7)
+
+    fb = builder.function((I32, I32), (I32,), name="add", export="add")
+    fb.get_local(0).get_local(1).emit("i32.add")
+    add_idx = fb.func_idx
+    fb.finish()
+
+    fb = builder.function((I32,), (I32,), name="loops", export="loops")
+    acc = fb.add_local(I32)
+    fb.block()
+    fb.loop()
+    fb.get_local(acc).i32_const(1).emit("i32.add").set_local(acc)
+    fb.get_local(acc).get_local(0).emit("i32.ge_s").br_if(1)
+    fb.br(0)
+    fb.end()
+    fb.end()
+    fb.get_local(acc)
+    loops_idx = fb.func_idx
+    fb.finish()
+
+    fb = builder.function((I32,), (I32,), name="mem", export="mem")
+    fb.i32_const(16).get_local(0).store("i32.store")
+    fb.i32_const(16).load("i32.load")
+    fb.get_global(glob).emit("i32.add")
+    fb.f64_const(1.5).call(printer)
+    fb.finish()
+
+    builder.add_table(2)
+    builder.add_element(0, [add_idx, loops_idx])
+    builder.add_data(32, b"fault-injection corpus")
+    return builder.build()
+
+
+def seed_corpus() -> dict[str, bytes]:
+    """Encoded known-good binaries the mutator corrupts.
+
+    Deterministic by construction (no randomness in generation), so the
+    same seed always yields byte-identical mutants.
+    """
+    fib = compile_source("""
+        export func fib(n: i32) -> i32 {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+    """, "fib")
+    memory = compile_source("""
+        memory 1;
+        export func touch(v: f64) -> f64 {
+            mem_f64[3] = v;
+            mem_u8[100] = 200;
+            return mem_f64[3];
+        }
+        export func poke(i: i32) -> i32 {
+            mem_u8[i] = 42;
+            return mem_u8[i];
+        }
+    """, "memory")
+    return {
+        "kitchen_sink": encode_module(_kitchen_sink_module()),
+        "fib": encode_module(fib),
+        "memory": encode_module(memory),
+    }
+
+
+# -- mutation strategies --------------------------------------------------------
+
+
+def _mutate_flip(data: bytearray, rng: random.Random) -> str:
+    pos = rng.randrange(len(data))
+    mask = rng.randrange(1, 256)
+    data[pos] ^= mask
+    return f"flip@{pos}^{mask:#04x}"
+
+
+def _mutate_set(data: bytearray, rng: random.Random) -> str:
+    pos = rng.randrange(len(data))
+    value = rng.randrange(256)
+    data[pos] = value
+    return f"set@{pos}={value:#04x}"
+
+
+def _mutate_truncate(data: bytearray, rng: random.Random) -> str:
+    cut = rng.randrange(len(data))
+    del data[cut:]
+    return f"truncate@{cut}"
+
+
+def _mutate_leb_continuation(data: bytearray, rng: random.Random) -> str:
+    """Tamper with LEB128 continuation bits: set 0x80 on a run of bytes.
+
+    Turns terminated varints into overlong/unterminated ones and shifts
+    everything after them — the classic desynchronization attack on
+    length-prefixed formats.
+    """
+    pos = rng.randrange(len(data))
+    run = rng.randrange(1, 6)
+    for i in range(pos, min(pos + run, len(data))):
+        data[i] |= 0x80
+    return f"leb-cont@{pos}+{run}"
+
+
+def _mutate_leb_overlong(data: bytearray, rng: random.Random) -> str:
+    """Insert redundant continuation bytes, making a varint overlong."""
+    pos = rng.randrange(len(data))
+    count = rng.randrange(1, 12)
+    data[pos:pos] = bytes([0x80]) * count
+    return f"leb-overlong@{pos}+{count}"
+
+
+def _mutate_section_size(data: bytearray, rng: random.Random) -> str:
+    """Lie in a top-level section size field.
+
+    Walks the real section framing (id byte + LEB size) and rewrites one
+    size with a random single-byte value, desynchronizing the section
+    boundary from its contents.
+    """
+    from ..wasm import leb128
+
+    sections: list[int] = []  # offsets of size fields
+    pos = 8
+    try:
+        while pos < len(data):
+            size_at = pos + 1
+            size, after = leb128.decode_unsigned(bytes(data), size_at, 32)
+            sections.append(size_at)
+            pos = after + size
+    except WasmError:
+        pass
+    if not sections:
+        return _mutate_flip(data, rng)
+    size_at = rng.choice(sections)
+    new_size = rng.randrange(128)  # single LEB byte, keeps framing parseable
+    data[size_at] = new_size
+    return f"section-size@{size_at}={new_size}"
+
+
+def _mutate_splice(data: bytearray, rng: random.Random) -> str:
+    length = rng.randrange(1, max(2, len(data) // 4))
+    src = rng.randrange(len(data))
+    dst = rng.randrange(len(data))
+    chunk = bytes(data[src:src + length])
+    data[dst:dst + len(chunk)] = chunk
+    return f"splice@{src}->{dst}+{length}"
+
+
+def _mutate_insert(data: bytearray, rng: random.Random) -> str:
+    pos = rng.randrange(len(data) + 1)
+    count = rng.randrange(1, 8)
+    data[pos:pos] = bytes(rng.randrange(256) for _ in range(count))
+    return f"insert@{pos}+{count}"
+
+
+def _mutate_delete(data: bytearray, rng: random.Random) -> str:
+    pos = rng.randrange(len(data))
+    count = rng.randrange(1, 8)
+    del data[pos:pos + count]
+    return f"delete@{pos}+{count}"
+
+
+MUTATORS = (
+    _mutate_flip,
+    _mutate_set,
+    _mutate_truncate,
+    _mutate_leb_continuation,
+    _mutate_leb_overlong,
+    _mutate_section_size,
+    _mutate_splice,
+    _mutate_insert,
+    _mutate_delete,
+)
+
+
+def mutate(seed_binary: bytes, rng: random.Random) -> tuple[bytes, str]:
+    """Apply 1–3 random mutations; returns the mutant and its recipe."""
+    data = bytearray(seed_binary)
+    recipes = []
+    for _ in range(rng.randrange(1, 4)):
+        if not data:
+            break
+        mutator = rng.choice(MUTATORS)
+        recipes.append(mutator(data, rng))
+    return bytes(data), "; ".join(recipes) or "identity"
+
+
+def regenerate_mutant(seed: int, corpus_name: str, index: int,
+                      corpus: dict[str, bytes] | None = None) -> bytes:
+    """Re-create the exact mutant a :class:`Failure` record refers to."""
+    corpus = corpus if corpus is not None else seed_corpus()
+    rng = random.Random(f"{seed}:{corpus_name}:{index}")
+    mutant, _ = mutate(corpus[corpus_name], rng)
+    return mutant
+
+
+# -- campaign -------------------------------------------------------------------
+
+
+@dataclass
+class Failure:
+    """One escape: a mutant that raised something other than WasmError."""
+
+    corpus_name: str
+    index: int
+    seed: int
+    stage: str
+    recipe: str
+    exc_type: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"[{self.corpus_name}#{self.index} seed={self.seed}] "
+                f"{self.stage}: {self.exc_type}: {self.message} "
+                f"(recipe: {self.recipe})")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one fault-injection campaign."""
+
+    mutants: int = 0
+    seed: int = 0
+    #: mutants whose pipeline ended (cleanly) at each stage
+    rejected_at: dict = field(default_factory=dict)
+    #: mutants that survived every stage they were driven through
+    survived: int = 0
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        parts = [f"{self.mutants} mutants (seed {self.seed})"]
+        for stage in STAGES:
+            if stage in self.rejected_at:
+                parts.append(f"{self.rejected_at[stage]} rejected at {stage}")
+        parts.append(f"{self.survived} survived")
+        parts.append(f"{len(self.failures)} escapes")
+        return ", ".join(parts)
+
+
+def _permissive_linker() -> Linker:
+    """Imports the corpus modules (and most mutants of them) can link.
+
+    Mutated import *names* simply fail resolution with a WasmError, which
+    is a clean rejection, not an escape.
+    """
+    linker = Linker()
+    linker.define_function("env", "print_f64", FuncType((F64,), ()),
+                           lambda args: None)
+    linker.define_function("env", "print_i32", FuncType((I32,), ()),
+                           lambda args: None)
+    return linker
+
+
+def _execute_mutant(binary: bytes, predecode: bool) -> None:
+    """Instantiate and poke a statically valid mutant under tight limits."""
+    module = decode_module(binary)
+    machine = Machine(predecode=predecode, limits=EXECUTE_LIMITS)
+    instance = machine.instantiate(module, _permissive_linker())
+    for export in module.exports:
+        if export.kind != "func":
+            continue
+        functype = module.func_type(export.idx)
+        args = [1 if t is I32 else 1.0 for t in functype.params]
+        try:
+            machine.call(instance, export.idx, args)
+        except WasmError:
+            pass  # traps and exhaustion are clean rejections
+
+
+def run_pipeline(binary: bytes, execute: bool = False,
+                 engines: tuple[bool, ...] = (True, False)) -> str | None:
+    """Drive one binary through the pipeline.
+
+    Returns None if every stage passed, or the name of the stage that
+    (cleanly) rejected it. Non-WasmError exceptions propagate — the
+    campaign records them as escapes.
+    """
+    try:
+        module = decode_module(binary)
+    except WasmError:
+        return "decode"
+    try:
+        validate_module(module)
+    except WasmError:
+        return "validate"
+    try:
+        result = instrument_module(module, groups=ALL_GROUPS)
+    except WasmError:
+        return "instrument"
+    try:
+        reencoded = encode_module(result.module)
+    except WasmError:
+        return "encode"
+    try:
+        decode_module(reencoded)
+    except WasmError:
+        return "redecode"
+    if execute:
+        try:
+            for predecode in engines:
+                _execute_mutant(binary, predecode)
+        except WasmError:
+            return "execute"
+    return None
+
+
+def run_campaign(mutants: int = 5000, seed: int = 20260806,
+                 corpus: dict[str, bytes] | None = None,
+                 execute: bool = True,
+                 engines: tuple[bool, ...] = (True, False)) -> CampaignResult:
+    """Run a full seeded campaign; never raises on escapes, records them."""
+    corpus = corpus if corpus is not None else seed_corpus()
+    result = CampaignResult(mutants=mutants, seed=seed)
+    names = sorted(corpus)
+    for index in range(mutants):
+        name = names[index % len(names)]
+        rng = random.Random(f"{seed}:{name}:{index}")
+        mutant, recipe = mutate(corpus[name], rng)
+        try:
+            stage = run_pipeline(mutant, execute=execute, engines=engines)
+        except Exception as exc:  # noqa: BLE001 - escapes are the point
+            stage = _failing_stage(exc)
+            result.failures.append(Failure(
+                corpus_name=name, index=index, seed=seed, stage=stage,
+                recipe=recipe, exc_type=type(exc).__name__, message=str(exc)))
+            continue
+        if stage is None:
+            result.survived += 1
+        else:
+            result.rejected_at[stage] = result.rejected_at.get(stage, 0) + 1
+    return result
+
+
+def _failing_stage(exc: Exception) -> str:
+    """Best-effort attribution of an escape to a pipeline stage."""
+    tb = exc.__traceback__
+    stage = "unknown"
+    while tb is not None:
+        name = tb.tb_frame.f_code.co_name
+        if name in ("decode_module", "_decode_code"):
+            stage = "decode"
+        elif name == "validate_module":
+            stage = "validate"
+        elif name == "instrument_module":
+            stage = "instrument"
+        elif name == "encode_module":
+            stage = "encode"
+        elif name == "_execute_mutant":
+            stage = "execute"
+        tb = tb.tb_next
+    return stage

@@ -8,6 +8,8 @@ kept for differential testing.
 """
 
 from .host import GlobalInstance, HostFunction, Linker
+from .limits import (DEADLINE_CHECK_INTERVAL, Meter, ResourceLimits,
+                     ResourceUsage)
 from .machine import (DEFAULT_MAX_CALL_DEPTH, Instance, Machine, WasmFunction,
                       bind_hook_sites, instantiate, predecode_default,
                       specialize_hooks_default)
@@ -17,9 +19,10 @@ from .predecode import (HOOK_IMPORT_MODULE, DecodedFunction, cached_decode,
 from .table import Table
 
 __all__ = [
-    "DEFAULT_MAX_CALL_DEPTH", "DecodedFunction", "GlobalInstance",
-    "HOOK_IMPORT_MODULE", "HostFunction", "Instance", "Linker", "Machine",
-    "Memory", "Table", "WasmFunction", "bind_hook_sites", "cached_decode",
+    "DEADLINE_CHECK_INTERVAL", "DEFAULT_MAX_CALL_DEPTH", "DecodedFunction",
+    "GlobalInstance", "HOOK_IMPORT_MODULE", "HostFunction", "Instance",
+    "Linker", "Machine", "Memory", "Meter", "ResourceLimits", "ResourceUsage",
+    "Table", "WasmFunction", "bind_hook_sites", "cached_decode",
     "decode_function", "instantiate", "predecode_default",
     "specialize_hooks_default",
 ]

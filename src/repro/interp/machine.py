@@ -24,11 +24,12 @@ import struct
 import sys
 from typing import Sequence
 
-from ..wasm.errors import ExhaustionError, Trap, WasmError
+from ..wasm.errors import ExhaustionError, ResourceExhausted, Trap, WasmError
 from ..wasm.module import Function, Instr, Module
 from ..wasm.numeric import f32_round
 from ..wasm.types import FuncType, GlobalType, MemoryType, TableType, ValType
 from .host import GlobalInstance, HostFunction, Linker
+from .limits import Meter, ResourceLimits, ResourceUsage
 from .memory import Memory
 from .predecode import OP_CALL, OP_CONST, OP_HOOK, DecodedFunction, cached_decode
 from .table import Table
@@ -146,6 +147,10 @@ def bind_hook_sites(decoded: DecodedFunction,
             continue
         n_params = ins[2]
         factory = getattr(host, "site_factory", None)
+        # hosts built by the Wasabi runtime carry a site registry so that
+        # fault containment can atomically swap specialized sites for the
+        # shared no-op after a hook fault (quarantine policy)
+        registry = getattr(host, "site_registry", None)
         if (pc >= 2 and n_params >= 2
                 and original[pc - 1][0] == OP_CONST
                 and original[pc - 2][0] == OP_CONST):
@@ -163,11 +168,15 @@ def bind_hook_sites(decoded: DecodedFunction,
             if bound is None:
                 bound = _generic_hook_dispatcher(host, (func_const, instr_const))
             code[pc - 2] = (OP_HOOK, bound, n_params - 2, 3)
+            if registry is not None:
+                registry.append((code, pc - 2))
         else:
             # bare hook call (e.g. emit_locations=False): the host function
             # is itself the per-hook dispatcher; bind it without the
             # _invoke_callee indirection
             code[pc] = (OP_HOOK, _generic_hook_dispatcher(host, ()), n_params, 1)
+            if registry is not None:
+                registry.append((code, pc))
     return DecodedFunction(code, decoded.source_body, decoded.hook_sites)
 
 
@@ -309,15 +318,29 @@ class Machine:
     pre-decoded engine (None follows ``REPRO_SPECIALIZE_HOOKS``, default
     on). With it disabled, hook calls take the generic host-call path —
     the differential oracle for the specialized dispatchers.
+
+    ``limits`` attaches a :class:`~repro.interp.limits.ResourceLimits`
+    bundle: fuel and wall-clock deadlines are charged on back-edges and
+    calls in both engines (raising ``FuelExhausted``/``DeadlineExceeded``
+    traps), ``max_memory_pages`` caps linear memory, and ``max_call_depth``
+    overrides the machine default. Without limits no meter exists and the
+    hot loops take their unmetered paths.
     """
 
     def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
                  predecode: bool | None = None,
-                 specialize_hooks: bool | None = None):
+                 specialize_hooks: bool | None = None,
+                 limits: ResourceLimits | None = None):
+        if limits is not None and limits.max_call_depth is not None:
+            max_call_depth = limits.max_call_depth
         self.max_call_depth = max_call_depth
         self.predecode = predecode_default() if predecode is None else predecode
         self.specialize_hooks = (specialize_hooks_default()
                                  if specialize_hooks is None else specialize_hooks)
+        self.limits = limits
+        self._meter: Meter | None = (
+            Meter(limits) if limits is not None and limits.metered else None)
+        self._memories: list[Memory] = []
         #: Decoded-stream cache statistics for this machine's instantiations.
         self.predecode_cache_hits = 0
         self.predecode_cache_misses = 0
@@ -326,6 +349,21 @@ class Machine:
         needed = 3 * max_call_depth + 200
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
+
+    def resource_usage(self) -> ResourceUsage:
+        """Summary of resources consumed so far (cumulative over invokes).
+
+        ``fuel_spent``/``peak_depth`` are tracked only on metered machines;
+        ``peak_pages`` always reflects the largest linear memory this
+        machine instantiated (memories never shrink, so current == peak).
+        """
+        usage = ResourceUsage()
+        if self._meter is not None:
+            usage.fuel_spent = self._meter.fuel_spent_total
+            usage.peak_depth = self._meter.peak_depth
+        usage.peak_pages = max(
+            (memory.size_pages for memory in self._memories), default=0)
+        return usage
 
     # -- instantiation -------------------------------------------------------
 
@@ -350,6 +388,8 @@ class Machine:
             elif isinstance(desc, MemoryType):
                 if not isinstance(resolved, Memory):
                     raise WasmError(f"import {imp.module}.{imp.name} is not a memory")
+                self._check_memory_cap(resolved.size_pages,
+                                       f"imported memory {imp.module}.{imp.name}")
                 instance.memory = resolved
             elif isinstance(desc, TableType):
                 if not isinstance(resolved, Table):
@@ -369,10 +409,15 @@ class Machine:
             instance.globals.append(
                 GlobalInstance(glob.type, self._eval_init(instance, glob.init,
                                                           glob.type.valtype)))
+        cap = self.limits.max_memory_pages if self.limits is not None else None
         for memtype in module.memories:
-            instance.memory = Memory(memtype.limits)
+            self._check_memory_cap(memtype.limits.minimum, "declared memory")
+            instance.memory = Memory(memtype.limits, policy_max_pages=cap)
         for tabletype in module.tables:
             instance.table = Table(tabletype.limits)
+        if instance.memory is not None and \
+                not any(m is instance.memory for m in self._memories):
+            self._memories.append(instance.memory)
 
         for segment in module.elements:
             if instance.table is None:
@@ -403,6 +448,15 @@ class Machine:
             self.call(instance, module.start, [])
         return instance
 
+    def _check_memory_cap(self, pages: int, what: str) -> None:
+        """Refuse instantiation when initial memory already exceeds the cap."""
+        if self.limits is None or self.limits.max_memory_pages is None:
+            return
+        if pages > self.limits.max_memory_pages:
+            raise ResourceExhausted(
+                f"{what} is {pages} pages, exceeding the "
+                f"max_memory_pages limit of {self.limits.max_memory_pages}")
+
     def _eval_init(self, instance: Instance, init: list[Instr],
                    expected: ValType) -> int | float:
         if len(init) != 1:
@@ -428,8 +482,15 @@ class Machine:
 
         if self._depth >= self.max_call_depth:
             raise ExhaustionError("call stack exhausted")
+        meter = self._meter
+        if meter is not None and self._depth == 0:
+            # fuel and deadline budgets are per top-level invocation, so a
+            # fresh invoke after an exhaustion trap gets a fresh budget
+            meter.arm()
         self._depth += 1
         try:
+            if meter is not None:
+                meter.enter_call(self._depth)
             if isinstance(func, HostFunction):
                 return self._host_results(func, func.fn(args))
             if func.decoded is not None:
@@ -468,11 +529,19 @@ class Machine:
                 raise ExhaustionError("call stack exhausted")
             self._depth += 1
             try:
+                meter = self._meter
+                if meter is not None:
+                    meter.enter_call(self._depth)
                 if callee.decoded is not None:
                     return self._exec_decoded(callee, call_args)
                 return self._exec(callee, call_args)
             finally:
                 self._depth -= 1
+        meter = self._meter
+        if meter is not None:
+            # mirror the legacy engine, where host calls also pass through
+            # call() and are charged as one call event
+            meter.enter_call(self._depth + 1)
         raw = callee.fn(call_args)
         if raw is None and not callee.functype.results:
             return _NO_RESULTS  # void host call: the hot hook path
@@ -497,6 +566,7 @@ class Machine:
         unpack_from = struct.unpack_from
         pack_into = struct.pack_into
         result_arity = wfunc.result_arity
+        meter = self._meter
         n_instrs = len(code)
         # label entries: (is_loop, block_pc, cont_pc, height, arity);
         # the implicit function block is the bottom-most label.
@@ -574,6 +644,8 @@ class Machine:
                     raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
             elif op == 8:  # OP_BR_IF
                 if pop():
+                    if meter is not None:
+                        meter.branch(len(stack))
                     is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
                     if is_loop:
                         del stack[height:]
@@ -594,6 +666,8 @@ class Machine:
             elif op == 10:  # OP_TEE_LOCAL
                 locals_[ins[1]] = stack[-1]
             elif op == 11:  # OP_BR
+                if meter is not None:
+                    meter.branch(len(stack))
                 is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
                 if is_loop:
                     del stack[height:]
@@ -667,6 +741,8 @@ class Machine:
                     stack.extend(results)
             elif op == 24:  # OP_BR_TABLE: (_, labels, default)
                 index = pop()
+                if meter is not None:
+                    meter.branch(len(stack))
                 table_labels = ins[1]
                 depth = table_labels[index] if index < len(table_labels) else ins[2]
                 is_loop, block_pc, cont_pc, height, arity = labels[-1 - depth]
@@ -716,6 +792,7 @@ class Machine:
                                              for t in wfunc.local_types]
         stack: list[int | float] = []
         result_arity = len(wfunc.functype.results)
+        meter = self._meter
         pc = 0
         n_instrs = len(body)
         # label entries: (is_loop, block_pc, cont_pc, height, arity);
@@ -787,14 +864,20 @@ class Machine:
                     labels.pop()
                 # the function's final end simply falls off the loop
             elif op == "br":
+                if meter is not None:
+                    meter.branch(len(stack))
                 pc = self._branch(instr.label, labels, stack)
                 continue
             elif op == "br_if":
                 if stack.pop():
+                    if meter is not None:
+                        meter.branch(len(stack))
                     pc = self._branch(instr.label, labels, stack)
                     continue
             elif op == "br_table":
                 index = stack.pop()
+                if meter is not None:
+                    meter.branch(len(stack))
                 table_imm = instr.br_table
                 if index < len(table_imm.labels):
                     label = table_imm.labels[index]

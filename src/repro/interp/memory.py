@@ -13,10 +13,19 @@ from ..wasm.types import MAX_PAGES, PAGE_SIZE, Limits
 
 
 class Memory:
-    """A linear memory instance."""
+    """A linear memory instance.
 
-    def __init__(self, limits: Limits):
+    ``policy_max_pages`` is an optional host-imposed cap (from
+    :class:`repro.interp.limits.ResourceLimits.max_memory_pages`) layered on
+    top of the declared :class:`Limits`: ``grow`` past it fails with -1
+    exactly like growing past the declared maximum, so a guest under a
+    tight host budget observes ordinary grow-failure semantics rather than
+    a trap.
+    """
+
+    def __init__(self, limits: Limits, policy_max_pages: int | None = None):
         self.limits = limits
+        self.policy_max_pages = policy_max_pages
         self.data = bytearray(limits.minimum * PAGE_SIZE)
 
     @property
@@ -28,10 +37,18 @@ class Memory:
         return len(self.data)
 
     def grow(self, delta_pages: int) -> int:
-        """Grow by ``delta_pages``; returns the previous size in pages or -1."""
+        """Grow by ``delta_pages``; returns the previous size in pages or -1.
+
+        Growth is bounded by the declared ``Limits.maximum``, the 65536-page
+        spec hard cap, and the host ``policy_max_pages``; exceeding any of
+        them returns -1 and never raises. ``grow 0`` succeeds (returning the
+        current size) whenever the current size is within bounds.
+        """
         previous = self.size_pages
         new_size = previous + delta_pages
         maximum = self.limits.maximum if self.limits.maximum is not None else MAX_PAGES
+        if self.policy_max_pages is not None:
+            maximum = min(maximum, self.policy_max_pages)
         if delta_pages < 0 or new_size > maximum or new_size > MAX_PAGES:
             return -1
         self.data.extend(bytes(delta_pages * PAGE_SIZE))

@@ -8,8 +8,9 @@ construction. Execution lives in :mod:`repro.interp`.
 from .builder import FunctionBuilder, ModuleBuilder
 from .decoder import decode_module
 from .encoder import encode_module
-from .errors import (DecodeError, EncodeError, ExhaustionError, Trap,
-                     ValidationError, WasmError)
+from .errors import (AnalysisAbort, AnalysisError, DeadlineExceeded,
+                     DecodeError, EncodeError, ExhaustionError, FuelExhausted,
+                     ResourceExhausted, Trap, ValidationError, WasmError)
 from .module import (BrTable, CustomSection, DataSegment, ElemSegment, Export,
                      Function, Global, Import, Instr, MemArg, Module)
 from .text import format_body, format_function, format_instr, format_module
@@ -19,12 +20,14 @@ from .validation import ExprValidator, validate_function, validate_module
 from .wat import WatError, parse_wat
 
 __all__ = [
-    "BrTable", "CustomSection", "DataSegment", "DecodeError", "ElemSegment",
+    "AnalysisAbort", "AnalysisError", "BrTable", "CustomSection",
+    "DataSegment", "DeadlineExceeded", "DecodeError", "ElemSegment",
     "EncodeError", "ExhaustionError", "Export", "ExprValidator", "F32", "F64",
-    "FuncType", "Function", "FunctionBuilder", "Global", "GlobalType", "I32",
-    "I64", "Import", "Instr", "Limits", "MemArg", "MemoryType", "Module",
-    "ModuleBuilder", "PAGE_SIZE", "TableType", "Trap", "ValType",
-    "ValidationError", "WasmError", "WatError", "decode_module",
-    "encode_module", "format_body", "format_function", "format_instr",
-    "format_module", "parse_wat", "validate_function", "validate_module",
+    "FuelExhausted", "FuncType", "Function", "FunctionBuilder", "Global",
+    "GlobalType", "I32", "I64", "Import", "Instr", "Limits", "MemArg",
+    "MemoryType", "Module", "ModuleBuilder", "PAGE_SIZE", "ResourceExhausted",
+    "TableType", "Trap", "ValType", "ValidationError", "WasmError",
+    "WatError", "decode_module", "encode_module", "format_body",
+    "format_function", "format_instr", "format_module", "parse_wat",
+    "validate_function", "validate_module",
 ]

@@ -87,12 +87,20 @@ class _Reader:
                               offset=self.pos - 1) from None
 
     def limits(self) -> Limits:
+        offset = self.pos
         flag = self.byte()
         if flag == 0x00:
             return Limits(self.u32())
         if flag == 0x01:
             minimum = self.u32()
-            return Limits(minimum, self.u32())
+            maximum = self.u32()
+            try:
+                return Limits(minimum, maximum)
+            except ValueError as exc:
+                # Limits' own sanity check (max < min) is a ValueError for
+                # programmatic construction; from binary input it must
+                # surface as a malformed-module error
+                raise DecodeError(str(exc), offset=offset) from None
         raise DecodeError(f"invalid limits flag {flag:#x}", offset=self.pos - 1)
 
 
@@ -186,12 +194,17 @@ _EXPORT_KIND = {0: "func", 1: "table", 2: "memory", 3: "global"}
 def _decode_code(reader: _Reader, type_idx: int) -> Function:
     size = reader.u32()
     body_end = reader.pos + size
+    if body_end > reader.end:
+        raise DecodeError(f"function body size {size} extends past its section",
+                          offset=reader.pos)
     sub = _Reader(reader.data, reader.pos, body_end)
     locals_: list[ValType] = []
     for _ in range(sub.u32()):
         count = sub.u32()
         valtype = sub.valtype()
-        if count > 1_000_000:
+        # cap the *total*, not just each entry: many entries of large counts
+        # in a tiny body must not balloon into gigabytes of locals
+        if count > 1_000_000 or len(locals_) + count > 1_000_000:
             raise DecodeError(f"too many locals ({count})", offset=sub.pos)
         locals_.extend([valtype] * count)
     body = decode_expr(sub)
@@ -207,6 +220,9 @@ def _decode_name_section(module: Module, payload: bytes) -> None:
     while not reader.eof():
         sub_id = reader.byte()
         size = reader.u32()
+        if reader.pos + size > reader.end:
+            raise DecodeError("name subsection extends past the section",
+                              offset=reader.pos)
         sub = _Reader(reader.data, reader.pos, reader.pos + size)
         reader.pos += size
         if sub_id == 0:  # module name
@@ -252,7 +268,13 @@ def decode_module(data: bytes) -> Module:
             if name == "name":
                 # Defer: function indices need the import count, which is
                 # known by now (imports precede code), so decode immediately.
-                _decode_name_section(module, payload)
+                # A malformed name section must not reject the module (the
+                # spec treats custom-section contents as best-effort): keep
+                # it verbatim instead so re-encoding round-trips.
+                try:
+                    _decode_name_section(module, payload)
+                except DecodeError:
+                    module.custom_sections.append(CustomSection(name, payload))
             else:
                 module.custom_sections.append(CustomSection(name, payload))
         elif section_id == 1:

@@ -45,3 +45,46 @@ class Trap(WasmError):
 
 class ExhaustionError(Trap):
     """Call stack exhaustion (the spec treats this as a trap-like abort)."""
+
+
+class ResourceExhausted(Trap):
+    """A configured :class:`repro.interp.limits.ResourceLimits` bound was hit.
+
+    Raised as a trap so resource exhaustion aborts the current invocation
+    exactly like any other trap: the machine unwinds cleanly and a fresh
+    ``invoke`` on the same machine/session works afterwards.
+    """
+
+
+class FuelExhausted(ResourceExhausted):
+    """The fuel budget (metered back-edges and calls) ran out."""
+
+
+class DeadlineExceeded(ResourceExhausted):
+    """The wall-clock deadline for one top-level invocation passed."""
+
+
+class AnalysisError(WasmError):
+    """An analysis hook raised during dispatch.
+
+    Wraps the original exception (available as ``__cause__``) together with
+    the hook name and the :class:`~repro.core.analysis.Location` of the
+    instruction whose event was being dispatched, so a misbehaving analysis
+    is reported against guest code rather than as a bare Python traceback
+    from deep inside the engine.
+    """
+
+    def __init__(self, message: str, hook_name: str | None = None,
+                 location=None):
+        self.hook_name = hook_name
+        self.location = location
+        super().__init__(message)
+
+
+class AnalysisAbort(AnalysisError, Trap):
+    """A hook fault under the ``abort`` policy: the guest aborts as a trap.
+
+    Subclasses both :class:`AnalysisError` (it carries the faulting hook and
+    location) and :class:`Trap` (the guest sees clean trap semantics, so
+    machine state stays consistent and further invokes work).
+    """

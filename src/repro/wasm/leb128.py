@@ -56,6 +56,14 @@ def decode_unsigned(data: bytes | memoryview, pos: int, bits: int = 32) -> tuple
         result |= (byte & 0x7F) << shift
         shift += 7
         if not byte & 0x80:
+            if i == max_bytes - 1:
+                # the final possible byte has 7*max_bytes - bits unusable
+                # high bits; any of them set would overflow the type
+                used = bits - 7 * i
+                if byte & (0x7F >> used << used):
+                    raise DecodeError(
+                        f"non-canonical high bits in final byte of u{bits} "
+                        f"LEB128 ({byte:#04x})", offset=pos + i)
             if result >= (1 << bits):
                 raise DecodeError(f"LEB128 value {result} exceeds u{bits}", offset=pos)
             return result, pos + i + 1
@@ -77,6 +85,16 @@ def decode_signed(data: bytes | memoryview, pos: int, bits: int = 32) -> tuple[i
         result |= (byte & 0x7F) << shift
         shift += 7
         if not byte & 0x80:
+            if i == max_bytes - 1:
+                # the unusable high bits of the final byte must be a proper
+                # sign extension of the topmost value bit
+                used = bits - 7 * i
+                unused_mask = 0x7F >> used << used
+                required = unused_mask if byte & (1 << (used - 1)) else 0
+                if byte & unused_mask != required:
+                    raise DecodeError(
+                        f"non-canonical sign bits in final byte of s{bits} "
+                        f"LEB128 ({byte:#04x})", offset=pos + i)
             if byte & 0x40:
                 result |= -1 << shift
             lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1

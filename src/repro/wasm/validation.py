@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from . import opcodes
 from .errors import ValidationError
 from .module import Function, Instr, Module
-from .types import I32, ValType
+from .types import I32, MAX_PAGES, Limits, MemoryType, TableType, ValType
 
 
 class _Unknown:
@@ -362,6 +362,29 @@ def _validate_const_expr(module: Module, instrs: list[Instr],
         raise ValidationError(f"{what} initializer has type {actual}, expected {expect}")
 
 
+def _validate_limits(limits: Limits, hard_cap: int | None, what: str) -> None:
+    """Range-check one ``Limits``: min ≤ max, both within the hard cap.
+
+    Without this, a decoded module declaring a huge memory minimum would
+    pass validation and only fail at instantiation — with a multi-gigabyte
+    allocation attempt (or ``MemoryError``) instead of a clean
+    :class:`ValidationError`.
+    """
+    if limits.maximum is not None and limits.minimum > limits.maximum:
+        raise ValidationError(
+            f"{what} limits minimum {limits.minimum} exceeds "
+            f"maximum {limits.maximum}")
+    if hard_cap is not None:
+        if limits.minimum > hard_cap:
+            raise ValidationError(
+                f"{what} limits minimum {limits.minimum} exceeds "
+                f"the hard cap of {hard_cap}")
+        if limits.maximum is not None and limits.maximum > hard_cap:
+            raise ValidationError(
+                f"{what} limits maximum {limits.maximum} exceeds "
+                f"the hard cap of {hard_cap}")
+
+
 def validate_module(module: Module) -> None:
     """Validate a whole module (types, imports, bodies, segments, exports)."""
     for imp in module.imports:
@@ -369,10 +392,20 @@ def validate_module(module: Module) -> None:
             raise ValidationError(
                 f"import {imp.module}.{imp.name} references type {imp.desc} "
                 f"out of range")
+        elif isinstance(imp.desc, MemoryType):
+            _validate_limits(imp.desc.limits, MAX_PAGES,
+                             f"imported memory {imp.module}.{imp.name}")
+        elif isinstance(imp.desc, TableType):
+            _validate_limits(imp.desc.limits, None,
+                             f"imported table {imp.module}.{imp.name}")
     if module.num_tables > 1:
         raise ValidationError("at most one table is allowed in the MVP")
     if module.num_memories > 1:
         raise ValidationError("at most one memory is allowed in the MVP")
+    for memtype in module.memories:
+        _validate_limits(memtype.limits, MAX_PAGES, "memory")
+    for tabletype in module.tables:
+        _validate_limits(tabletype.limits, None, "table")
     for func in module.functions:
         if func.type_idx >= len(module.types):
             raise ValidationError(f"function references type {func.type_idx} out of range")

@@ -173,10 +173,18 @@ class TestParallelInstrumentation:
 
 class TestAnalysisExceptionPropagation:
     def test_analysis_errors_surface(self, fib_module):
+        from repro.wasm import AnalysisError
+
         class Broken(Analysis):
             def binary(self, loc, op, a, b, r):
                 raise RuntimeError("analysis bug")
 
         session = AnalysisSession(fib_module, Broken())
-        with pytest.raises(RuntimeError, match="analysis bug"):
+        with pytest.raises(AnalysisError, match="analysis bug") as excinfo:
             session.invoke("fib", [3])
+        # the original exception is preserved as the cause, and the fault
+        # is attributed to the hook and guest location
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert excinfo.value.hook_name is not None
+        assert excinfo.value.location is not None
+        assert excinfo.value.location.func >= 0
