@@ -1,0 +1,137 @@
+"""Telemetry overhead floor: observability must be pay-as-you-go.
+
+Three claims, pinned on the Figure 9 PolyBench fast subset:
+
+1. **Disabled telemetry is (near-)free.** A machine built without a
+   ``Telemetry`` sink runs the exact interpreter loops with a single
+   hoisted ``tele is not None`` test at each charge site — the same
+   discipline (and the same sites) as the Meter's disabled path. The
+   test measures that guard's cost directly (timeit differencing) and
+   multiplies by the exact number of charge events per run (telemetry
+   itself counts them when enabled), yielding a deterministic
+   upper-bound estimate of the disabled-path overhead. Floor: <= 2%.
+
+2. **Enabled telemetry is cheap.** Counting raw integers at the charge
+   sites keeps a telemetry-attached run within 1.5x of the plain run.
+
+3. **The profiler pays for what it gives.** Per-instruction counting
+   costs real time; the factor is recorded (not asserted) so regressions
+   show up in the artifact diff.
+
+Results are recorded in ``benchmarks/results/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+import timeit
+
+from repro.eval import POLYBENCH_FAST_SUBSET, polybench_workloads
+from repro.interp import Machine
+from repro.obs import Telemetry
+
+from conftest import full_run
+
+
+def _guard_cost_seconds() -> float:
+    """Per-event cost of the disabled-path guard, ``tele is not None``."""
+    n = 2_000_000
+    guarded = min(timeit.repeat("if tele is not None: pass",
+                                globals={"tele": None},
+                                number=n, repeat=7)) / n
+    empty = min(timeit.repeat("pass", number=n, repeat=7)) / n
+    return max(guarded - empty, 0.0)
+
+
+def _time_workload(workload, repeats, telemetry_factory=None):
+    """Best-of-``repeats`` invoke time; also the telemetry charge count."""
+    module = workload.module()
+    best, events = float("inf"), 0
+    for _ in range(repeats):
+        telemetry = telemetry_factory() if telemetry_factory else None
+        machine = Machine(telemetry=telemetry)
+        instance = machine.instantiate(module, workload.linker())
+        start = time.perf_counter()
+        instance.invoke(workload.entry, workload.args)
+        best = min(best, time.perf_counter() - start)
+        if telemetry is not None:
+            events = (telemetry.n_calls + telemetry.n_branches
+                      + telemetry.n_mem_grow)
+    return best, events
+
+
+def test_telemetry_overhead(benchmark, results_dir):
+    repeats = 5 if full_run() else 3
+    guard_s = _guard_cost_seconds()
+    workloads = polybench_workloads(POLYBENCH_FAST_SUBSET)
+
+    rows = []
+    for workload in workloads:
+        off_seconds, _ = _time_workload(workload, repeats)
+        counted_seconds, events = _time_workload(workload, repeats, Telemetry)
+        profiled_seconds, _ = _time_workload(
+            workload, repeats, lambda: Telemetry(profile=True))
+        rows.append({
+            "name": workload.name,
+            "off_seconds": off_seconds,
+            "counted_seconds": counted_seconds,
+            "counted_overhead": counted_seconds / off_seconds,
+            "profiled_seconds": profiled_seconds,
+            "profiled_overhead": profiled_seconds / off_seconds,
+            "charge_events": events,
+            "disabled_overhead": events * guard_s / off_seconds,
+        })
+
+    payload = {
+        "guard_ns": guard_s * 1e9,
+        "workloads": rows,
+        "geomean_counted_overhead": statistics.geometric_mean(
+            r["counted_overhead"] for r in rows),
+        "geomean_profiled_overhead": statistics.geometric_mean(
+            r["profiled_overhead"] for r in rows),
+        "max_disabled_overhead": max(r["disabled_overhead"] for r in rows),
+    }
+    path = results_dir / "BENCH_obs.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    for r in rows:
+        print(f"{r['name']:16s} off={r['off_seconds']:.4f}s "
+              f"counted={r['counted_overhead']:.3f}x "
+              f"profiled={r['profiled_overhead']:.3f}x "
+              f"events={r['charge_events']} "
+              f"disabled~{r['disabled_overhead']:.5%}")
+    print(f"guard cost {payload['guard_ns']:.2f} ns/event; "
+          f"geomean counted {payload['geomean_counted_overhead']:.3f}x; "
+          f"geomean profiled {payload['geomean_profiled_overhead']:.3f}x; "
+          f"max disabled {payload['max_disabled_overhead']:.4%} "
+          f"[recorded in {path}]")
+
+    # (1) the ISSUE floor: disabled telemetry costs <= 2% on every kernel
+    assert payload["max_disabled_overhead"] <= 0.02, payload
+    # (2) raw-field counting stays cheap even when attached
+    assert payload["geomean_counted_overhead"] <= 1.5, payload
+    # (3) profiled overhead is recorded above, deliberately unasserted:
+    # per-instruction attribution is opt-in and pays what it pays
+
+    # the pytest-benchmark number: telemetry-attached trisolv
+    trisolv = polybench_workloads(["trisolv"])[0]
+    benchmark.pedantic(lambda: _time_workload(trisolv, 1, Telemetry),
+                       rounds=1, iterations=1)
+
+
+def test_telemetry_counts_on_bench_path(results_dir):
+    """The charge sites actually fire on the bench harness — guarding
+    against a silently detached sink making claim (2) vacuous."""
+    trisolv = polybench_workloads(["trisolv"])[0]
+    module = trisolv.module()
+    counts = []
+    for predecode in (True, False):
+        tele = Telemetry()
+        machine = Machine(predecode=predecode, telemetry=tele)
+        instance = machine.instantiate(module, trisolv.linker())
+        instance.invoke(trisolv.entry, trisolv.args)
+        assert tele.n_calls > 0 and tele.n_branches > 0, \
+            f"telemetry never charged on trisolv (predecode={predecode})"
+        counts.append((tele.n_calls, tele.n_branches))
+    assert counts[0] == counts[1], "engines disagree on charge counts"

@@ -10,6 +10,9 @@ the equivalent, plus the usual binary-toolkit conveniences:
   python -m repro compile kernel.mc -o kernel.wasm
   python -m repro run app.wasm main 1 2 --analysis mix
   python -m repro run app.wasm main --fuel 1000000 --timeout 5
+  python -m repro run app.wasm main -v --metrics-out m.json --trace-out t.json
+  python -m repro run app.wasm main --profile --metrics-out m.json
+  python -m repro report m.json               # render a metrics artifact
   python -m repro stats app.wasm              # sizes, sections, instr mix
   python -m repro fuzz --mutants 5000         # fault-injection campaign
 
@@ -22,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from .analyses import (BasicBlockProfiler, BranchCoverage, CallGraphAnalysis,
@@ -31,6 +35,7 @@ from .core import (ALL_GROUPS, ERROR_POLICIES, Analysis, AnalysisSession,
                    instrument_module)
 from .interp import Linker, Machine, ResourceLimits
 from .minic import compile_source
+from .obs import Telemetry, maybe_span, render_report
 from .wasm import (ResourceExhausted, decode_module, encode_module,
                    format_module, validate_module)
 from .wasm.types import F64, I32, FuncType
@@ -65,8 +70,31 @@ def _default_linker(printed: list | None = None) -> Linker:
     return linker
 
 
+def _telemetry_from_args(args: argparse.Namespace) -> Telemetry | None:
+    """Build the run's telemetry sink when any telemetry flag is set."""
+    if not (getattr(args, "metrics_out", None) or getattr(args, "trace_out", None)
+            or getattr(args, "profile", False)):
+        return None
+    return Telemetry(profile=bool(getattr(args, "profile", False)))
+
+
+def _write_artifacts(telemetry: Telemetry | None, args: argparse.Namespace,
+                     usage=None) -> None:
+    """Write the --metrics-out / --trace-out artifacts, reporting on stderr."""
+    if telemetry is None:
+        return
+    if args.metrics_out:
+        path = telemetry.write_metrics(args.metrics_out, usage)
+        print(f"repro: metrics written to {path}", file=sys.stderr)
+    if args.trace_out:
+        path = telemetry.write_trace(args.trace_out)
+        print(f"repro: trace written to {path}", file=sys.stderr)
+
+
 def cmd_instrument(args: argparse.Namespace) -> int:
-    module = _load(args.input)
+    telemetry = _telemetry_from_args(args)
+    with maybe_span(telemetry, "decode", path=args.input):
+        module = _load(args.input)
     groups = None
     if args.hooks != "all":
         groups = frozenset(args.hooks.split(","))
@@ -75,8 +103,10 @@ def cmd_instrument(args: argparse.Namespace) -> int:
             print(f"unknown hooks: {', '.join(sorted(unknown))}; "
                   f"available: {', '.join(sorted(ALL_GROUPS))}", file=sys.stderr)
             return 2
-    result = instrument_module(module, groups=groups)
-    raw = encode_module(result.module)
+    with maybe_span(telemetry, "instrument"):
+        result = instrument_module(module, groups=groups)
+    with maybe_span(telemetry, "encode"):
+        raw = encode_module(result.module)
     output = args.output or (Path(args.input).stem + ".instrumented.wasm")
     Path(output).write_bytes(raw)
     original_size = Path(args.input).stat().st_size
@@ -95,6 +125,7 @@ def cmd_instrument(args: argparse.Namespace) -> int:
         }
         Path(args.metadata).write_text(json.dumps(meta, indent=2))
         print(f"  metadata: {args.metadata}")
+    _write_artifacts(telemetry, args)
     return 0
 
 
@@ -131,37 +162,49 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _limits_from_args(args: argparse.Namespace) -> ResourceLimits | None:
-    if args.fuel is None and args.timeout is None and args.max_memory_pages is None:
-        return None
-    return ResourceLimits(fuel=args.fuel, deadline_seconds=args.timeout,
-                          max_memory_pages=args.max_memory_pages)
+    limits = None
+    if not (args.fuel is None and args.timeout is None
+            and args.max_memory_pages is None):
+        limits = ResourceLimits(fuel=args.fuel, deadline_seconds=args.timeout,
+                                max_memory_pages=args.max_memory_pages)
+    if getattr(args, "verbose", False):
+        # -v reports resource usage, which requires the meter even when no
+        # bound is set; observe=True meters without bounding anything
+        limits = (replace(limits, observe=True) if limits is not None
+                  else ResourceLimits(observe=True))
+    return limits
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    module = _load(args.input)
+    telemetry = _telemetry_from_args(args)
+    with maybe_span(telemetry, "decode", path=args.input):
+        module = _load(args.input)
     call_args = [float(a) if "." in a else int(a) for a in args.args]
     printed: list = []
     linker = _default_linker(printed)
     limits = _limits_from_args(args)
     try:
-        return _run(args, module, call_args, printed, linker, limits)
+        return _run(args, module, call_args, printed, linker, limits, telemetry)
     except ResourceExhausted as exc:
         print(f"repro: resource limit hit: {exc}", file=sys.stderr)
         return EXIT_RESOURCE_EXHAUSTED
 
 
 def _run(args: argparse.Namespace, module, call_args, printed, linker,
-         limits: ResourceLimits | None) -> int:
+         limits: ResourceLimits | None, telemetry: Telemetry | None) -> int:
     if args.analysis == "none" and not args.instrument:
-        machine = Machine(limits=limits)
+        machine = Machine(limits=limits, telemetry=telemetry)
         instance = machine.instantiate(module, linker)
         result = instance.invoke(args.entry, call_args)
+        usage = machine.resource_usage()
     else:
         analysis = ANALYSES[args.analysis]()
         session = AnalysisSession(module, analysis, linker=linker,
                                   limits=limits,
-                                  on_analysis_error=args.on_analysis_error)
+                                  on_analysis_error=args.on_analysis_error,
+                                  telemetry=telemetry)
         result = session.invoke(args.entry, call_args)
+        usage = session.resource_usage()
         if isinstance(analysis, InstructionMixAnalysis):
             print(analysis.report())
         elif isinstance(analysis, CryptominerDetector):
@@ -176,6 +219,9 @@ def _run(args: argparse.Namespace, module, call_args, printed, linker,
     for value in printed:
         print(f"[print] {value}")
     print(f"{args.entry}({', '.join(map(str, call_args))}) = {result}")
+    if args.verbose:
+        print(f"repro: {usage.summary()}", file=sys.stderr)
+    _write_artifacts(telemetry, args, usage)
     return 0
 
 
@@ -188,12 +234,45 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         engines = (True,)
     elif args.engine == "legacy":
         engines = (False,)
-    result = run_campaign(mutants=args.mutants, seed=args.seed,
-                          execute=not args.no_execute, engines=engines)
+    telemetry = _telemetry_from_args(args)
+    with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
+                    seed=args.seed):
+        result = run_campaign(mutants=args.mutants, seed=args.seed,
+                              execute=not args.no_execute, engines=engines)
+    if telemetry is not None:
+        registry = telemetry.registry
+        for stage, count in sorted(result.rejected_at.items()):
+            registry.counter("repro_fuzz_rejections_total",
+                             labels={"stage": stage},
+                             help="mutants rejected per pipeline stage").set(count)
+        registry.counter("repro_fuzz_survivors_total",
+                         help="mutants surviving the whole pipeline").set(
+            result.survived)
+        registry.counter("repro_fuzz_escapes_total",
+                         help="non-WasmError pipeline escapes").set(
+            len(result.failures))
+        for failure in result.failures:
+            telemetry.event("fuzz_escape", detail=str(failure))
     print(result.summary())
     for failure in result.failures:
         print(f"ESCAPE {failure}", file=sys.stderr)
+    _write_artifacts(telemetry, args)
     return 0 if result.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a --metrics-out JSON artifact as a human-readable summary."""
+    try:
+        payload = json.loads(Path(args.input).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro: cannot read {args.input}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(render_report(payload, top=args.top))
+    except ValueError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -215,6 +294,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_telemetry_flags(p: argparse.ArgumentParser,
+                         profile: bool = True) -> None:
+    """The shared --metrics-out/--trace-out/--profile telemetry flags."""
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write run metrics (.json, or .prom for Prometheus "
+                        "text exposition)")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write pipeline spans (.json Chrome trace-event "
+                        "format for Perfetto, or .jsonl for span-per-line)")
+    if profile:
+        p.add_argument("--profile", action="store_true",
+                       help="attach the engine self-profiler (pre-decoded "
+                            "engine only; report with `repro report`)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Wasabi (reproduction) WebAssembly toolkit")
@@ -226,7 +320,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hooks", default="all",
                    help="comma-separated hook groups (default: all)")
     p.add_argument("--metadata", help="write hook/function metadata JSON")
-    p.set_defaults(fn=cmd_instrument)
+    _add_telemetry_flags(p, profile=False)
+    p.set_defaults(fn=cmd_instrument, profile=False)
 
     p = sub.add_parser("validate", help="type check a .wasm binary")
     p.add_argument("input")
@@ -258,7 +353,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--on-analysis-error", choices=ERROR_POLICIES,
                    default="raise",
                    help="policy when an analysis hook raises (default: raise)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="report resource usage (fuel, peak pages, peak call "
+                        "depth) on stderr after the run")
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("report",
+                       help="render a --metrics-out JSON artifact for humans")
+    p.add_argument("input", help="metrics artifact written by --metrics-out")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows per ranking section (default: 10)")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("stats", help="summarize a .wasm binary")
     p.add_argument("input")
@@ -273,7 +379,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine(s) for the execute stage (default: both)")
     p.add_argument("--no-execute", action="store_true",
                    help="skip executing statically valid mutants")
-    p.set_defaults(fn=cmd_fuzz)
+    _add_telemetry_flags(p, profile=False)
+    p.set_defaults(fn=cmd_fuzz, profile=False)
     return parser
 
 

@@ -47,7 +47,7 @@ stderr, keep dispatching).
 from __future__ import annotations
 
 import sys
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..interp.host import HostFunction
 from ..interp.machine import Instance
@@ -58,6 +58,9 @@ from .analysis import Analysis, Location, MemArg
 from .hooks import HookSpec, split_i64
 from .instrument import InstrumentationResult
 from .metadata import StaticInfo
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs → interp)
+    from ..obs.telemetry import Telemetry
 
 #: Valid ``on_analysis_error`` policies.
 ERROR_POLICIES = ("raise", "abort", "quarantine", "log")
@@ -158,7 +161,8 @@ class WasabiRuntime:
     """Builds and owns the low-level hook host functions for one analysis."""
 
     def __init__(self, result: InstrumentationResult, analysis: Analysis,
-                 on_analysis_error: str = "raise"):
+                 on_analysis_error: str = "raise",
+                 telemetry: "Telemetry | None" = None):
         if on_analysis_error not in ERROR_POLICIES:
             raise ValueError(
                 f"on_analysis_error must be one of {ERROR_POLICIES}, "
@@ -166,6 +170,7 @@ class WasabiRuntime:
         self.info: StaticInfo = result.info
         self.analysis = analysis
         self.on_analysis_error = on_analysis_error
+        self.telemetry = telemetry
         self.instance: Instance | None = None
         #: AnalysisError records for every contained hook fault, in order.
         self.hook_faults: list[AnalysisError] = []
@@ -198,7 +203,8 @@ class WasabiRuntime:
         """
         out: dict[str, HostFunction] = {}
         for spec in self.info.hooks:
-            dispatcher = self._contain(self._make_dispatcher(spec), spec.name)
+            dispatcher = self._contain(
+                self._timed(self._make_dispatcher(spec), spec.name), spec.name)
             host = HostFunction(spec.functype, dispatcher, name=spec.name)
             host.is_wasabi_hook = True
             # every OP_HOOK site bound from this host is recorded here by
@@ -214,6 +220,35 @@ class WasabiRuntime:
         """Whether any analysis method this hook dispatches to is overridden."""
         return any(_overrides(self.analysis, method)
                    for method in _KIND_TO_METHODS[spec.kind])
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def _timed(self, inner: Callable[[list], None],
+               hook_name: str) -> Callable[[list], None]:
+        """Wrap a dispatcher so each dispatch is timed into the telemetry's
+        per-hook latency histogram.
+
+        The histogram (and its ``.observe``) is resolved once per hook at
+        wrap time, so the per-dispatch cost is two clock reads and one
+        bisect. Without telemetry (or for the shared no-op of a dead hook)
+        the dispatcher passes through untouched — the disabled path adds
+        nothing. Containment wraps *outside* this, so a faulting dispatch
+        still records its latency before the policy applies.
+        """
+        tele = self.telemetry
+        if tele is None or inner is _noop_dispatcher:
+            return inner
+        observe = tele.hook_histogram(hook_name).observe
+        clock = tele.clock
+
+        def timed(args: list) -> None:
+            start = clock()
+            try:
+                inner(args)
+            finally:
+                observe(clock() - start)
+
+        return timed
 
     # -- fault containment ---------------------------------------------------
 
@@ -259,13 +294,22 @@ class WasabiRuntime:
         error = cls(message, hook_name=hook_name, location=location)
         error.__cause__ = exc
         self.hook_faults.append(error)
+        tele = self.telemetry
+        if tele is not None:
+            tele.event("hook_fault", hook=hook_name,
+                       func=location.func if location is not None else None,
+                       instr=location.instr if location is not None else None,
+                       exception=type(exc).__name__, policy=policy,
+                       message=str(exc))
         if policy == "raise" or policy == "abort":
             raise error
         if policy == "quarantine":
             self.quarantine(hook_name)
-        print(f"repro: contained {message}"
-              + (" (hook quarantined)" if policy == "quarantine" else ""),
-              file=sys.stderr)
+        if tele is None:
+            # without a telemetry event log, containment reports on stderr
+            print(f"repro: contained {message}"
+                  + (" (hook quarantined)" if policy == "quarantine" else ""),
+                  file=sys.stderr)
 
     def quarantine(self, hook_name: str) -> None:
         """Atomically replace every dispatcher of one hook with the no-op.
@@ -278,6 +322,8 @@ class WasabiRuntime:
         later in the *current* invocation dispatch to the no-op.
         """
         self._quarantined.add(hook_name)
+        if self.telemetry is not None:
+            self.telemetry.event("hook_quarantined", hook=hook_name)
         host = self._hosts.get(hook_name)
         if host is None:
             return
@@ -745,5 +791,6 @@ class WasabiRuntime:
             if hook_name in self._quarantined:
                 return _noop_dispatcher
             location = Location(func_const, to_signed(instr_const, 32))
-            return self._contain(bind(location), hook_name, location)
+            return self._contain(self._timed(bind(location), hook_name),
+                                 hook_name, location)
         return factory

@@ -8,7 +8,7 @@ overrides.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..interp.host import Linker
 from ..interp.limits import ResourceLimits, ResourceUsage
@@ -20,6 +20,9 @@ from .instrument import (InstrumentationConfig, InstrumentationResult,
                          instrument_module)
 from .runtime import WasabiRuntime
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs → interp)
+    from ..obs.telemetry import Telemetry
+
 
 class AnalysisSession:
     """An instrumented module instance wired to an analysis.
@@ -27,7 +30,12 @@ class AnalysisSession:
     ``limits`` applies :class:`~repro.interp.limits.ResourceLimits` to the
     machine the session constructs (mutually exclusive with passing a
     pre-built ``machine``); ``on_analysis_error`` selects the runtime's
-    hook-fault policy (see :class:`~repro.core.runtime.WasabiRuntime`).
+    hook-fault policy (see :class:`~repro.core.runtime.WasabiRuntime`);
+    ``telemetry`` attaches one :class:`~repro.obs.telemetry.Telemetry` sink
+    to the whole pipeline — the session records an ``instrument`` span and
+    shares the sink with the machine (engine counters, ``instantiate``/
+    ``invoke`` spans) and the runtime (per-hook latency histograms,
+    fault/quarantine events).
     """
 
     def __init__(self, module: Module, analysis: Analysis,
@@ -37,28 +45,40 @@ class AnalysisSession:
                  machine: Machine | None = None,
                  run_start: bool = True,
                  limits: ResourceLimits | None = None,
-                 on_analysis_error: str = "raise"):
+                 on_analysis_error: str = "raise",
+                 telemetry: "Telemetry | None" = None):
         if machine is not None and limits is not None:
             raise ValueError(
                 "pass either a pre-built machine or limits, not both "
                 "(construct the machine with Machine(limits=...) instead)")
         self.original = module
         self.analysis = analysis
+        self.telemetry = telemetry
         if groups is None:
             # selective instrumentation (§2.4.2): only instrument for the
             # hooks the analysis actually overrides
             groups = analysis.used_groups()
         self.groups: frozenset[str] = frozenset(groups)
-        self.result: InstrumentationResult = instrument_module(
-            module, groups=self.groups, config=config)
+        if telemetry is None:
+            self.result: InstrumentationResult = instrument_module(
+                module, groups=self.groups, config=config)
+        else:
+            with telemetry.span("instrument", groups=len(self.groups)):
+                self.result = instrument_module(
+                    module, groups=self.groups, config=config)
         self.runtime = WasabiRuntime(self.result, analysis,
-                                     on_analysis_error=on_analysis_error)
+                                     on_analysis_error=on_analysis_error,
+                                     telemetry=telemetry)
 
         linker = linker or Linker()
         for name, host_func in self.runtime.host_functions().items():
             linker.define(HOOK_MODULE, name, host_func)
 
         self.machine = machine or Machine(limits=limits)
+        if telemetry is not None:
+            # attach before instantiation so profiled machines decode the
+            # instrumented module unfused (idempotent for a shared sink)
+            self.machine.attach_telemetry(telemetry)
         # Instantiate without running start: the runtime must be bound (and
         # the high-level start hook fired) before any hook executes.
         self.instance: Instance = self.machine.instantiate(

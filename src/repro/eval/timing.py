@@ -7,17 +7,23 @@ Reports mean ± stddev over repetitions, and throughput in MB/s.
 Also times the two interpreter engines against each other (the legacy
 string-dispatch loop vs. the pre-decoded threaded loop), which backs the
 ``BENCH_interp.json`` artifact the CI perf floor is anchored to.
+
+All timing funnels through :func:`repro.obs.spans.measure`, so every
+measured repeat is a span over one injected clock: pass ``clock=`` for
+deterministic tests, or ``tracer=`` to keep the raw spans alongside the
+aggregated report (the exporters then render them like any pipeline trace).
 """
 
 from __future__ import annotations
 
 import math
 import statistics
-import time
 from dataclasses import dataclass
+from typing import Callable
 
 from ..core.instrument import InstrumentationConfig, instrument_module
 from ..interp.machine import Machine
+from ..obs.spans import Tracer, measure
 from ..wasm.decoder import decode_module
 from ..wasm.encoder import encode_module
 from ..wasm.module import Module
@@ -46,14 +52,13 @@ def instrument_binary(raw: bytes,
 
 
 def time_instrumentation(name: str, module: Module, repeats: int = 5,
-                         config: InstrumentationConfig | None = None
-                         ) -> TimingReport:
+                         config: InstrumentationConfig | None = None,
+                         clock: Callable[[], float] | None = None,
+                         tracer: Tracer | None = None) -> TimingReport:
     raw = encode_module(module)
-    samples: list[float] = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        instrument_binary(raw, config)
-        samples.append(time.perf_counter() - start)
+    samples = measure(lambda: instrument_binary(raw, config), repeats,
+                      name="instrument_binary", tracer=tracer, clock=clock,
+                      attrs={"workload": name})
     return TimingReport(
         name=name, binary_bytes=len(raw),
         mean_seconds=statistics.mean(samples),
@@ -81,31 +86,41 @@ class InterpBenchReport:
 
 
 def time_workload(workload: Workload, repeats: int = 3,
-                  predecode: bool | None = None) -> float:
+                  predecode: bool | None = None,
+                  clock: Callable[[], float] | None = None,
+                  tracer: Tracer | None = None) -> float:
     """Best-of-``repeats`` uninstrumented runtime on the chosen engine.
 
     Instantiates fresh per repeat (memory/globals reset) but times only the
     invoke, so decode cost is excluded — matching how the overhead sweep
-    times its baseline.
+    times its baseline. Each repeat is one ``workload_invoke`` span.
     """
+    if tracer is None:
+        tracer = Tracer(clock=clock) if clock is not None else Tracer()
     module = workload.module()
     best = float("inf")
+    engine = "predecode" if predecode in (None, True) else "legacy"
     for _ in range(repeats):
         machine = Machine(predecode=predecode)
         instance = machine.instantiate(module, workload.linker())
-        start = time.perf_counter()
-        instance.invoke(workload.entry, workload.args)
-        best = min(best, time.perf_counter() - start)
+        elapsed, = measure(
+            lambda: instance.invoke(workload.entry, workload.args), 1,
+            name="workload_invoke", tracer=tracer,
+            attrs={"workload": workload.name, "engine": engine})
+        best = min(best, elapsed)
     return best
 
 
-def bench_interpreter(workloads: list[Workload],
-                      repeats: int = 3) -> list[InterpBenchReport]:
+def bench_interpreter(workloads: list[Workload], repeats: int = 3,
+                      clock: Callable[[], float] | None = None,
+                      tracer: Tracer | None = None) -> list[InterpBenchReport]:
     """Time every workload on the legacy and predecoded engines."""
     reports = []
     for workload in workloads:
-        legacy = time_workload(workload, repeats, predecode=False)
-        predecoded = time_workload(workload, repeats, predecode=True)
+        legacy = time_workload(workload, repeats, predecode=False,
+                               clock=clock, tracer=tracer)
+        predecoded = time_workload(workload, repeats, predecode=True,
+                                   clock=clock, tracer=tracer)
         reports.append(InterpBenchReport(workload.name, legacy, predecoded,
                                          repeats))
     return reports

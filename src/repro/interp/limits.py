@@ -73,12 +73,17 @@ class ResourceLimits:
     #: it raises :class:`ExhaustionError` (a trap, like call-stack
     #: exhaustion).
     max_value_stack: int | None = None
+    #: Meter without bounding: construct the meter (so fuel spent and peak
+    #: depth are *measured*) even when no limit is set. Used by
+    #: ``repro run -v`` and the telemetry layer to report resource usage
+    #: for otherwise-unlimited runs.
+    observe: bool = False
 
     @property
     def metered(self) -> bool:
-        """Whether any bound requires in-loop metering."""
+        """Whether any bound (or observation) requires in-loop metering."""
         return (self.fuel is not None or self.deadline_seconds is not None
-                or self.max_value_stack is not None)
+                or self.max_value_stack is not None or self.observe)
 
 
 @dataclass
@@ -105,6 +110,29 @@ class ResourceUsage:
             "peak_depth": self.peak_depth,
             "hook_faults": self.hook_faults,
         }
+
+    def record_to(self, registry) -> None:
+        """Fold this summary into a metrics registry as gauges."""
+        registry.gauge("repro_fuel_spent",
+                       help="metered events charged (branches + calls)").set(
+            self.fuel_spent)
+        registry.gauge("repro_peak_memory_pages",
+                       help="largest linear memory instantiated").set(
+            self.peak_pages)
+        registry.gauge("repro_peak_call_depth",
+                       help="deepest Wasm call nesting observed").set(
+            self.peak_depth)
+        registry.gauge("repro_hook_faults",
+                       help="contained hook faults").set(self.hook_faults)
+
+    def summary(self) -> str:
+        """One-line human-readable form (``repro run -v``)."""
+        parts = [f"fuel_spent={self.fuel_spent}",
+                 f"peak_pages={self.peak_pages}",
+                 f"peak_depth={self.peak_depth}"]
+        if self.hook_faults:
+            parts.append(f"hook_faults={self.hook_faults}")
+        return "resource usage: " + " ".join(parts)
 
 
 class Meter:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import struct
 import sys
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..wasm.errors import ExhaustionError, ResourceExhausted, Trap, WasmError
 from ..wasm.module import Function, Instr, Module
@@ -31,9 +31,13 @@ from ..wasm.types import FuncType, GlobalType, MemoryType, TableType, ValType
 from .host import GlobalInstance, HostFunction, Linker
 from .limits import Meter, ResourceLimits, ResourceUsage
 from .memory import Memory
-from .predecode import OP_CALL, OP_CONST, OP_HOOK, DecodedFunction, cached_decode
+from .predecode import (OP_CALL, OP_CONST, OP_HOOK, DecodedFunction,
+                        cached_decode, decode_function)
 from .table import Table
 from .values import BINOPS, MASK32, MASK64, UNOPS, default_value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs → interp)
+    from ..obs.telemetry import Telemetry
 
 #: Maximum nesting of WebAssembly calls before an exhaustion trap.
 DEFAULT_MAX_CALL_DEPTH = 700
@@ -203,7 +207,13 @@ class WasmFunction:
         self._matching: BlockMatching | None = None
         machine = instance.machine
         if machine.predecode:
-            decoded, hit = cached_decode(func, instance.module)
+            if machine._profiling:
+                # unfused decode (uncached: the shared cache holds fused
+                # streams) so profiled opcode counts attribute 1:1
+                decoded = decode_function(func, instance.module, fuse=False)
+                hit = False
+            else:
+                decoded, hit = cached_decode(func, instance.module)
             if decoded.hook_sites and machine.specialize_hooks:
                 decoded = bind_hook_sites(decoded, instance.functions)
             self.decoded: DecodedFunction | None = decoded
@@ -246,7 +256,11 @@ class Instance:
             raise WasmError(f"export {name!r} is a {kind}, not a function")
         func_idx = item
         assert isinstance(func_idx, int)
-        return self.machine.call(self, func_idx, list(args))
+        tele = self.machine._telemetry
+        if tele is None:
+            return self.machine.call(self, func_idx, list(args))
+        with tele.span("invoke", export=name):
+            return self.machine.call(self, func_idx, list(args))
 
     def exported_memory(self, name: str = "memory") -> Memory:
         kind, item = self._export(name)
@@ -325,12 +339,21 @@ class Machine:
     traps), ``max_memory_pages`` caps linear memory, and ``max_call_depth``
     overrides the machine default. Without limits no meter exists and the
     hot loops take their unmetered paths.
+
+    ``telemetry`` attaches a :class:`~repro.obs.telemetry.Telemetry` sink:
+    the engines charge its raw counters (calls, taken branches, traps,
+    memory.grow) at exactly the Meter's charge sites, under the same
+    hoisted ``is not None`` guard discipline — no telemetry, no cost. A
+    telemetry with an attached profiler additionally reroutes pre-decoded
+    execution through the counting loop (:meth:`_exec_profiled`) and makes
+    new instances decode *unfused* so opcode counts attribute 1:1.
     """
 
     def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
                  predecode: bool | None = None,
                  specialize_hooks: bool | None = None,
-                 limits: ResourceLimits | None = None):
+                 limits: ResourceLimits | None = None,
+                 telemetry: "Telemetry | None" = None):
         if limits is not None and limits.max_call_depth is not None:
             max_call_depth = limits.max_call_depth
         self.max_call_depth = max_call_depth
@@ -345,10 +368,38 @@ class Machine:
         self.predecode_cache_hits = 0
         self.predecode_cache_misses = 0
         self._depth = 0
+        self._telemetry: "Telemetry | None" = None
+        self._profiling = False
+        self._run_decoded = self._exec_decoded
+        if telemetry is not None:
+            self._set_telemetry(telemetry)
         # The interpreter recurses ~2 Python frames per Wasm call.
         needed = 3 * max_call_depth + 200
         if sys.getrecursionlimit() < needed:
             sys.setrecursionlimit(needed)
+
+    def _set_telemetry(self, telemetry: "Telemetry") -> None:
+        if telemetry.profiler is not None and not self.predecode:
+            raise ValueError(
+                "the self-profiler requires the pre-decoded engine "
+                "(Machine(predecode=True))")
+        self._telemetry = telemetry
+        self._profiling = telemetry.profiler is not None
+        self._run_decoded = (self._exec_profiled if self._profiling
+                             else self._exec_decoded)
+
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Attach a telemetry sink (idempotent for the same instance).
+
+        Attach *before* instantiating modules when profiling: only
+        instances created while a profiler is attached decode unfused for
+        1:1 opcode attribution.
+        """
+        if telemetry is self._telemetry:
+            return
+        if self._telemetry is not None:
+            raise ValueError("machine already has a different telemetry sink")
+        self._set_telemetry(telemetry)
 
     def resource_usage(self) -> ResourceUsage:
         """Summary of resources consumed so far (cumulative over invokes).
@@ -370,6 +421,14 @@ class Machine:
     def instantiate(self, module: Module, linker: Linker | None = None,
                     run_start: bool = True) -> Instance:
         """Create an instance, resolving imports through ``linker``."""
+        tele = self._telemetry
+        if tele is None:
+            return self._instantiate(module, linker, run_start)
+        with tele.span("instantiate", functions=len(module.functions)):
+            return self._instantiate(module, linker, run_start)
+
+    def _instantiate(self, module: Module, linker: Linker | None,
+                     run_start: bool) -> Instance:
         linker = linker or Linker()
         instance = Instance(module, self)
 
@@ -487,15 +546,26 @@ class Machine:
             # fuel and deadline budgets are per top-level invocation, so a
             # fresh invoke after an exhaustion trap gets a fresh budget
             meter.arm()
+        tele = self._telemetry
         self._depth += 1
         try:
             if meter is not None:
                 meter.enter_call(self._depth)
+            if tele is not None:
+                tele.n_calls += 1
             if isinstance(func, HostFunction):
+                if tele is not None:
+                    tele.n_host_calls += 1
                 return self._host_results(func, func.fn(args))
             if func.decoded is not None:
-                return self._exec_decoded(func, args)
+                return self._run_decoded(func, args)
             return self._exec(func, args)
+        except Trap:
+            if tele is not None and self._depth == 1:
+                # count only traps escaping the top-level invocation, not
+                # each frame the same trap unwinds through
+                tele.n_traps += 1
+            raise
         finally:
             self._depth -= 1
 
@@ -532,8 +602,11 @@ class Machine:
                 meter = self._meter
                 if meter is not None:
                     meter.enter_call(self._depth)
+                tele = self._telemetry
+                if tele is not None:
+                    tele.n_calls += 1
                 if callee.decoded is not None:
-                    return self._exec_decoded(callee, call_args)
+                    return self._run_decoded(callee, call_args)
                 return self._exec(callee, call_args)
             finally:
                 self._depth -= 1
@@ -542,6 +615,10 @@ class Machine:
             # mirror the legacy engine, where host calls also pass through
             # call() and are charged as one call event
             meter.enter_call(self._depth + 1)
+        tele = self._telemetry
+        if tele is not None:
+            tele.n_calls += 1
+            tele.n_host_calls += 1
         raw = callee.fn(call_args)
         if raw is None and not callee.functype.results:
             return _NO_RESULTS  # void host call: the hot hook path
@@ -567,6 +644,7 @@ class Machine:
         pack_into = struct.pack_into
         result_arity = wfunc.result_arity
         meter = self._meter
+        tele = self._telemetry
         n_instrs = len(code)
         # label entries: (is_loop, block_pc, cont_pc, height, arity);
         # the implicit function block is the bottom-most label.
@@ -646,6 +724,8 @@ class Machine:
                 if pop():
                     if meter is not None:
                         meter.branch(len(stack))
+                    if tele is not None:
+                        tele.n_branches += 1
                     is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
                     if is_loop:
                         del stack[height:]
@@ -668,6 +748,8 @@ class Machine:
             elif op == 11:  # OP_BR
                 if meter is not None:
                     meter.branch(len(stack))
+                if tele is not None:
+                    tele.n_branches += 1
                 is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
                 if is_loop:
                     del stack[height:]
@@ -743,6 +825,8 @@ class Machine:
                 index = pop()
                 if meter is not None:
                     meter.branch(len(stack))
+                if tele is not None:
+                    tele.n_branches += 1
                 table_labels = ins[1]
                 depth = table_labels[index] if index < len(table_labels) else ins[2]
                 is_loop, block_pc, cont_pc, height, arity = labels[-1 - depth]
@@ -765,6 +849,8 @@ class Machine:
             elif op == 26:  # OP_MEMORY_GROW
                 delta = pop()
                 append(memory.grow(delta) & MASK32)
+                if tele is not None:
+                    tele.note_grow(memory.size_pages)
             elif op == 27:  # OP_NOP
                 pass
             elif op == 28:  # OP_UNREACHABLE
@@ -782,6 +868,261 @@ class Machine:
         return (f"out of bounds memory access ({what} of {width} bytes "
                 f"at address {addr}, memory is {size} bytes)")
 
+    # -- the profiled interpreter loop --------------------------------------------
+
+    def _exec_profiled(self, wfunc: WasmFunction,
+                       args: list[int | float]) -> list[int | float]:
+        """Counting twin of :meth:`_exec_decoded` for the self-profiler.
+
+        Identical observable semantics; additionally counts every executed
+        instruction into the profiler's dense per-opcode array, attributes
+        executed counts to the running function frame, and samples the live
+        call stack every ``sample_interval`` instructions. Only bound as
+        ``_run_decoded`` when the attached telemetry carries a profiler, so
+        ordinary runs never pay for the counting.
+
+        Functions instantiated under the profiler decode unfused, so the
+        fused-pair opcodes normally never appear here; handlers for them
+        are kept (counted under the ``fused`` class) so instances created
+        *before* the profiler was attached still execute correctly.
+        """
+        profiler = self._telemetry.profiler
+        op_counts = profiler.op_counts
+        interval = profiler.sample_interval
+        instance = wfunc.instance
+        code = wfunc.decoded.code
+        functions = instance.functions
+        globals_ = instance.globals
+        memory = instance.memory
+        memdata = memory.data if memory is not None else None
+        locals_ = args + wfunc.default_locals
+        stack: list[int | float] = []
+        append = stack.append
+        pop = stack.pop
+        unpack_from = struct.unpack_from
+        pack_into = struct.pack_into
+        result_arity = wfunc.result_arity
+        meter = self._meter
+        tele = self._telemetry
+        n_instrs = len(code)
+        labels: list[tuple[bool, int, int, int, int]] = [
+            (False, -1, n_instrs, 0, result_arity)
+        ]
+        pc = 0
+        executed = 0
+
+        profiler.enter(wfunc.name)
+        try:
+            while pc < n_instrs:
+                ins = code[pc]
+                op = ins[0]
+                op_counts[op] += 1
+                executed += 1
+                profiler.ticks = ticks = profiler.ticks + 1
+                if ticks >= profiler.next_sample:
+                    profiler.sample()
+
+                if op == 0:  # OP_GET_LOCAL
+                    append(locals_[ins[1]])
+                elif op == 1:  # OP_BINARY
+                    b = pop()
+                    stack[-1] = ins[1](stack[-1], b)
+                elif op == 2:  # OP_CONST
+                    append(ins[1])
+                elif op == 3:  # OP_SET_LOCAL
+                    locals_[ins[1]] = pop()
+                elif op == 30:  # OP_GET_LOCAL_CONST (fused)
+                    append(locals_[ins[1]])
+                    append(ins[2])
+                    pc += 2
+                    continue
+                elif op == 31:  # OP_CONST_BINARY (fused)
+                    stack[-1] = ins[1](stack[-1], ins[2])
+                    pc += 2
+                    continue
+                elif op == 32:  # OP_GET_LOCAL_BINARY (fused)
+                    stack[-1] = ins[1](stack[-1], locals_[ins[2]])
+                    pc += 2
+                    continue
+                elif op == 33:  # OP_GET2_LOCAL (fused)
+                    append(locals_[ins[1]])
+                    append(locals_[ins[2]])
+                    pc += 2
+                    continue
+                elif op == 34:  # OP_HOOK
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    ins[1](call_args)
+                    pc += ins[3]
+                    continue
+                elif op == 4:  # OP_LOAD_INT
+                    addr = pop() + ins[2]
+                    try:
+                        append(unpack_from(ins[1], memdata, addr)[0] & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                elif op == 5:  # OP_LOAD_FLOAT
+                    addr = pop() + ins[2]
+                    try:
+                        append(unpack_from(ins[1], memdata, addr)[0])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                elif op == 6:  # OP_STORE_INT
+                    value = pop()
+                    addr = pop() + ins[2]
+                    try:
+                        pack_into(ins[1], memdata, addr, value & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
+                elif op == 7:  # OP_STORE_FLOAT
+                    value = pop()
+                    addr = pop() + ins[2]
+                    try:
+                        pack_into(ins[1], memdata, addr, value)
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
+                elif op == 8:  # OP_BR_IF
+                    if pop():
+                        if meter is not None:
+                            meter.branch(len(stack))
+                        tele.n_branches += 1
+                        is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
+                        if is_loop:
+                            del stack[height:]
+                            del labels[len(labels) - 1 - ins[1]:]
+                            pc = block_pc
+                            continue
+                        if arity:
+                            carried = stack[len(stack) - arity:]
+                            del stack[height:]
+                            stack.extend(carried)
+                        else:
+                            del stack[height:]
+                        del labels[len(labels) - 1 - ins[1]:]
+                        pc = cont_pc
+                        continue
+                elif op == 9:  # OP_UNARY
+                    stack[-1] = ins[1](stack[-1])
+                elif op == 10:  # OP_TEE_LOCAL
+                    locals_[ins[1]] = stack[-1]
+                elif op == 11:  # OP_BR
+                    if meter is not None:
+                        meter.branch(len(stack))
+                    tele.n_branches += 1
+                    is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
+                    if is_loop:
+                        del stack[height:]
+                        del labels[len(labels) - 1 - ins[1]:]
+                        pc = block_pc
+                        continue
+                    if arity:
+                        carried = stack[len(stack) - arity:]
+                        del stack[height:]
+                        stack.extend(carried)
+                    else:
+                        del stack[height:]
+                    del labels[len(labels) - 1 - ins[1]:]
+                    pc = cont_pc
+                    continue
+                elif op == 12:  # OP_END
+                    if labels:
+                        labels.pop()
+                elif op == 13:  # OP_LOOP
+                    labels.append((True, pc, pc + 1, len(stack), 0))
+                elif op == 14:  # OP_IF
+                    condition = pop()
+                    labels.append((False, pc, ins[1], len(stack), ins[2]))
+                    if not condition:
+                        pc = ins[3]
+                        continue
+                elif op == 15:  # OP_BLOCK
+                    labels.append((False, pc, ins[1], len(stack), ins[2]))
+                elif op == 16:  # OP_JUMP
+                    pc = ins[1]
+                    continue
+                elif op == 17:  # OP_CALL
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    results = self._invoke_callee(functions[ins[1]], call_args)
+                    if results:
+                        stack.extend(results)
+                elif op == 18:  # OP_RETURN
+                    return stack[len(stack) - result_arity:]
+                elif op == 19:  # OP_GET_GLOBAL
+                    append(globals_[ins[1]].value)
+                elif op == 20:  # OP_SET_GLOBAL
+                    globals_[ins[1]].value = pop()
+                elif op == 21:  # OP_SELECT
+                    condition = pop()
+                    second = pop()
+                    first = pop()
+                    append(first if condition else second)
+                elif op == 22:  # OP_DROP
+                    pop()
+                elif op == 23:  # OP_CALL_INDIRECT
+                    table_idx = pop()
+                    func_addr = instance.table.get(table_idx)
+                    callee = functions[func_addr]
+                    if callee.functype != ins[1]:
+                        raise Trap(f"indirect call type mismatch: entry {table_idx} "
+                                   f"has {callee.functype}, expected {ins[1]}")
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    results = self._invoke_callee(callee, call_args)
+                    if results:
+                        stack.extend(results)
+                elif op == 24:  # OP_BR_TABLE
+                    index = pop()
+                    if meter is not None:
+                        meter.branch(len(stack))
+                    tele.n_branches += 1
+                    table_labels = ins[1]
+                    depth = table_labels[index] if index < len(table_labels) else ins[2]
+                    is_loop, block_pc, cont_pc, height, arity = labels[-1 - depth]
+                    if is_loop:
+                        del stack[height:]
+                        del labels[len(labels) - 1 - depth:]
+                        pc = block_pc
+                        continue
+                    if arity:
+                        carried = stack[len(stack) - arity:]
+                        del stack[height:]
+                        stack.extend(carried)
+                    else:
+                        del stack[height:]
+                    del labels[len(labels) - 1 - depth:]
+                    pc = cont_pc
+                    continue
+                elif op == 25:  # OP_MEMORY_SIZE
+                    append(memory.size_pages)
+                elif op == 26:  # OP_MEMORY_GROW
+                    delta = pop()
+                    append(memory.grow(delta) & MASK32)
+                    tele.note_grow(memory.size_pages)
+                elif op == 27:  # OP_NOP
+                    pass
+                elif op == 28:  # OP_UNREACHABLE
+                    raise Trap("unreachable executed")
+                else:  # OP_RAISE
+                    raise ins[1]
+                pc += 1
+
+            return stack[len(stack) - result_arity:] if result_arity else []
+        finally:
+            profiler.exit(executed)
+
     # -- the legacy interpreter loop ---------------------------------------------
 
     def _exec(self, wfunc: WasmFunction, args: list[int | float]) -> list[int | float]:
@@ -793,6 +1134,7 @@ class Machine:
         stack: list[int | float] = []
         result_arity = len(wfunc.functype.results)
         meter = self._meter
+        tele = self._telemetry
         pc = 0
         n_instrs = len(body)
         # label entries: (is_loop, block_pc, cont_pc, height, arity);
@@ -866,18 +1208,24 @@ class Machine:
             elif op == "br":
                 if meter is not None:
                     meter.branch(len(stack))
+                if tele is not None:
+                    tele.n_branches += 1
                 pc = self._branch(instr.label, labels, stack)
                 continue
             elif op == "br_if":
                 if stack.pop():
                     if meter is not None:
                         meter.branch(len(stack))
+                    if tele is not None:
+                        tele.n_branches += 1
                     pc = self._branch(instr.label, labels, stack)
                     continue
             elif op == "br_table":
                 index = stack.pop()
                 if meter is not None:
                     meter.branch(len(stack))
+                if tele is not None:
+                    tele.n_branches += 1
                 table_imm = instr.br_table
                 if index < len(table_imm.labels):
                     label = table_imm.labels[index]
@@ -921,6 +1269,8 @@ class Machine:
             elif op == "memory.grow":
                 delta = stack.pop()
                 stack.append(instance.memory.grow(delta) & MASK32)
+                if tele is not None:
+                    tele.note_grow(instance.memory.size_pages)
             elif op == "nop":
                 pass
             elif op == "unreachable":

@@ -105,6 +105,50 @@ OP_HOOK = 34
 #: and the instrumenter cannot drift apart.
 HOOK_IMPORT_MODULE = "__wasabi_hooks"
 
+#: Opcode id → display name, used by the self-profiler's hot-opcode ranking
+#: and anything else that renders decoded streams for humans. Fused forms
+#: are named after their constituents; ``OP_JUMP`` is the decoded ``else``.
+OP_NAMES: dict[int, str] = {
+    OP_GET_LOCAL: "get_local",
+    OP_BINARY: "binary",
+    OP_CONST: "const",
+    OP_SET_LOCAL: "set_local",
+    OP_LOAD_INT: "load.int",
+    OP_LOAD_FLOAT: "load.float",
+    OP_STORE_INT: "store.int",
+    OP_STORE_FLOAT: "store.float",
+    OP_BR_IF: "br_if",
+    OP_UNARY: "unary",
+    OP_TEE_LOCAL: "tee_local",
+    OP_BR: "br",
+    OP_END: "end",
+    OP_LOOP: "loop",
+    OP_IF: "if",
+    OP_BLOCK: "block",
+    OP_JUMP: "else",
+    OP_CALL: "call",
+    OP_RETURN: "return",
+    OP_GET_GLOBAL: "get_global",
+    OP_SET_GLOBAL: "set_global",
+    OP_SELECT: "select",
+    OP_DROP: "drop",
+    OP_CALL_INDIRECT: "call_indirect",
+    OP_BR_TABLE: "br_table",
+    OP_MEMORY_SIZE: "memory.size",
+    OP_MEMORY_GROW: "memory.grow",
+    OP_NOP: "nop",
+    OP_UNREACHABLE: "unreachable",
+    OP_RAISE: "raise",
+    OP_GET_LOCAL_CONST: "get_local+const",
+    OP_CONST_BINARY: "const+binary",
+    OP_GET_LOCAL_BINARY: "get_local+binary",
+    OP_GET2_LOCAL: "get_local+get_local",
+    OP_HOOK: "hook",
+}
+
+#: Size of a dense per-opcode counter array covering every opcode id.
+N_OPCODES = max(OP_NAMES) + 1
+
 # Loads decode to a struct format executed directly against the memory
 # bytearray with ``struct.unpack_from`` (one C call instead of a chain of
 # Python-level accessor calls); integer results are masked back to the
@@ -327,8 +371,14 @@ def _fuse_pairs(code: list[tuple], blocked: frozenset[int] | set[int] = frozense
             code[pc] = (OP_CONST_BINARY, second[1], first[1])
 
 
-def decode_function(func: Function, module: Module) -> DecodedFunction:
-    """Decode one function body into its threaded form (uncached)."""
+def decode_function(func: Function, module: Module,
+                    fuse: bool = True) -> DecodedFunction:
+    """Decode one function body into its threaded form (uncached).
+
+    ``fuse=False`` skips the pair-fusion pass, leaving every slot a base
+    opcode — the self-profiler executes unfused streams so its per-opcode
+    counts attribute 1:1 to source instructions.
+    """
     body = func.body
     end_of, else_of = match_blocks(body)
     hook_imports = _hook_import_indices(module)
@@ -355,7 +405,8 @@ def decode_function(func: Function, module: Module) -> DecodedFunction:
             consts = pc >= 2 and code[pc - 1][0] == OP_CONST and code[pc - 2][0] == OP_CONST
             if consts and code[pc][2] >= 2:
                 blocked.add(pc - 2)
-    _fuse_pairs(code, blocked)
+    if fuse:
+        _fuse_pairs(code, blocked)
     return DecodedFunction(code, body, hook_sites)
 
 

@@ -1,0 +1,44 @@
+"""Observability: metrics, pipeline span tracing, and the engine profiler.
+
+Public surface of the telemetry subsystem. Typical use::
+
+    from repro.obs import Telemetry
+
+    tele = Telemetry(profile=True)
+    session = AnalysisSession(module, analysis, telemetry=tele)
+    session.run("main", [])
+    tele.write_metrics("run.json", usage=session.machine.resource_usage())
+    tele.write_trace("run.trace.json")
+"""
+
+from .metrics import (HOOK_LATENCY_BUCKETS, STAGE_SECONDS_BUCKETS, Counter,
+                      Gauge, Histogram, MetricsRegistry, parse_prometheus)
+from .profiler import DEFAULT_SAMPLE_INTERVAL, Profiler
+from .spans import (Span, Tracer, measure, spans_from_chrome_trace,
+                    spans_from_jsonl, spans_to_chrome_trace, spans_to_jsonl)
+from .telemetry import (METRICS_SCHEMA, Event, Telemetry, maybe_span,
+                        render_report)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "HOOK_LATENCY_BUCKETS",
+    "STAGE_SECONDS_BUCKETS",
+    "parse_prometheus",
+    "Span",
+    "Tracer",
+    "measure",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "spans_to_chrome_trace",
+    "spans_from_chrome_trace",
+    "Profiler",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "Event",
+    "Telemetry",
+    "METRICS_SCHEMA",
+    "maybe_span",
+    "render_report",
+]

@@ -1,0 +1,294 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Telemetry for a dynamic-analysis framework has to obey the same contract as
+the instrumentation it observes (paper §4.3): the observed system must
+behave as if the observer were absent. The concrete shape follows the
+Prometheus data model — monotonically increasing :class:`Counter` values,
+point-in-time :class:`Gauge` values, and :class:`Histogram` observations
+binned into *fixed* upper-bound buckets (no per-observation allocation, one
+``bisect`` per observe) — because that model renders directly to the text
+exposition format and survives JSON round-trips losslessly.
+
+Metrics are identified by ``(name, labels)`` pairs, e.g.
+``repro_hook_latency_seconds{hook="binary_i32_add"}`` — labels are how
+per-monomorphized-hook and per-opcode-class series share one metric name.
+
+Nothing in this module reads a clock; time enters only through histogram
+observations made by callers (see :mod:`repro.obs.telemetry`), which keeps
+every metric deterministic under an injected clock.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default buckets for sub-millisecond dispatch latencies (seconds).
+HOOK_LATENCY_BUCKETS: tuple[float, ...] = (
+    2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 1e-3, 1e-2, 1e-1,
+)
+
+#: Default buckets for pipeline-stage durations (seconds).
+STAGE_SECONDS_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def set(self, value: int | float) -> None:
+        """Set the absolute value (for folding externally kept raw totals)."""
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (pages, fuel left, queue depth)."""
+
+    __slots__ = ("name", "labels", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = (), help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Observations binned into fixed upper-bound buckets.
+
+    ``buckets`` are inclusive upper bounds in increasing order; one implicit
+    overflow bucket (``+Inf``) catches everything beyond the last bound.
+    ``counts[i]`` is the number of observations in bucket *i* (NOT
+    cumulative; the Prometheus-style cumulative view is computed at render
+    time), so :meth:`observe` is one bisect and two adds.
+    """
+
+    __slots__ = ("name", "labels", "help", "buckets", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: tuple[float, ...],
+                 labels: Labels = (), help: str = ""):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} needs sorted, non-empty buckets")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        the q-th observation falls in; the last finite bound for overflow)."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                return self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
+        return self.buckets[-1]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "labels": dict(self.labels),
+            "buckets": list(self.buckets), "counts": list(self.counts),
+            "sum": self.sum, "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metrics keyed by ``(name, labels)``.
+
+    Re-requesting an existing metric returns the same object, so charge
+    sites can resolve their metric once and hold the reference (the
+    telemetry layer's hoisted-guard discipline). Registering the same name
+    with a different metric kind is an error.
+    """
+
+    def __init__(self):
+        self._metrics: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, str] | None,
+                       help: str, **kwargs):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if metric.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name} already registered as a {metric.kind}")
+            return metric
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise ValueError(f"metric {name} already registered as a {known}")
+        metric = cls(name, labels=key[1], help=help, **kwargs)
+        self._metrics[key] = metric
+        self._kinds[name] = cls.kind
+        return metric
+
+    def counter(self, name: str, labels: dict[str, str] | None = None,
+                help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None,
+              help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(self, name: str, labels: dict[str, str] | None = None,
+                  buckets: tuple[float, ...] = STAGE_SECONDS_BUCKETS,
+                  help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, labels, help,
+                                   buckets=buckets)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(),
+                           key=lambda m: (m.name, m.labels)))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str,
+            labels: dict[str, str] | None = None) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def series(self, name: str) -> list:
+        """All metrics sharing ``name`` (one per label set)."""
+        return [m for m in self if m.name == name]
+
+    # -- serialization -------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready form, grouped by kind (the ``metrics`` artifact)."""
+        out: dict[str, list[dict]] = {"counters": [], "gauges": [], "histograms": []}
+        for metric in self:
+            out[metric.kind + "s"].append(metric.as_dict())
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        """Inverse of :meth:`as_dict` (exporter round-trip support)."""
+        registry = cls()
+        for entry in payload.get("counters", ()):
+            registry.counter(entry["name"], entry["labels"]).set(entry["value"])
+        for entry in payload.get("gauges", ()):
+            registry.gauge(entry["name"], entry["labels"]).set(entry["value"])
+        for entry in payload.get("histograms", ()):
+            hist = registry.histogram(entry["name"], entry["labels"],
+                                      buckets=tuple(entry["buckets"]))
+            hist.counts = list(entry["counts"])
+            hist.sum = entry["sum"]
+            hist.count = entry["count"]
+        return registry
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in self:
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for i, bound in enumerate(metric.buckets):
+                    cumulative += metric.counts[i]
+                    le = _render_labels(metric.labels, (("le", _format_bound(bound)),))
+                    lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                le = _render_labels(metric.labels, (("le", "+Inf"),))
+                lines.append(f"{metric.name}_bucket{le} {metric.count}")
+                labels = _render_labels(metric.labels)
+                lines.append(f"{metric.name}_sum{labels} {_format_value(metric.sum)}")
+                lines.append(f"{metric.name}_count{labels} {metric.count}")
+            else:
+                labels = _render_labels(metric.labels)
+                lines.append(f"{metric.name}{labels} {_format_value(metric.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _format_bound(bound: float) -> str:
+    return repr(bound)
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a text exposition back into ``{sample_name{labels}: value}``.
+
+    A deliberately small parser — enough for the exporter round-trip tests
+    and for scraping our own output; not a general Prometheus client.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        samples[name_part] = float(value_part)
+    return samples

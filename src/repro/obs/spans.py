@@ -1,0 +1,174 @@
+"""Span tracing for the instrumentation pipeline, with three exporters.
+
+A *span* is one timed region — ``decode``, ``validate``, ``instrument``,
+``encode``, ``instantiate``, ``invoke`` — recorded with its start time,
+duration, nesting depth, and free-form attributes. The :class:`Tracer`
+collects spans with a *single injected clock* (the same discipline as
+:class:`repro.interp.limits.Meter`), so tests drive it with a fake clock
+and every bench artifact derives from the identical time source.
+
+Exporters:
+
+* :func:`spans_to_jsonl` — one JSON object per line, trivially greppable
+  and streamable (:func:`spans_from_jsonl` is its inverse);
+* :func:`spans_to_chrome_trace` — the Chrome trace-event JSON format
+  (complete ``"ph": "X"`` events, microsecond timestamps), loadable in
+  ``chrome://tracing`` and https://ui.perfetto.dev;
+* the Prometheus path: the telemetry façade folds span durations into a
+  ``repro_stage_seconds`` histogram per stage name (see
+  :mod:`repro.obs.telemetry`).
+
+:func:`measure` is the shared clock-and-report path of the evaluation
+harness: ``eval/timing.py`` and ``eval/overhead.py`` time every repeat as a
+span through it, so BENCH artifacts and telemetry cannot drift onto
+different clocks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable
+
+
+class Span:
+    """One completed timed region."""
+
+    __slots__ = ("name", "start", "duration", "depth", "attrs")
+
+    def __init__(self, name: str, start: float, duration: float,
+                 depth: int = 0, attrs: dict | None = None):
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.depth = depth
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "start": self.start,
+                "duration": self.duration, "depth": self.depth,
+                "attrs": self.attrs}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, depth={self.depth})"
+
+
+class Tracer:
+    """Collects spans; nesting is tracked by an explicit depth counter.
+
+    The clock is injected (default :func:`time.perf_counter`); all span
+    timestamps come from it and nothing else, so a deterministic fake clock
+    yields deterministic spans.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a region; the span is recorded when the region exits.
+
+        Spans are appended in *completion* order (children before parents),
+        with ``depth`` recording the nesting level at entry.
+        """
+        depth = self._depth
+        self._depth += 1
+        start = self.clock()
+        try:
+            yield
+        finally:
+            duration = self.clock() - start
+            self._depth -= 1
+            self.spans.append(Span(name, start, duration, depth, attrs or None))
+
+    def durations(self, name: str) -> list[float]:
+        """Durations of every completed span called ``name``, in order."""
+        return [span.duration for span in self.spans if span.name == name]
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: list[Span]) -> str:
+    """One JSON object per line; inverse of :func:`spans_from_jsonl`."""
+    return "\n".join(json.dumps(span.as_dict(), sort_keys=True)
+                     for span in spans) + ("\n" if spans else "")
+
+
+def spans_from_jsonl(text: str) -> list[Span]:
+    spans = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        entry = json.loads(line)
+        spans.append(Span(entry["name"], entry["start"], entry["duration"],
+                          entry.get("depth", 0), entry.get("attrs") or {}))
+    return spans
+
+
+def spans_to_chrome_trace(spans: list[Span],
+                          process_name: str = "repro") -> dict:
+    """Chrome trace-event JSON (the dict; dump with ``json.dumps``).
+
+    Timestamps are microseconds relative to the earliest span, which keeps
+    them small and origin-independent (``perf_counter`` has an arbitrary
+    epoch). All spans land on one pid/tid — the pipeline is single-threaded
+    — so Perfetto renders the nesting purely from the X-event intervals.
+    """
+    origin = min((span.start for span in spans), default=0.0)
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (span.start - origin) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": dict(span.attrs),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_from_chrome_trace(payload: dict) -> list[Span]:
+    """Inverse of :func:`spans_to_chrome_trace` (depth is not recoverable)."""
+    spans = []
+    for event in payload.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        spans.append(Span(event["name"], event["ts"] / 1e6,
+                          event["dur"] / 1e6, 0, dict(event.get("args") or {})))
+    return spans
+
+
+# -- the shared measurement path ----------------------------------------------
+
+
+def measure(fn: Callable[[], object], repeats: int, *,
+            name: str = "measure",
+            tracer: Tracer | None = None,
+            clock: Callable[[], float] | None = None,
+            attrs: dict | None = None) -> list[float]:
+    """Run ``fn`` ``repeats`` times, recording each run as one span.
+
+    Returns the per-repeat durations (callers take ``min``/``mean`` as
+    their protocol dictates). When no tracer is passed, a throwaway one is
+    created over ``clock`` (default ``perf_counter``) — so the measurement
+    path is *identical* whether or not the spans are kept.
+    """
+    if tracer is None:
+        tracer = Tracer(clock=clock or time.perf_counter)
+    attrs = attrs or {}
+    durations: list[float] = []
+    for repeat in range(repeats):
+        with tracer.span(name, repeat=repeat, **attrs):
+            fn()
+        durations.append(tracer.spans[-1].duration)
+    return durations
