@@ -1,0 +1,127 @@
+"""Record/replay overhead floor: the recorder must be pay-as-you-go.
+
+Two claims are pinned here, on the Figure 9 PolyBench fast subset:
+
+1. **The no-recorder path is (near-)free.** A machine built without
+   ``replay=`` pays exactly one hoisted ``replay is not None`` test per
+   host-boundary crossing (host calls; plus clock reads when metered) and
+   nothing per ordinary instruction. The guard's unit cost is measured
+   directly (timeit differencing) and multiplied by the exact number of
+   host calls per run, yielding a deterministic upper-bound estimate of
+   the disabled-path overhead. Floor: <= 2%.
+
+2. **Recording is cheap.** A run under a live :class:`Recorder` (every
+   host call logged with exact-codec args/results) stays within 1.5x of
+   the unrecorded run.
+
+Results are recorded in ``benchmarks/results/BENCH_replay.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+import timeit
+
+from repro.eval import POLYBENCH_FAST_SUBSET, polybench_workloads
+from repro.interp import Machine, Recorder, Replayer, replay_linker
+
+from conftest import full_run
+
+
+def _guard_cost_seconds() -> float:
+    """Per-event cost of the disabled-path guard, ``replay is not None``."""
+    n = 2_000_000
+    guarded = min(timeit.repeat("if replay is not None: pass",
+                                globals={"replay": None},
+                                number=n, repeat=7)) / n
+    empty = min(timeit.repeat("pass", number=n, repeat=7)) / n
+    return max(guarded - empty, 0.0)
+
+
+def _time_workload(workload, repeats, record):
+    """Best-of-``repeats`` invoke time, host-call count, and one recording."""
+    module = workload.module()
+    best, host_calls, recorder = float("inf"), 0, None
+    for _ in range(repeats):
+        this_recorder = Recorder() if record else None
+        machine = Machine(replay=this_recorder)
+        instance = machine.instantiate(module, workload.linker())
+        start = time.perf_counter()
+        instance.invoke(workload.entry, workload.args)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, recorder = elapsed, this_recorder
+        if this_recorder is not None:
+            host_calls = sum(1 for e in this_recorder.entries
+                             if e["kind"] == "host_call")
+    return best, host_calls, recorder
+
+
+def test_replay_overhead(benchmark, results_dir):
+    repeats = 5 if full_run() else 3
+    guard_s = _guard_cost_seconds()
+    workloads = polybench_workloads(POLYBENCH_FAST_SUBSET)
+
+    rows = []
+    for workload in workloads:
+        off_seconds, _, _ = _time_workload(workload, repeats, record=False)
+        rec_seconds, host_calls, _ = _time_workload(workload, repeats,
+                                                    record=True)
+        disabled_overhead = host_calls * guard_s / off_seconds
+        rows.append({
+            "name": workload.name,
+            "off_seconds": off_seconds,
+            "recording_seconds": rec_seconds,
+            "recording_overhead": rec_seconds / off_seconds,
+            "host_calls": host_calls,
+            "disabled_overhead": disabled_overhead,
+        })
+
+    payload = {
+        "guard_ns": guard_s * 1e9,
+        "workloads": rows,
+        "geomean_recording_overhead": statistics.geometric_mean(
+            r["recording_overhead"] for r in rows),
+        "max_disabled_overhead": max(r["disabled_overhead"] for r in rows),
+    }
+    path = results_dir / "BENCH_replay.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    for r in rows:
+        print(f"{r['name']:16s} off={r['off_seconds']:.4f}s "
+              f"recording={r['recording_overhead']:.3f}x "
+              f"host_calls={r['host_calls']} "
+              f"disabled~{r['disabled_overhead']:.5%}")
+    print(f"guard cost {payload['guard_ns']:.2f} ns/event; "
+          f"geomean recording {payload['geomean_recording_overhead']:.3f}x; "
+          f"max disabled {payload['max_disabled_overhead']:.4%} "
+          f"[recorded in {path}]")
+
+    # (1) the ISSUE floor: no-recorder path costs <= 2% on every kernel
+    assert payload["max_disabled_overhead"] <= 0.02, payload
+    # (2) recording stays within 1.5x of the unrecorded run
+    assert payload["geomean_recording_overhead"] <= 1.5, payload
+
+    # the pytest-benchmark number: recorded gemm on the predecoded engine
+    gemm = polybench_workloads(["gemm"])[0]
+    benchmark.pedantic(lambda: _time_workload(gemm, 1, record=True),
+                       rounds=1, iterations=1)
+
+
+def test_recording_captures_on_bench_path(results_dir):
+    """The recorded log actually replays the bench workload — guarding
+    against a silently disconnected recorder making claim (2) vacuous."""
+    workload = polybench_workloads(["trisolv"])[0]
+    module = workload.module()
+    recorder = Recorder()
+    machine = Machine(replay=recorder)
+    instance = machine.instantiate(module, workload.linker([]))
+    results = instance.invoke(workload.entry, workload.args)
+    assert any(e["kind"] == "host_call" for e in recorder.entries)
+
+    replayer = Replayer(recorder.entries)
+    machine2 = Machine(replay=replayer)
+    instance2 = machine2.instantiate(module, replay_linker(module))
+    assert instance2.invoke(workload.entry, workload.args) == results
+    replayer.finish()

@@ -15,9 +15,19 @@ the equivalent, plus the usual binary-toolkit conveniences:
   python -m repro report m.json               # render a metrics artifact
   python -m repro stats app.wasm              # sizes, sections, instr mix
   python -m repro fuzz --mutants 5000         # fault-injection campaign
+  python -m repro fuzz --save-failures DIR --reduce   # bundle + shrink escapes
+  python -m repro run app.wasm main 1 2 --record bundle/    # record a run
+  python -m repro run app.wasm main --crash-dir crashes/    # bundle on failure
+  python -m repro bundle crashes/run         # inspect/verify a crash bundle
+  python -m repro replay crashes/run         # reproduce it from the bundle
 
-Exit codes: 0 success, 1 failure (invalid module, trap, fuzz escapes),
-2 usage error, 4 resource exhaustion (fuel/deadline/memory budget hit).
+Exit codes form a stable failure taxonomy (pinned by tests/test_cli.py):
+0 success; 1 other failure (fuzz escapes, unresolved imports, …); 2 usage
+error; 3 trap (unreachable, out-of-bounds, call-stack exhaustion); 4
+resource exhaustion (fuel/deadline/memory budget); 5 malformed or invalid
+module (decode/validate/encode); 6 analysis fault (a hook raised under the
+``raise``/``abort`` policy); 7 replay divergence (a replayed run deviated
+from its recorded log).
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from dataclasses import replace
+from dataclasses import asdict, replace
 from pathlib import Path
 
 from .analyses import (BasicBlockProfiler, BranchCoverage, CallGraphAnalysis,
@@ -33,15 +43,56 @@ from .analyses import (BasicBlockProfiler, BranchCoverage, CallGraphAnalysis,
                        InstructionMixAnalysis, MemoryTracer)
 from .core import (ALL_GROUPS, ERROR_POLICIES, Analysis, AnalysisSession,
                    instrument_module)
-from .interp import Linker, Machine, ResourceLimits
+from .interp import (Linker, Machine, Recorder, ResourceLimits,
+                     load_crash_bundle, replay_linker, snapshot_instance,
+                     write_crash_bundle)
+from .interp.snapshot import decode_values, encode_values
 from .minic import compile_source
 from .obs import Telemetry, maybe_span, render_report
-from .wasm import (ResourceExhausted, decode_module, encode_module,
-                   format_module, validate_module)
+from .wasm import (AnalysisError, DecodeError, EncodeError, ReplayDivergence,
+                   ResourceExhausted, Trap, ValidationError, WasmError,
+                   decode_module, encode_module, format_module,
+                   validate_module)
 from .wasm.types import F64, I32, FuncType
 
-#: Exit status for a run aborted by a ResourceLimits bound.
+# -- exit-status taxonomy (documented in README, pinned by tests/test_cli.py) --
+
+EXIT_OK = 0
+#: Generic failure: any WasmError outside the specific classes below.
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+#: The guest trapped (unreachable, OOB access, stack exhaustion, …).
+EXIT_TRAP = 3
+#: A run aborted by a ResourceLimits bound (fuel/deadline/memory).
 EXIT_RESOURCE_EXHAUSTED = 4
+#: The module is malformed or invalid (decode/validate/encode stage).
+EXIT_MALFORMED = 5
+#: An analysis hook raised under the ``raise``/``abort`` policy.
+EXIT_ANALYSIS_FAULT = 6
+#: A replayed run diverged from its recorded log.
+EXIT_REPLAY_DIVERGENCE = 7
+
+
+def exit_status(exc: BaseException) -> int:
+    """Map an error to its exit status.
+
+    Order matters: :class:`ReplayDivergence` beats everything (a divergent
+    replay may surface any error class); :class:`AnalysisError` is checked
+    before :class:`Trap` because :class:`AnalysisAbort` subclasses both
+    and the *cause* is the analysis; :class:`ResourceExhausted` is a Trap
+    subclass and keeps its own status.
+    """
+    if isinstance(exc, ReplayDivergence):
+        return EXIT_REPLAY_DIVERGENCE
+    if isinstance(exc, AnalysisError):
+        return EXIT_ANALYSIS_FAULT
+    if isinstance(exc, ResourceExhausted):
+        return EXIT_RESOURCE_EXHAUSTED
+    if isinstance(exc, Trap):
+        return EXIT_TRAP
+    if isinstance(exc, (DecodeError, ValidationError, EncodeError)):
+        return EXIT_MALFORMED
+    return EXIT_FAILURE
 
 ANALYSES = {
     "mix": InstructionMixAnalysis,
@@ -132,9 +183,12 @@ def cmd_instrument(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     try:
         validate_module(_load(args.input))
-    except Exception as exc:
+    except WasmError as exc:
         print(f"{args.input}: INVALID: {exc}", file=sys.stderr)
-        return 1
+        return exit_status(exc)  # EXIT_MALFORMED for decode/validate errors
+    except OSError as exc:
+        print(f"{args.input}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
     print(f"{args.input}: ok")
     return 0
 
@@ -177,45 +231,116 @@ def _limits_from_args(args: argparse.Namespace) -> ResourceLimits | None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
-    with maybe_span(telemetry, "decode", path=args.input):
-        module = _load(args.input)
+    try:
+        with maybe_span(telemetry, "decode", path=args.input):
+            module = _load(args.input)
+    except WasmError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_status(exc)
     call_args = [float(a) if "." in a else int(a) for a in args.args]
     printed: list = []
     linker = _default_linker(printed)
     limits = _limits_from_args(args)
-    try:
-        return _run(args, module, call_args, printed, linker, limits, telemetry)
-    except ResourceExhausted as exc:
-        print(f"repro: resource limit hit: {exc}", file=sys.stderr)
-        return EXIT_RESOURCE_EXHAUSTED
+    recorder = Recorder() if (args.record or args.crash_dir) else None
+    return _run(args, module, call_args, printed, linker, limits, telemetry,
+                recorder)
+
+
+def _report_analysis(analysis: Analysis) -> None:
+    if isinstance(analysis, InstructionMixAnalysis):
+        print(analysis.report())
+    elif isinstance(analysis, CryptominerDetector):
+        print(f"signature fraction: {analysis.signature_fraction:.2%}; "
+              f"suspicious: {analysis.is_suspicious()}")
+    elif isinstance(analysis, MemoryTracer):
+        print(f"{len(analysis.trace)} accesses, "
+              f"{analysis.unique_addresses()} unique addresses")
+    elif isinstance(analysis, BasicBlockProfiler):
+        for (loc, kind), count in analysis.hottest(10):
+            print(f"  {kind:<9} {loc}: {count}")
+
+
+def _error_info(error: WasmError | None) -> dict | None:
+    """The manifest's error record: class, message, and (when the error
+    carries one) the guest Location and faulting hook name."""
+    if error is None:
+        return None
+    info = {"type": type(error).__name__, "message": str(error)}
+    location = getattr(error, "location", None)
+    if location is not None:
+        info["location"] = str(location)
+    hook = getattr(error, "hook_name", None)
+    if hook is not None:
+        info["hook"] = hook
+    return info
 
 
 def _run(args: argparse.Namespace, module, call_args, printed, linker,
-         limits: ResourceLimits | None, telemetry: Telemetry | None) -> int:
+         limits: ResourceLimits | None, telemetry: Telemetry | None,
+         recorder: Recorder | None = None) -> int:
+    analysis = None
     if args.analysis == "none" and not args.instrument:
-        machine = Machine(limits=limits, telemetry=telemetry)
+        machine = Machine(limits=limits, telemetry=telemetry, replay=recorder)
         instance = machine.instantiate(module, linker)
-        result = instance.invoke(args.entry, call_args)
-        usage = machine.resource_usage()
+        session = None
     else:
         analysis = ANALYSES[args.analysis]()
         session = AnalysisSession(module, analysis, linker=linker,
                                   limits=limits,
                                   on_analysis_error=args.on_analysis_error,
-                                  telemetry=telemetry)
-        result = session.invoke(args.entry, call_args)
-        usage = session.resource_usage()
-        if isinstance(analysis, InstructionMixAnalysis):
-            print(analysis.report())
-        elif isinstance(analysis, CryptominerDetector):
-            print(f"signature fraction: {analysis.signature_fraction:.2%}; "
-                  f"suspicious: {analysis.is_suspicious()}")
-        elif isinstance(analysis, MemoryTracer):
-            print(f"{len(analysis.trace)} accesses, "
-                  f"{analysis.unique_addresses()} unique addresses")
-        elif isinstance(analysis, BasicBlockProfiler):
-            for (loc, kind), count in analysis.hottest(10):
-                print(f"  {kind:<9} {loc}: {count}")
+                                  telemetry=telemetry, replay=recorder)
+        machine, instance = session.machine, session.instance
+    # the pre-invocation state snapshot anchoring a recorded bundle
+    pre = snapshot_instance(instance) if recorder is not None else None
+    error: WasmError | None = None
+    result = None
+    try:
+        result = instance.invoke(args.entry, call_args)
+    except WasmError as exc:
+        error = exc
+    usage = machine.resource_usage() if session is None \
+        else session.resource_usage()
+
+    if recorder is not None:
+        target = args.record or (args.crash_dir and error is not None
+                                 and str(Path(args.crash_dir)
+                                         / Path(args.input).stem))
+        if target:
+            manifest = {
+                "kind": "invoke",
+                "invocations": [{"export": args.entry,
+                                 "args": encode_values(call_args)}],
+                "engine": {"predecode": machine.predecode,
+                           "specialize_hooks": machine.specialize_hooks},
+                "limits": asdict(limits) if limits is not None else None,
+                "analysis": args.analysis,
+                "instrument": bool(args.instrument),
+                "on_analysis_error": args.on_analysis_error,
+                "error": _error_info(error),
+                "metrics": usage.as_dict(),
+            }
+            if error is None:
+                manifest["results"] = encode_values(result)
+            # post-invocation state, for the bit-identical replay check
+            post = snapshot_instance(instance)
+            manifest["post"] = {
+                "memory_digest": (post.memory or {}).get("digest"),
+                "globals": encode_values(post.globals_),
+            }
+            write_crash_bundle(target, Path(args.input).read_bytes(), manifest,
+                               snapshot=pre, recorder=recorder)
+            print(f"repro: crash bundle written to {target}", file=sys.stderr)
+
+    if error is not None:
+        if isinstance(error, ResourceExhausted):
+            print(f"repro: resource limit hit: {error}", file=sys.stderr)
+        else:
+            print(f"repro: {type(error).__name__}: {error}", file=sys.stderr)
+        _write_artifacts(telemetry, args, usage)
+        return exit_status(error)
+
+    if analysis is not None:
+        _report_analysis(analysis)
     for value in printed:
         print(f"[print] {value}")
     print(f"{args.entry}({', '.join(map(str, call_args))}) = {result}")
@@ -238,7 +363,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
                     seed=args.seed):
         result = run_campaign(mutants=args.mutants, seed=args.seed,
-                              execute=not args.no_execute, engines=engines)
+                              execute=not args.no_execute, engines=engines,
+                              save_failures=args.save_failures)
     if telemetry is not None:
         registry = telemetry.registry
         for stage, count in sorted(result.rejected_at.items()):
@@ -256,8 +382,247 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     print(result.summary())
     for failure in result.failures:
         print(f"ESCAPE {failure}", file=sys.stderr)
+    if args.save_failures and result.failures:
+        print(f"repro: {len(result.failures)} crash bundles written under "
+              f"{args.save_failures}", file=sys.stderr)
+        if args.reduce:
+            from .eval.reduce import reduce_bundle
+            for failure in result.failures:
+                bundle_dir = (Path(args.save_failures)
+                              / f"{failure.corpus_name}-{failure.index}")
+                reduction = reduce_bundle(load_crash_bundle(bundle_dir),
+                                          execute=not args.no_execute,
+                                          engines=engines)
+                print(f"repro: {bundle_dir.name}: {reduction.summary()}",
+                      file=sys.stderr)
     _write_artifacts(telemetry, args)
     return 0 if result.ok else 1
+
+
+def cmd_bundle(args: argparse.Namespace) -> int:
+    """Inspect (and verify the integrity of) a crash bundle directory."""
+    try:
+        bundle = load_crash_bundle(args.bundle)
+    except (WasmError, OSError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return exit_status(exc) if isinstance(exc, WasmError) else EXIT_FAILURE
+    manifest = bundle.manifest
+    print(f"{bundle.path}: {manifest.get('kind', '?')} crash bundle")
+    print(f"  module: {len(bundle.module_bytes)} bytes{_stream_info(bundle)}")
+    error = manifest.get("error")
+    if error:
+        where = f" at {error['location']}" if error.get("location") else ""
+        stage = f" [{error['stage']}]" if error.get("stage") else ""
+        print(f"  error{stage}: {error.get('type')}: "
+              f"{error.get('message')}{where}")
+    else:
+        print("  error: none (recorded run succeeded)")
+    if manifest.get("invocations"):
+        for inv in manifest["invocations"]:
+            call_args = decode_values(inv.get("args", []))
+            print(f"  invoke: {inv['export']}({', '.join(map(str, call_args))})")
+    if manifest.get("fuzz"):
+        fz = manifest["fuzz"]
+        print(f"  fuzz: seed={fz.get('seed')} corpus={fz.get('corpus')} "
+              f"index={fz.get('index')} recipe={fz.get('recipe')}")
+    if manifest.get("reduction"):
+        red = manifest["reduction"]
+        print(f"  reduced: {red['original_size']} -> {red['reduced_size']} "
+              f"bytes ({red['tests']} pipeline runs)")
+    if bundle.snapshot is not None:
+        memory = bundle.snapshot.memory
+        pages = len(memory["pages"]) if memory else 0
+        size = memory["size_pages"] if memory else 0
+        print(f"  snapshot: {size} pages ({pages} non-zero), "
+              f"{len(bundle.snapshot.globals_)} globals")
+    if bundle.log is not None:
+        from collections import Counter
+        kinds = Counter(entry["kind"] for entry in bundle.log)
+        detail = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        print(f"  replay log: {len(bundle.log)} entries ({detail or 'empty'})")
+    if args.verify:
+        problems = _verify_bundle(bundle)
+        if problems:
+            for problem in problems:
+                print(f"  VERIFY FAILED: {problem}", file=sys.stderr)
+            return EXIT_FAILURE
+        print("  verify: ok")
+    return 0
+
+
+def _stream_info(bundle) -> str:
+    """Decoded-stream triage for bundles whose module still decodes."""
+    from .interp.predecode import stream_summary
+    try:
+        summary = stream_summary(decode_module(bundle.module_bytes))
+    except WasmError:
+        return " (does not decode)"
+    extras = [f"{summary['instructions']} instrs",
+              f"{summary['host_call_sites']} host call sites"]
+    if summary["hook_sites"]:
+        extras.append(f"{summary['hook_sites']} hook sites")
+    if summary["raising"]:
+        extras.append(f"{summary['raising']} undecodable instrs")
+    return f" ({', '.join(extras)})"
+
+
+def _verify_bundle(bundle) -> list[str]:
+    """Integrity checks on a loaded bundle (content, not reproduction)."""
+    import hashlib
+
+    from .wasm.types import PAGE_SIZE
+
+    problems = []
+    if bundle.manifest.get("kind") == "pipeline":
+        # pipeline bundles hold intentionally broken binaries; nothing to
+        # decode. Invoke bundles must decode cleanly.
+        pass
+    else:
+        try:
+            decode_module(bundle.module_bytes)
+        except WasmError as exc:
+            problems.append(f"module does not decode: {exc}")
+    snap = bundle.snapshot
+    if snap is not None and snap.memory is not None:
+        data = bytearray(snap.memory["size_pages"] * PAGE_SIZE)
+        try:
+            for idx, chunk in snap.memory["pages"].items():
+                data[idx * PAGE_SIZE:idx * PAGE_SIZE + len(chunk)] = chunk
+        except (IndexError, ValueError) as exc:
+            problems.append(f"snapshot pages malformed: {exc}")
+        else:
+            digest = hashlib.sha256(bytes(data)).hexdigest()
+            if digest != snap.memory["digest"]:
+                problems.append(
+                    f"snapshot memory digest mismatch: stored "
+                    f"{snap.memory['digest'][:12]}…, computed {digest[:12]}…")
+    return problems
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-execute a crash bundle and compare against its recorded outcome."""
+    try:
+        bundle = load_crash_bundle(args.bundle)
+    except (WasmError, OSError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return exit_status(exc) if isinstance(exc, WasmError) else EXIT_FAILURE
+    if bundle.manifest.get("kind") == "pipeline":
+        return _replay_pipeline_bundle(args, bundle)
+    return _replay_invoke_bundle(args, bundle)
+
+
+def _replay_pipeline_bundle(args: argparse.Namespace, bundle) -> int:
+    """Pipeline bundles re-run deterministically from bytes alone."""
+    from .eval.faultinject import replay_failure_bundle
+
+    reproduced, live = replay_failure_bundle(bundle)
+    recorded = bundle.error
+    if reproduced:
+        print(f"{bundle.path}: reproduced: {live}")
+        return 0
+    print(f"{bundle.path}: DIVERGED", file=sys.stderr)
+    print(f"  recorded: {recorded.get('outcome', 'escape')} at "
+          f"{recorded.get('stage')}: {recorded.get('type')}: "
+          f"{recorded.get('message')}", file=sys.stderr)
+    print(f"  live:     {live}", file=sys.stderr)
+    return EXIT_REPLAY_DIVERGENCE
+
+
+def _replay_invoke_bundle(args: argparse.Namespace, bundle) -> int:
+    """Reconstruct the recorded run: same module, limits, analysis, and
+    host-boundary log; optionally a different engine (``--engine``)."""
+    manifest = bundle.manifest
+    module = decode_module(bundle.module_bytes)
+    engine = manifest.get("engine", {})
+    predecode = engine.get("predecode")
+    if args.engine == "predecode":
+        predecode = True
+    elif args.engine == "legacy":
+        predecode = False
+    limits = None
+    if manifest.get("limits") is not None:
+        limits = ResourceLimits(**manifest["limits"])
+    replayer = bundle.replayer()
+    if replayer is None:
+        print(f"repro: {bundle.path} has no replay log", file=sys.stderr)
+        return EXIT_FAILURE
+    linker = replay_linker(module)
+
+    analysis_name = manifest.get("analysis", "none")
+    machine = Machine(predecode=predecode,
+                      specialize_hooks=engine.get("specialize_hooks"),
+                      limits=limits, replay=replayer)
+    try:
+        if analysis_name == "none" and not manifest.get("instrument"):
+            instance = machine.instantiate(module, linker)
+        else:
+            session = AnalysisSession(
+                module, ANALYSES[analysis_name](), linker=linker,
+                machine=machine,
+                on_analysis_error=manifest.get("on_analysis_error", "raise"))
+            instance = session.instance
+        if bundle.snapshot is not None:
+            instance.restore(bundle.snapshot)
+        error: WasmError | None = None
+        results = None
+        for inv in manifest.get("invocations", []):
+            try:
+                results = instance.invoke(inv["export"],
+                                          decode_values(inv.get("args", [])))
+            except ReplayDivergence:
+                raise
+            except WasmError as exc:
+                error = exc
+                break
+        replayer.finish()
+    except ReplayDivergence as div:
+        print(f"{bundle.path}: DIVERGED: {div}", file=sys.stderr)
+        return EXIT_REPLAY_DIVERGENCE
+
+    mismatches = _compare_outcome(manifest, error, results, instance)
+    if not mismatches:
+        outcome = manifest.get("error")
+        what = (f"{outcome['type']}: {outcome['message']}" if outcome
+                else f"results {results!r}")
+        print(f"{bundle.path}: reproduced: {what}")
+        return 0
+    print(f"{bundle.path}: DIVERGED", file=sys.stderr)
+    for mismatch in mismatches:
+        print(f"  {mismatch}", file=sys.stderr)
+    return EXIT_REPLAY_DIVERGENCE
+
+
+def _compare_outcome(manifest: dict, error: WasmError | None, results,
+                     instance) -> list[str]:
+    """Replay acceptance: identical error class + message + Location (or
+    identical results), and bit-identical post-invocation state."""
+    mismatches = []
+    recorded = manifest.get("error")
+    live = _error_info(error)
+    if recorded is None and live is not None:
+        mismatches.append(f"recorded success, live failed: "
+                          f"{live['type']}: {live['message']}")
+    elif recorded is not None and live is None:
+        mismatches.append(f"recorded {recorded['type']}: "
+                          f"{recorded['message']}, live succeeded")
+    elif recorded is not None:
+        for key in ("type", "message", "location", "hook"):
+            if recorded.get(key) != live.get(key):
+                mismatches.append(f"error {key}: recorded "
+                                  f"{recorded.get(key)!r}, live {live.get(key)!r}")
+    elif "results" in manifest and encode_values(results or []) != manifest["results"]:
+        mismatches.append(f"results: recorded "
+                          f"{decode_values(manifest['results'])!r}, "
+                          f"live {results!r}")
+    post = manifest.get("post")
+    if post:
+        live_post = snapshot_instance(instance)
+        live_digest = (live_post.memory or {}).get("digest")
+        if live_digest != post.get("memory_digest"):
+            mismatches.append("post-state memory digest differs")
+        if encode_values(live_post.globals_) != post.get("globals", []):
+            mismatches.append("post-state globals differ")
+    return mismatches
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -353,6 +718,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--on-analysis-error", choices=ERROR_POLICIES,
                    default="raise",
                    help="policy when an analysis hook raises (default: raise)")
+    p.add_argument("--record", metavar="DIR", default=None,
+                   help="record the run (snapshot + host-boundary log) as a "
+                        "crash bundle at DIR, whether or not it fails")
+    p.add_argument("--crash-dir", metavar="DIR", default=None,
+                   help="on trap/fault, write a crash bundle under DIR")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="report resource usage (fuel, peak pages, peak call "
                         "depth) on stderr after the run")
@@ -377,10 +747,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("both", "predecode", "legacy"),
                    default="both",
                    help="engine(s) for the execute stage (default: both)")
+    p.add_argument("--save-failures", metavar="DIR", default=None,
+                   help="write a crash bundle per surviving mutant under DIR")
+    p.add_argument("--reduce", action="store_true",
+                   help="ddmin-reduce each saved crash bundle in place "
+                        "(requires --save-failures)")
     p.add_argument("--no-execute", action="store_true",
                    help="skip executing statically valid mutants")
     _add_telemetry_flags(p, profile=False)
     p.set_defaults(fn=cmd_fuzz, profile=False)
+
+    p = sub.add_parser("bundle", help="inspect a crash bundle directory")
+    p.add_argument("bundle", help="crash bundle directory")
+    p.add_argument("--verify", action="store_true",
+                   help="check bundle integrity (module decodes, snapshot "
+                        "digest matches)")
+    p.set_defaults(fn=cmd_bundle)
+
+    p = sub.add_parser("replay", help="re-execute a crash bundle and check "
+                                      "it reproduces the recorded outcome")
+    p.add_argument("bundle", help="crash bundle directory")
+    p.add_argument("--engine", choices=("recorded", "predecode", "legacy"),
+                   default="recorded",
+                   help="interpreter engine to replay on (default: the one "
+                        "that recorded the bundle)")
+    p.set_defaults(fn=cmd_replay)
     return parser
 
 

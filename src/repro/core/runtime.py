@@ -162,7 +162,8 @@ class WasabiRuntime:
 
     def __init__(self, result: InstrumentationResult, analysis: Analysis,
                  on_analysis_error: str = "raise",
-                 telemetry: "Telemetry | None" = None):
+                 telemetry: "Telemetry | None" = None,
+                 replay=None):
         if on_analysis_error not in ERROR_POLICIES:
             raise ValueError(
                 f"on_analysis_error must be one of {ERROR_POLICIES}, "
@@ -171,6 +172,11 @@ class WasabiRuntime:
         self.analysis = analysis
         self.on_analysis_error = on_analysis_error
         self.telemetry = telemetry
+        #: Recorder/Replayer for hook-fault and quarantine events. Hook
+        #: *calls* are never recorded (they re-execute live during replay);
+        #: their faults and the containment verdicts are, so a replayed run
+        #: must fault at the same locations with the same policy outcomes.
+        self.replay = replay
         self.instance: Instance | None = None
         #: AnalysisError records for every contained hook fault, in order.
         self.hook_faults: list[AnalysisError] = []
@@ -301,6 +307,11 @@ class WasabiRuntime:
                        instr=location.instr if location is not None else None,
                        exception=type(exc).__name__, policy=policy,
                        message=str(exc))
+        replay = self.replay
+        if replay is not None:
+            # record (or verify, when replaying) before the policy applies,
+            # so even a propagated fault is in the log
+            replay.hook_fault(hook_name, exc, location, policy)
         if policy == "raise" or policy == "abort":
             raise error
         if policy == "quarantine":
@@ -324,6 +335,8 @@ class WasabiRuntime:
         self._quarantined.add(hook_name)
         if self.telemetry is not None:
             self.telemetry.event("hook_quarantined", hook=hook_name)
+        if self.replay is not None:
+            self.replay.quarantine(hook_name)
         host = self._hosts.get(hook_name)
         if host is None:
             return

@@ -36,6 +36,11 @@ class AnalysisSession:
     shares the sink with the machine (engine counters, ``instantiate``/
     ``invoke`` spans) and the runtime (per-hook latency histograms,
     fault/quarantine events).
+
+    ``replay`` shares one :class:`~repro.interp.replay.Recorder` or
+    :class:`~repro.interp.replay.Replayer` between the machine (host calls,
+    meter clock reads) and the runtime (hook faults, quarantines), so one
+    log captures every nondeterminism source of an analysis run.
     """
 
     def __init__(self, module: Module, analysis: Analysis,
@@ -46,11 +51,16 @@ class AnalysisSession:
                  run_start: bool = True,
                  limits: ResourceLimits | None = None,
                  on_analysis_error: str = "raise",
-                 telemetry: "Telemetry | None" = None):
+                 telemetry: "Telemetry | None" = None,
+                 replay=None):
         if machine is not None and limits is not None:
             raise ValueError(
                 "pass either a pre-built machine or limits, not both "
                 "(construct the machine with Machine(limits=...) instead)")
+        if machine is not None and replay is not None:
+            raise ValueError(
+                "pass either a pre-built machine or replay, not both "
+                "(construct the machine with Machine(replay=...) instead)")
         self.original = module
         self.analysis = analysis
         self.telemetry = telemetry
@@ -66,15 +76,21 @@ class AnalysisSession:
             with telemetry.span("instrument", groups=len(self.groups)):
                 self.result = instrument_module(
                     module, groups=self.groups, config=config)
+        if machine is not None:
+            # a pre-built machine brings its own recorder/replayer; the
+            # runtime must share it so hook faults land in the same log
+            replay = machine._replay
+        self.replay = replay
         self.runtime = WasabiRuntime(self.result, analysis,
                                      on_analysis_error=on_analysis_error,
-                                     telemetry=telemetry)
+                                     telemetry=telemetry,
+                                     replay=replay)
 
         linker = linker or Linker()
         for name, host_func in self.runtime.host_functions().items():
             linker.define(HOOK_MODULE, name, host_func)
 
-        self.machine = machine or Machine(limits=limits)
+        self.machine = machine or Machine(limits=limits, replay=replay)
         if telemetry is not None:
             # attach before instantiation so profiled machines decode the
             # instrumented module unfused (idempotent for a shared sink)

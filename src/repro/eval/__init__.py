@@ -6,8 +6,12 @@ package; everything here is importable for ad-hoc experimentation too.
 
 from .faithfulness import (FaithfulnessResult, check_workload, run_instrumented,
                            run_original)
-from .faultinject import (CampaignResult, Failure, mutate, regenerate_mutant,
-                          run_campaign, run_pipeline, seed_corpus)
+from .faultinject import (CampaignResult, Classification, Failure, classify,
+                          mutate, regenerate_mutant, replay_failure_bundle,
+                          run_campaign, run_pipeline, save_failure_bundle,
+                          seed_corpus)
+from .reduce import (Reduction, reduce_bundle, reduce_bytes, reduce_failure,
+                     reduce_invocations)
 from .hooks_matrix import (FIGURE_GROUPS, make_full_analysis,
                            make_group_analysis)
 from .overhead import (OverheadReport, baseline_runtime,
@@ -22,18 +26,20 @@ from .workloads import (POLYBENCH_FAST_SUBSET, Workload, default_workloads,
                         polybench_workloads, realworld_workloads)
 
 __all__ = [
-    "CampaignResult", "FIGURE_GROUPS", "Failure", "FaithfulnessResult",
-    "InterpBenchReport",
-    "OverheadReport", "POLYBENCH_FAST_SUBSET", "SizeReport", "TimingReport",
+    "CampaignResult", "Classification", "FIGURE_GROUPS", "Failure",
+    "FaithfulnessResult", "InterpBenchReport",
+    "OverheadReport", "POLYBENCH_FAST_SUBSET", "Reduction", "SizeReport",
+    "TimingReport",
     "Workload", "baseline_runtime", "bench_interpreter", "check_workload",
-    "default_workloads", "geomean_speedup", "hook_dispatch_payload",
-    "instrument_binary",
+    "classify", "default_workloads", "geomean_speedup",
+    "hook_dispatch_payload", "instrument_binary",
     "instrumented_runtime", "interp_bench_payload", "make_full_analysis",
     "make_group_analysis", "measure_size", "mutate", "overhead_sweep",
-    "polybench_workloads", "realworld_workloads", "regenerate_mutant",
-    "render_fig8",
-    "render_fig9", "render_table", "render_table5", "run_campaign",
-    "run_instrumented",
-    "run_original", "run_pipeline", "seed_corpus", "size_sweep",
-    "time_instrumentation", "time_workload",
+    "polybench_workloads", "realworld_workloads", "reduce_bundle",
+    "reduce_bytes", "reduce_failure", "reduce_invocations",
+    "regenerate_mutant", "render_fig8",
+    "render_fig9", "render_table", "render_table5", "replay_failure_bundle",
+    "run_campaign", "run_instrumented",
+    "run_original", "run_pipeline", "save_failure_bundle", "seed_corpus",
+    "size_sweep", "time_instrumentation", "time_workload",
 ]

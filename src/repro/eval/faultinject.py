@@ -323,6 +323,42 @@ def _execute_mutant(binary: bytes, predecode: bool) -> None:
             pass  # traps and exhaustion are clean rejections
 
 
+def _pipeline_stage(binary: bytes, execute: bool,
+                    engines: tuple[bool, ...]) -> tuple[str | None, WasmError | None]:
+    """Drive one binary through the pipeline, keeping the rejecting error.
+
+    Returns ``(None, None)`` if every stage passed, or ``(stage, exc)`` for
+    the stage that cleanly rejected it. Non-WasmError exceptions propagate.
+    """
+    try:
+        module = decode_module(binary)
+    except WasmError as exc:
+        return "decode", exc
+    try:
+        validate_module(module)
+    except WasmError as exc:
+        return "validate", exc
+    try:
+        result = instrument_module(module, groups=ALL_GROUPS)
+    except WasmError as exc:
+        return "instrument", exc
+    try:
+        reencoded = encode_module(result.module)
+    except WasmError as exc:
+        return "encode", exc
+    try:
+        decode_module(reencoded)
+    except WasmError as exc:
+        return "redecode", exc
+    if execute:
+        try:
+            for predecode in engines:
+                _execute_mutant(binary, predecode)
+        except WasmError as exc:
+            return "execute", exc
+    return None, None
+
+
 def run_pipeline(binary: bytes, execute: bool = False,
                  engines: tuple[bool, ...] = (True, False)) -> str | None:
     """Drive one binary through the pipeline.
@@ -331,40 +367,70 @@ def run_pipeline(binary: bytes, execute: bool = False,
     (cleanly) rejected it. Non-WasmError exceptions propagate — the
     campaign records them as escapes.
     """
+    stage, _ = _pipeline_stage(binary, execute, engines)
+    return stage
+
+
+@dataclass(frozen=True)
+class Classification:
+    """What the pipeline did with one binary.
+
+    ``outcome`` is ``"pass"`` (every stage survived), ``"rejected"`` (a
+    stage failed cleanly with a WasmError), or ``"escape"`` (a
+    non-WasmError exception got out — a harness :class:`Failure`).
+    :attr:`signature` is the identity the test-case reducer must preserve
+    while shrinking: the failing stage plus the error class, but not the
+    message (shrinking legitimately changes offsets and sizes embedded in
+    messages).
+    """
+
+    stage: str | None
+    outcome: str
+    exc_type: str | None = None
+    message: str | None = None
+
+    @property
+    def signature(self) -> tuple:
+        return (self.stage, self.outcome, self.exc_type)
+
+    def __str__(self) -> str:
+        if self.outcome == "pass":
+            return "pass"
+        return f"{self.outcome} at {self.stage}: {self.exc_type}: {self.message}"
+
+
+def classify(binary: bytes, execute: bool = True,
+             engines: tuple[bool, ...] = (True, False)) -> Classification:
+    """Classify one binary's pipeline outcome (never raises).
+
+    The reducer's predicate and ``repro replay`` both compare
+    classifications, so clean rejections carry their error class too — a
+    crash bundle for a decode-stage rejection replays against the same
+    :class:`~repro.wasm.errors.DecodeError`, not just "some failure".
+    """
     try:
-        module = decode_module(binary)
-    except WasmError:
-        return "decode"
-    try:
-        validate_module(module)
-    except WasmError:
-        return "validate"
-    try:
-        result = instrument_module(module, groups=ALL_GROUPS)
-    except WasmError:
-        return "instrument"
-    try:
-        reencoded = encode_module(result.module)
-    except WasmError:
-        return "encode"
-    try:
-        decode_module(reencoded)
-    except WasmError:
-        return "redecode"
-    if execute:
-        try:
-            for predecode in engines:
-                _execute_mutant(binary, predecode)
-        except WasmError:
-            return "execute"
-    return None
+        stage, exc = _pipeline_stage(binary, execute, engines)
+    except Exception as escape:  # noqa: BLE001 - escapes are the point
+        return Classification(stage=_failing_stage(escape), outcome="escape",
+                              exc_type=type(escape).__name__,
+                              message=str(escape))
+    if stage is None:
+        return Classification(stage=None, outcome="pass")
+    return Classification(stage=stage, outcome="rejected",
+                          exc_type=type(exc).__name__, message=str(exc))
 
 
 def run_campaign(mutants: int = 5000, seed: int = 20260806,
                  corpus: dict[str, bytes] | None = None,
                  execute: bool = True,
-                 engines: tuple[bool, ...] = (True, False)) -> CampaignResult:
-    """Run a full seeded campaign; never raises on escapes, records them."""
+                 engines: tuple[bool, ...] = (True, False),
+                 save_failures: str | None = None) -> CampaignResult:
+    """Run a full seeded campaign; never raises on escapes, records them.
+
+    With ``save_failures`` set, every escape is additionally persisted as a
+    self-contained crash bundle under that directory (one subdirectory per
+    failure, named ``<corpus>-<index>``), loadable by ``repro replay``.
+    """
     corpus = corpus if corpus is not None else seed_corpus()
     result = CampaignResult(mutants=mutants, seed=seed)
     names = sorted(corpus)
@@ -376,15 +442,67 @@ def run_campaign(mutants: int = 5000, seed: int = 20260806,
             stage = run_pipeline(mutant, execute=execute, engines=engines)
         except Exception as exc:  # noqa: BLE001 - escapes are the point
             stage = _failing_stage(exc)
-            result.failures.append(Failure(
+            failure = Failure(
                 corpus_name=name, index=index, seed=seed, stage=stage,
-                recipe=recipe, exc_type=type(exc).__name__, message=str(exc)))
+                recipe=recipe, exc_type=type(exc).__name__, message=str(exc))
+            result.failures.append(failure)
+            if save_failures is not None:
+                save_failure_bundle(failure, mutant, save_failures)
             continue
         if stage is None:
             result.survived += 1
         else:
             result.rejected_at[stage] = result.rejected_at.get(stage, 0) + 1
     return result
+
+
+# -- crash bundles ----------------------------------------------------------------
+
+
+def failure_manifest(failure: Failure, outcome: str = "escape") -> dict:
+    """The crash-bundle manifest for one campaign failure."""
+    return {
+        "kind": "pipeline",
+        "error": {"type": failure.exc_type, "message": failure.message,
+                  "stage": failure.stage, "outcome": outcome},
+        "fuzz": {"seed": failure.seed, "corpus": failure.corpus_name,
+                 "index": failure.index, "recipe": failure.recipe},
+    }
+
+
+def save_failure_bundle(failure: Failure, mutant: bytes,
+                        directory: str) -> "Path":
+    """Persist one campaign failure as a crash bundle directory.
+
+    Pipeline failures have no instance state or host-boundary log (the
+    pipeline is deterministic given the bytes), so the bundle is manifest +
+    module bytes; ``repro replay`` re-runs the pipeline and compares the
+    outcome's stage and error class.
+    """
+    from pathlib import Path
+
+    from ..interp.replay import write_crash_bundle
+
+    target = Path(directory) / f"{failure.corpus_name}-{failure.index}"
+    return write_crash_bundle(target, mutant, failure_manifest(failure))
+
+
+def replay_failure_bundle(bundle, execute: bool = True,
+                          engines: tuple[bool, ...] = (True, False),
+                          ) -> tuple[bool, Classification]:
+    """Re-run a pipeline crash bundle and compare against its manifest.
+
+    Returns ``(reproduced, live_classification)``: reproduced is True when
+    the live run stops at the recorded stage with the recorded outcome and
+    error class. Messages are compared only when the bundle was not
+    reduced (reduction legitimately rewrites offsets inside messages).
+    """
+    live = classify(bundle.module_bytes, execute=execute, engines=engines)
+    recorded = bundle.manifest.get("error", {})
+    reproduced = (live.stage == recorded.get("stage")
+                  and live.outcome == recorded.get("outcome", "escape")
+                  and live.exc_type == recorded.get("type"))
+    return reproduced, live
 
 
 def _failing_stage(exc: Exception) -> str:

@@ -1,0 +1,180 @@
+"""Automatic test-case reduction for crashing inputs (delta debugging).
+
+A fuzz campaign hands triage a mutant of a few hundred bytes whose
+interesting property — the pipeline stage it breaks and the error class it
+raises — usually depends on a handful of them. This module shrinks such
+inputs with ddmin-style delta debugging (Zeller & Hildebrandt, "Simplifying
+and Isolating Failure-Inducing Input"): repeatedly try removing chunks of
+the input at progressively finer granularity, keeping any candidate that
+still reproduces the failure *signature* (stage + outcome + error class;
+messages are allowed to drift, since byte offsets embedded in them change
+under deletion).
+
+Two reducers share the algorithm:
+
+* :func:`reduce_failure` — shrink a crashing binary's *bytes*;
+* :func:`reduce_invocations` — shrink an *invocation sequence* (the list of
+  export calls recorded in an invoke crash bundle) while the failure
+  persists.
+
+Both are deterministic: the same input and predicate always produce the
+same reduced output, so a reduced crash bundle replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .faultinject import Classification, classify
+
+#: Default budget of predicate evaluations per reduction. Each test runs
+#: the full pipeline on a candidate, so this bounds reduction latency; the
+#: algorithm degrades gracefully (keeps its best-so-far) when exhausted.
+DEFAULT_MAX_TESTS = 2000
+
+
+@dataclass
+class Reduction:
+    """Result of one reduction run."""
+
+    original_size: int
+    reduced_size: int
+    signature: tuple
+    tests: int
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of the original removed (0.0 = nothing, 1.0 = all)."""
+        if not self.original_size:
+            return 0.0
+        return 1.0 - self.reduced_size / self.original_size
+
+    def summary(self) -> str:
+        return (f"reduced {self.original_size} -> {self.reduced_size} "
+                f"({self.ratio:.0%} smaller, {self.tests} pipeline runs)")
+
+
+def _ddmin(items: Sequence, predicate: Callable[[Sequence], bool],
+           max_tests: int) -> tuple[Sequence, int]:
+    """Complement-based ddmin over any sliceable sequence.
+
+    ``predicate(candidate)`` must return True when the candidate still
+    exhibits the failure; ``items`` itself is assumed to. Returns the
+    1-minimal-ish reduced sequence and the number of predicate calls.
+    """
+    tests = 0
+    n = 2
+    while len(items) >= 2 and tests < max_tests:
+        shrunk = False
+        for i in range(n):
+            lo = len(items) * i // n
+            hi = len(items) * (i + 1) // n
+            if lo == hi:
+                continue
+            candidate = items[:lo] + items[hi:]
+            tests += 1
+            if predicate(candidate):
+                # removing this chunk keeps the failure: restart from the
+                # reduced input at comparable granularity
+                items = candidate
+                n = max(n - 1, 2)
+                shrunk = True
+                break
+            if tests >= max_tests:
+                break
+        if not shrunk:
+            if n >= len(items):
+                break  # single-element granularity and nothing removable
+            n = min(n * 2, len(items))
+    return items, tests
+
+
+def reduce_bytes(data: bytes, predicate: Callable[[bytes], bool],
+                 max_tests: int = DEFAULT_MAX_TESTS) -> tuple[bytes, int]:
+    """ddmin over a byte string with an arbitrary predicate."""
+    if not predicate(data):
+        raise ValueError("input does not satisfy the predicate to begin with")
+    return _ddmin(data, predicate, max_tests)
+
+
+def reduce_failure(binary: bytes,
+                   target: Classification | None = None,
+                   execute: bool = True,
+                   engines: tuple[bool, ...] = (True, False),
+                   max_tests: int = DEFAULT_MAX_TESTS,
+                   ) -> tuple[bytes, Reduction]:
+    """Shrink a failing binary while preserving its failure signature.
+
+    ``target`` defaults to classifying ``binary`` first; it must be a
+    failing classification (outcome ``rejected`` or ``escape``) — reducing
+    a passing input is meaningless. Returns the reduced bytes and the
+    :class:`Reduction` record.
+    """
+    if target is None:
+        target = classify(binary, execute=execute, engines=engines)
+    if target.outcome == "pass":
+        raise ValueError("refusing to reduce a passing input "
+                         "(no failure signature to preserve)")
+    signature = target.signature
+
+    def still_fails(candidate: bytes) -> bool:
+        return classify(candidate, execute=execute,
+                        engines=engines).signature == signature
+
+    reduced, tests = _ddmin(binary, still_fails, max_tests)
+    return bytes(reduced), Reduction(original_size=len(binary),
+                                     reduced_size=len(reduced),
+                                     signature=signature, tests=tests)
+
+
+def reduce_invocations(invocations: list,
+                       predicate: Callable[[list], bool],
+                       max_tests: int = DEFAULT_MAX_TESTS,
+                       ) -> tuple[list, Reduction]:
+    """Shrink an invocation sequence while ``predicate`` keeps failing.
+
+    ``predicate`` receives a candidate subsequence of the recorded
+    ``{"export": ..., "args": [...]}`` invocation dicts and returns True
+    when replaying it still reproduces the failure.
+    """
+    if not predicate(invocations):
+        raise ValueError("invocation sequence does not reproduce the failure")
+    reduced, tests = _ddmin(list(invocations), predicate, max_tests)
+    return list(reduced), Reduction(original_size=len(invocations),
+                                    reduced_size=len(reduced),
+                                    signature=("invocations",), tests=tests)
+
+
+def reduce_bundle(bundle, execute: bool = True,
+                  engines: tuple[bool, ...] = (True, False),
+                  max_tests: int = DEFAULT_MAX_TESTS) -> Reduction:
+    """Reduce a pipeline crash bundle in place.
+
+    Shrinks the bundle's module bytes against the manifest's recorded
+    stage/outcome/error class, rewrites ``module.wasm``, and records the
+    reduction (original size, reduced size, pipeline runs) in the
+    manifest. The reduced bundle replays exactly like the original:
+    ``repro replay`` compares stage and error class, which the predicate
+    preserved by construction.
+    """
+    import json
+
+    error = bundle.manifest.get("error", {})
+    target = Classification(stage=error.get("stage"),
+                            outcome=error.get("outcome", "escape"),
+                            exc_type=error.get("type"),
+                            message=error.get("message"))
+    reduced, reduction = reduce_failure(bundle.module_bytes, target=target,
+                                        execute=execute, engines=engines,
+                                        max_tests=max_tests)
+    (bundle.path / "module.wasm").write_bytes(reduced)
+    bundle.module_bytes = reduced
+    bundle.manifest["reduction"] = {
+        "original_size": reduction.original_size,
+        "reduced_size": reduction.reduced_size,
+        "tests": reduction.tests,
+    }
+    (bundle.path / "manifest.json").write_text(
+        json.dumps(bundle.manifest, indent=2, default=str) + "\n")
+    return reduction

@@ -23,6 +23,12 @@ class HostFunction:
     result types by the machine.
     """
 
+    #: True on Wasabi's generated low-level hooks (set by the runtime).
+    #: Hook calls are excluded from host-boundary recording — specialized
+    #: ``OP_HOOK`` sites bypass the generic host-call path, so recording
+    #: them would make replay logs engine-dependent.
+    is_wasabi_hook = False
+
     def __init__(self, functype: FuncType, fn: Callable[..., object],
                  name: str = "<host>"):
         self.functype = functype

@@ -188,6 +188,27 @@ class Meter:
                 raise DeadlineExceeded(
                     f"deadline of {self.limits.deadline_seconds}s exceeded")
 
+    # -- state capture (repro.interp.snapshot) --------------------------------
+
+    def residue(self) -> dict:
+        """Cumulative accounting state that survives invocation boundaries.
+
+        The per-invocation budgets (``fuel_left``/``deadline``) re-arm at
+        depth zero and are *not* part of a snapshot; the cumulative totals
+        and the deadline-check phase (``tick``) are, so a restored machine
+        reports continuous :class:`ResourceUsage` and replays its clock
+        reads at the same events.
+        """
+        return {"fuel_spent": self.fuel_spent_total,
+                "peak_depth": self.peak_depth,
+                "tick": self._tick}
+
+    def restore_residue(self, residue: dict) -> None:
+        """Restore the cumulative accounting captured by :meth:`residue`."""
+        self.fuel_spent_total = int(residue.get("fuel_spent", 0))
+        self.peak_depth = int(residue.get("peak_depth", 0))
+        self._tick = int(residue.get("tick", 0))
+
     def enter_call(self, depth: int) -> None:
         """Charge one function call; checks the deadline unconditionally."""
         if depth > self.peak_depth:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import struct
 import sys
+import time
 from typing import TYPE_CHECKING, Sequence
 
 from ..wasm.errors import ExhaustionError, ResourceExhausted, Trap, WasmError
@@ -282,6 +283,18 @@ class Instance:
         except KeyError:
             raise WasmError(f"no export named {name!r}") from None
 
+    # -- state capture (repro.interp.snapshot) --------------------------------
+
+    def snapshot(self):
+        """Capture full instance state; only valid at invocation boundaries."""
+        from .snapshot import snapshot_instance
+        return snapshot_instance(self)
+
+    def restore(self, snap) -> None:
+        """Restore state captured by :meth:`snapshot` (same module shape)."""
+        from .snapshot import restore_instance
+        restore_instance(self, snap)
+
 
 def _coerce(valtype: ValType, value: int | float) -> int | float:
     """Coerce a host-provided value to canonical runtime representation.
@@ -347,13 +360,20 @@ class Machine:
     telemetry with an attached profiler additionally reroutes pre-decoded
     execution through the counting loop (:meth:`_exec_profiled`) and makes
     new instances decode *unfused* so opcode counts attribute 1:1.
+
+    ``replay`` attaches a :class:`~repro.interp.replay.Recorder` or
+    :class:`~repro.interp.replay.Replayer`: host-function calls (except
+    Wasabi's generated hooks, which must stay engine-independent) and the
+    meter's clock reads are recorded or served from the log. Without it
+    the host-call paths pay one hoisted ``is not None`` test.
     """
 
     def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
                  predecode: bool | None = None,
                  specialize_hooks: bool | None = None,
                  limits: ResourceLimits | None = None,
-                 telemetry: "Telemetry | None" = None):
+                 telemetry: "Telemetry | None" = None,
+                 replay=None):
         if limits is not None and limits.max_call_depth is not None:
             max_call_depth = limits.max_call_depth
         self.max_call_depth = max_call_depth
@@ -361,8 +381,15 @@ class Machine:
         self.specialize_hooks = (specialize_hooks_default()
                                  if specialize_hooks is None else specialize_hooks)
         self.limits = limits
-        self._meter: Meter | None = (
-            Meter(limits) if limits is not None and limits.metered else None)
+        self._replay = replay
+        if limits is not None and limits.metered:
+            # the replay clock must wrap before Meter construction: arming
+            # the deadline in Meter.__init__ already reads the clock
+            clock = (time.monotonic if replay is None
+                     else replay.bind_clock(time.monotonic))
+            self._meter: Meter | None = Meter(limits, clock=clock)
+        else:
+            self._meter = None
         self._memories: list[Memory] = []
         #: Decoded-stream cache statistics for this machine's instantiations.
         self.predecode_cache_hits = 0
@@ -387,6 +414,9 @@ class Machine:
         self._profiling = telemetry.profiler is not None
         self._run_decoded = (self._exec_profiled if self._profiling
                              else self._exec_decoded)
+        replay = self._replay
+        if replay is not None and replay.is_replaying:
+            replay.telemetry = telemetry
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Attach a telemetry sink (idempotent for the same instance).
@@ -556,6 +586,12 @@ class Machine:
             if isinstance(func, HostFunction):
                 if tele is not None:
                     tele.n_host_calls += 1
+                replay = self._replay
+                if replay is not None and \
+                        not getattr(func, "is_wasabi_hook", False):
+                    return replay.host_call(
+                        func.name, args,
+                        lambda: self._host_results(func, func.fn(args)))
                 return self._host_results(func, func.fn(args))
             if func.decoded is not None:
                 return self._run_decoded(func, args)
@@ -619,9 +655,24 @@ class Machine:
         if tele is not None:
             tele.n_calls += 1
             tele.n_host_calls += 1
+        replay = self._replay
+        if replay is not None and \
+                not getattr(callee, "is_wasabi_hook", False):
+            # Wasabi hooks stay un-recorded: specialized OP_HOOK sites
+            # bypass this path entirely, so recording them here would make
+            # logs depend on the engine and hook-dispatch mode
+            return replay.host_call(callee.name, call_args,
+                                    lambda: self._host_invoke(callee, call_args))
         raw = callee.fn(call_args)
         if raw is None and not callee.functype.results:
             return _NO_RESULTS  # void host call: the hot hook path
+        return self._host_results(callee, raw)
+
+    def _host_invoke(self, callee: HostFunction,
+                     call_args: list[int | float]) -> list[int | float]:
+        raw = callee.fn(call_args)
+        if raw is None and not callee.functype.results:
+            return _NO_RESULTS
         return self._host_results(callee, raw)
 
     # -- the pre-decoded interpreter loop ------------------------------------------

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import struct
 
-from ..wasm.errors import Trap
+from ..wasm.errors import SnapshotError, Trap
 from ..wasm.types import MAX_PAGES, PAGE_SIZE, Limits
 
 
@@ -53,6 +53,39 @@ class Memory:
             return -1
         self.data.extend(bytes(delta_pages * PAGE_SIZE))
         return previous
+
+    # -- state capture (repro.interp.snapshot) --------------------------------
+
+    def snapshot_pages(self) -> dict[int, bytes]:
+        """Sparse capture: the non-zero 64 KiB pages, keyed by page index.
+
+        WebAssembly memory is zero-initialized, so pages that are still
+        all-zero carry no information; a snapshot stores only the rest
+        (plus the total size, kept by the caller).
+        """
+        pages: dict[int, bytes] = {}
+        data = self.data
+        for idx in range(self.size_pages):
+            chunk = bytes(data[idx * PAGE_SIZE:(idx + 1) * PAGE_SIZE])
+            if chunk.count(0) != PAGE_SIZE:
+                pages[idx] = chunk
+        return pages
+
+    def restore_pages(self, size_pages: int, pages: dict[int, bytes]) -> None:
+        """Replace the entire contents from a sparse page capture.
+
+        Resizes to ``size_pages`` (the bytearray identity is preserved, so
+        engine-cached references stay valid), zeroes everything, and writes
+        the captured pages back.
+        """
+        for idx, chunk in pages.items():
+            if idx < 0 or idx >= size_pages or len(chunk) > PAGE_SIZE:
+                raise SnapshotError(
+                    f"snapshot page {idx} outside restored memory of "
+                    f"{size_pages} pages")
+        self.data[:] = bytes(size_pages * PAGE_SIZE)
+        for idx, chunk in pages.items():
+            self.data[idx * PAGE_SIZE:idx * PAGE_SIZE + len(chunk)] = chunk
 
     def _check(self, addr: int, width: int, what: str) -> None:
         if addr < 0 or addr + width > len(self.data):

@@ -425,3 +425,36 @@ def cached_decode(func: Function, module: Module) -> tuple[DecodedFunction, bool
     decoded = decode_function(func, module)
     func._decoded = decoded  # type: ignore[attr-defined]
     return decoded, False
+
+
+def stream_summary(module: Module) -> dict:
+    """Static triage summary of a module's decoded streams.
+
+    Decodes every defined function (through the per-``Function`` cache)
+    and aggregates what crash-bundle inspection wants to show at a
+    glance: total decoded instructions, Wasabi hook call sites (non-zero
+    means the binary was instrumented), instructions that decoded to
+    raising :data:`OP_RAISE` placeholders (malformed bodies a fuzz mutant
+    smuggled past validation), and direct host-boundary call sites —
+    the slots whose results a replay log must supply.
+    """
+    host_imports = set()
+    for idx, imp in enumerate(i for i in module.imports if isinstance(i.desc, int)):
+        if imp.module != HOOK_IMPORT_MODULE:
+            host_imports.add(idx)
+    instructions = hook_sites = raising = host_call_sites = 0
+    for func in module.functions:
+        decoded, _ = cached_decode(func, module)
+        instructions += len(decoded.code)
+        hook_sites += len(decoded.hook_sites)
+        for ins in decoded.code:
+            if ins[0] == OP_RAISE:
+                raising += 1
+            elif ins[0] == OP_CALL and ins[1] in host_imports:
+                host_call_sites += 1
+    return {
+        "instructions": instructions,
+        "hook_sites": hook_sites,
+        "raising": raising,
+        "host_call_sites": host_call_sites,
+    }

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ..wasm.errors import Trap
+from ..wasm.errors import SnapshotError, Trap
 from ..wasm.types import Limits
 
 
@@ -36,3 +36,17 @@ class Table:
         if idx < 0 or idx >= len(self.entries):
             raise Trap(f"table index {idx} out of bounds")
         self.entries[idx] = func_addr
+
+    # -- state capture (repro.interp.snapshot) --------------------------------
+
+    def snapshot_entries(self) -> list[int | None]:
+        """A copy of the entries, for state snapshots."""
+        return list(self.entries)
+
+    def restore_entries(self, entries: list[int | None]) -> None:
+        """Replace the entries from a snapshot (same size required)."""
+        if len(entries) != len(self.entries):
+            raise SnapshotError(
+                f"snapshot table has {len(entries)} entries, live table "
+                f"has {len(self.entries)}")
+        self.entries[:] = entries

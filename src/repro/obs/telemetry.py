@@ -84,6 +84,7 @@ class Telemetry:
         self.n_branches = 0       # taken br / br_if / br_table
         self.n_traps = 0          # traps escaping a top-level invocation
         self.n_mem_grow = 0       # executed memory.grow instructions
+        self.n_replayed_host_calls = 0  # host calls served from a replay log
         self.mem_pages = 0        # last linear-memory size seen at a grow
         self._spans_folded = 0
 
@@ -134,6 +135,8 @@ class Telemetry:
              "traps escaping a top-level invocation"),
             ("repro_memory_grow_total", self.n_mem_grow,
              "executed memory.grow instructions"),
+            ("repro_replayed_host_calls_total", self.n_replayed_host_calls,
+             "host calls served from a replay log instead of the host"),
         ]
         for name, value, help_text in interp:
             registry.counter(name, help=help_text).set(value)

@@ -10,7 +10,8 @@ from .decoder import decode_module
 from .encoder import encode_module
 from .errors import (AnalysisAbort, AnalysisError, DeadlineExceeded,
                      DecodeError, EncodeError, ExhaustionError, FuelExhausted,
-                     ResourceExhausted, Trap, ValidationError, WasmError)
+                     ReplayDivergence, ResourceExhausted, SnapshotError, Trap,
+                     ValidationError, WasmError)
 from .module import (BrTable, CustomSection, DataSegment, ElemSegment, Export,
                      Function, Global, Import, Instr, MemArg, Module)
 from .text import format_body, format_function, format_instr, format_module
@@ -25,8 +26,9 @@ __all__ = [
     "EncodeError", "ExhaustionError", "Export", "ExprValidator", "F32", "F64",
     "FuelExhausted", "FuncType", "Function", "FunctionBuilder", "Global",
     "GlobalType", "I32", "I64", "Import", "Instr", "Limits", "MemArg",
-    "MemoryType", "Module", "ModuleBuilder", "PAGE_SIZE", "ResourceExhausted",
-    "TableType", "Trap", "ValType", "ValidationError", "WasmError",
+    "MemoryType", "Module", "ModuleBuilder", "PAGE_SIZE", "ReplayDivergence",
+    "ResourceExhausted", "SnapshotError", "TableType", "Trap", "ValType",
+    "ValidationError", "WasmError",
     "WatError", "decode_module", "encode_module", "format_body",
     "format_function", "format_instr", "format_module", "parse_wat",
     "validate_function", "validate_module",

@@ -64,6 +64,35 @@ class DeadlineExceeded(ResourceExhausted):
     """The wall-clock deadline for one top-level invocation passed."""
 
 
+class SnapshotError(WasmError):
+    """A state snapshot cannot be restored into (or verified against) an
+    instance — schema mismatch, shape mismatch (globals/table/memory not
+    matching the module), or a content-digest failure after restore."""
+
+
+class ReplayDivergence(WasmError):
+    """Replayed execution diverged from the recorded log.
+
+    Raised by the replay layer when the live run requests a host-boundary
+    event that does not match the next recorded entry (different host
+    function, different arguments, a hook fault that was not recorded, …)
+    or when recorded entries are left unconsumed at verification time.
+    ``index`` is the position in the recorded log (per entry kind) and
+    ``location`` carries the guest :class:`~repro.core.analysis.Location`
+    when the diverging event has one (hook faults).
+    """
+
+    def __init__(self, message: str, index: int | None = None,
+                 location=None):
+        self.index = index
+        self.location = location
+        if index is not None:
+            message = f"{message} (log entry #{index})"
+        if location is not None:
+            message = f"{message} at {location}"
+        super().__init__(message)
+
+
 class AnalysisError(WasmError):
     """An analysis hook raised during dispatch.
 

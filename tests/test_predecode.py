@@ -311,3 +311,41 @@ class TestHostResultCoercion:
         instance = Machine(predecode=True).instantiate(builder.build(), linker)
         with pytest.raises(WasmError, match="bad_host"):
             instance.invoke("go", [])
+
+
+class TestStreamSummary:
+    """The decoded-stream triage summary used by `repro bundle`."""
+
+    def test_plain_module(self):
+        from repro.interp.predecode import stream_summary
+        module = compile_source("""
+            import func print_f64(x: f64);
+            export func main() -> f64 {
+                print_f64(2.5);
+                return 2.5;
+            }
+        """, "plain")
+        summary = stream_summary(module)
+        assert summary["instructions"] == sum(len(f.body)
+                                              for f in module.functions)
+        assert summary["host_call_sites"] == 1
+        assert summary["hook_sites"] == 0
+        assert summary["raising"] == 0
+
+    def test_instrumented_module_has_hook_sites(self):
+        from repro.core import instrument_module
+        from repro.interp.predecode import stream_summary
+        module = compile_source("""
+            export func f(n: i32) -> i32 { return n + 1; }
+        """, "inst")
+        assert stream_summary(module)["hook_sites"] == 0
+        instrumented = instrument_module(module).module
+        assert stream_summary(instrumented)["hook_sites"] > 0
+
+    def test_malformed_body_counts_raising(self):
+        from repro.interp.predecode import stream_summary
+        module = compile_source("""
+            export func f() -> i32 { return 3; }
+        """, "broken")
+        module.functions[0].body.insert(0, Instr("i32.const"))  # no immediate
+        assert stream_summary(module)["raising"] == 1

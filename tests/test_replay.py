@@ -1,0 +1,404 @@
+"""Host-boundary record/replay, crash bundles, and the test-case reducer.
+
+The acceptance criteria live here: a bundle recorded on one engine
+replays on the other with an identical error class, trap message, and
+Location; a perturbed log raises :class:`ReplayDivergence`; the reducer
+shrinks a crashing mutant while preserving its failure signature.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import Analysis, AnalysisSession
+from repro.eval import reduce_bytes, reduce_failure, reduce_invocations
+from repro.eval.faultinject import (Failure, classify, mutate,
+                                    replay_failure_bundle, save_failure_bundle,
+                                    seed_corpus)
+from repro.interp import (Linker, Machine, Recorder, Replayer, ResourceLimits,
+                          load_crash_bundle, replay_linker, restore_instance,
+                          snapshot_instance, write_crash_bundle)
+from repro.minic import compile_source
+from repro.obs import Telemetry
+from repro.wasm import (DeadlineExceeded, ReplayDivergence, Trap, WasmError,
+                        encode_module)
+
+ENGINES = [True, False]
+
+
+@pytest.fixture
+def host_module():
+    """Calls an imported host function whose results drive control flow."""
+    return compile_source("""
+        import func roll() -> i32;
+        memory 1;
+        export func play(n: i32) -> i32 {
+            var i: i32 = 0;
+            var acc: i32 = 0;
+            while (i < n) {
+                acc = acc + roll();
+                mem_i32[i] = acc;
+                i = i + 1;
+            }
+            return acc;
+        }
+    """, "host")
+
+
+def _rolling_linker(values):
+    """env.roll returning successive values from a list (nondeterminism)."""
+    from repro.wasm.types import I32, FuncType
+    state = {"i": 0}
+
+    def roll(args):
+        value = values[state["i"] % len(values)]
+        state["i"] += 1
+        return value
+
+    linker = Linker()
+    linker.define_function("env", "roll", FuncType((), (I32,)), roll)
+    return linker
+
+
+class TestRecorder:
+    def test_host_calls_recorded_in_order(self, host_module):
+        recorder = Recorder()
+        machine = Machine(replay=recorder)
+        inst = machine.instantiate(host_module, _rolling_linker([3, 5, 7]))
+        assert inst.invoke("play", [3]) == [15]
+        calls = [e for e in recorder.entries if e["kind"] == "host_call"]
+        assert [c["results"] for c in calls] == [[3], [5], [7]]
+        assert all(c["name"] == "env.roll" for c in calls)
+
+    def test_host_error_recorded_and_replayed(self, host_module):
+        from repro.wasm.types import I32, FuncType
+
+        def bad(args):
+            raise Trap("host says no")
+
+        linker = Linker()
+        linker.define_function("env", "roll", FuncType((), (I32,)), bad)
+        recorder = Recorder()
+        inst = Machine(replay=recorder).instantiate(host_module, linker)
+        with pytest.raises(Trap, match="host says no"):
+            inst.invoke("play", [1])
+        calls = [e for e in recorder.entries if e["kind"] == "host_call"]
+        assert calls and calls[-1]["error"]["type"] == "Trap"
+
+        # replay re-raises the recorded trap without entering the host
+        replayer = Replayer(recorder.entries)
+        inst2 = Machine(replay=replayer).instantiate(
+            host_module, replay_linker(host_module))
+        with pytest.raises(Trap, match="host says no"):
+            inst2.invoke("play", [1])
+        replayer.finish()
+
+    def test_jsonl_round_trip(self, host_module, tmp_path):
+        recorder = Recorder()
+        machine = Machine(replay=recorder)
+        inst = machine.instantiate(host_module, _rolling_linker([1]))
+        inst.invoke("play", [2])
+        path = recorder.write(tmp_path / "log.jsonl")
+        replayer = Replayer.load(path)
+        assert replayer._streams["host_call"] == \
+            [e for e in recorder.entries if e["kind"] == "host_call"]
+
+
+class TestReplayer:
+    @pytest.mark.parametrize("record_engine", ENGINES)
+    @pytest.mark.parametrize("replay_engine", ENGINES)
+    def test_cross_engine_replay(self, host_module, record_engine,
+                                 replay_engine):
+        recorder = Recorder()
+        machine = Machine(predecode=record_engine, replay=recorder)
+        inst = machine.instantiate(host_module, _rolling_linker([2, 9, 4]))
+        pre = snapshot_instance(inst)
+        assert inst.invoke("play", [3]) == [2 + 9 + 4]
+
+        replayer = Replayer(recorder.entries)
+        machine2 = Machine(predecode=replay_engine, replay=replayer)
+        inst2 = machine2.instantiate(host_module, replay_linker(host_module))
+        restore_instance(inst2, pre)
+        assert inst2.invoke("play", [3]) == [15]
+        replayer.finish()
+        # post-state is bit-identical too
+        assert snapshot_instance(inst2).memory == \
+            snapshot_instance(inst).memory
+
+    def test_divergent_results_replay_as_recorded(self, host_module):
+        """The log is authoritative: replay returns recorded results."""
+        recorder = Recorder()
+        machine = Machine(replay=recorder)
+        inst = machine.instantiate(host_module, _rolling_linker([10]))
+        inst.invoke("play", [1])
+
+        entries = json.loads(json.dumps(recorder.entries))
+        entries[-1]["results"] = [33]
+        replayer = Replayer(entries)
+        inst2 = Machine(replay=replayer).instantiate(
+            host_module, replay_linker(host_module))
+        assert inst2.invoke("play", [1]) == [33]
+
+    def test_perturbed_args_raise_divergence(self, host_module):
+        recorder = Recorder()
+        inst = Machine(replay=recorder).instantiate(
+            host_module, _rolling_linker([10]))
+        inst.invoke("play", [1])
+
+        entries = json.loads(json.dumps(recorder.entries))
+        for entry in entries:
+            if entry["kind"] == "host_call":
+                entry["name"] = "rolled"
+        replayer = Replayer(entries)
+        inst2 = Machine(replay=replayer).instantiate(
+            host_module, replay_linker(host_module))
+        with pytest.raises(ReplayDivergence, match="log entry #0"):
+            inst2.invoke("play", [1])
+
+    def test_exhausted_log_raises_divergence(self, host_module):
+        recorder = Recorder()
+        inst = Machine(replay=recorder).instantiate(
+            host_module, _rolling_linker([10]))
+        inst.invoke("play", [1])
+        replayer = Replayer(recorder.entries)
+        inst2 = Machine(replay=replayer).instantiate(
+            host_module, replay_linker(host_module))
+        inst2.invoke("play", [1])
+        with pytest.raises(ReplayDivergence, match="no more host calls"):
+            inst2.invoke("play", [1])
+
+    def test_finish_flags_unconsumed_entries(self, host_module):
+        recorder = Recorder()
+        inst = Machine(replay=recorder).instantiate(
+            host_module, _rolling_linker([10]))
+        inst.invoke("play", [2])
+        replayer = Replayer(recorder.entries)
+        inst2 = Machine(replay=replayer).instantiate(
+            host_module, replay_linker(host_module))
+        inst2.invoke("play", [1])  # consumes one of the two recorded calls
+        with pytest.raises(ReplayDivergence, match="never replayed"):
+            replayer.finish()
+
+    def test_telemetry_counts_replayed_calls(self, host_module):
+        recorder = Recorder()
+        inst = Machine(replay=recorder).instantiate(
+            host_module, _rolling_linker([10]))
+        inst.invoke("play", [3])
+        telemetry = Telemetry()
+        replayer = Replayer(recorder.entries, telemetry=telemetry)
+        inst2 = Machine(telemetry=telemetry, replay=replayer).instantiate(
+            host_module, replay_linker(host_module))
+        inst2.invoke("play", [3])
+        registry = telemetry.snapshot()
+        counter = registry.get("repro_replayed_host_calls_total")
+        assert counter is not None and counter.value == 3
+
+    def test_clock_reads_replayed(self, host_module):
+        """A recorded DeadlineExceeded reproduces without real time passing."""
+        times = iter([0.0] + [x * 10.0 for x in range(1, 400)])
+        recorder = Recorder()
+        limits = ResourceLimits(deadline_seconds=5.0, fuel=10**9)
+        machine = Machine(limits=limits, replay=recorder)
+        # swap the meter's base clock for a synthetic one for determinism
+        machine._meter._clock = recorder.bind_clock(lambda: next(times))
+        machine._meter.arm()
+        inst = machine.instantiate(host_module, _rolling_linker([1]))
+        with pytest.raises(DeadlineExceeded):
+            inst.invoke("play", [10**6])
+
+        replayer = Replayer(recorder.entries)
+        machine2 = Machine(limits=limits, replay=replayer)
+        inst2 = machine2.instantiate(host_module, replay_linker(host_module))
+        with pytest.raises(DeadlineExceeded):
+            inst2.invoke("play", [10**6])
+
+
+class FaultyAnalysis(Analysis):
+    """Raises on the Nth binary event, for fault record/replay tests."""
+
+    def __init__(self, fail_at=3):
+        self.events = 0
+        self.fail_at = fail_at
+
+    def binary(self, loc, op, a, b, r):
+        self.events += 1
+        if self.events == self.fail_at:
+            raise RuntimeError("injected fault")
+
+
+@pytest.fixture
+def work_module():
+    return compile_source("""
+        export func work(n: i32) -> i32 {
+            var i: i32 = 0;
+            var acc: i32 = 0;
+            while (i < n) {
+                acc = acc + i * 3;
+                i = i + 1;
+            }
+            return acc;
+        }
+    """, "work")
+
+
+class TestHookFaultReplay:
+    def test_quarantine_recorded_and_verified(self, work_module):
+        recorder = Recorder()
+        session = AnalysisSession(work_module, FaultyAnalysis(), replay=recorder,
+                                  on_analysis_error="quarantine")
+        result_live = session.instance.invoke("work", [10])
+        faults = [e for e in recorder.entries if e["kind"] == "hook_fault"]
+        quarantines = [e for e in recorder.entries
+                       if e["kind"] == "quarantine"]
+        assert len(faults) == 1 and faults[0]["action"] == "quarantine"
+        assert faults[0]["error"]["type"] == "RuntimeError"
+        assert len(quarantines) == 1
+        # hook calls themselves are NOT recorded (engine independence)
+        assert not any(e["kind"] == "host_call" for e in recorder.entries)
+
+        replayer = Replayer(recorder.entries)
+        session2 = AnalysisSession(work_module, FaultyAnalysis(),
+                                   replay=replayer,
+                                   on_analysis_error="quarantine")
+        assert session2.instance.invoke("work", [10]) == result_live
+        replayer.finish()
+
+    def test_fault_divergence_detected(self, work_module):
+        recorder = Recorder()
+        session = AnalysisSession(work_module, FaultyAnalysis(fail_at=3),
+                                  replay=recorder,
+                                  on_analysis_error="quarantine")
+        session.instance.invoke("work", [10])
+
+        replayer = Replayer(recorder.entries)
+        # replay with a hook faulting at a *different* event
+        session2 = AnalysisSession(work_module, FaultyAnalysis(fail_at=5),
+                                   replay=replayer,
+                                   on_analysis_error="quarantine")
+        with pytest.raises(ReplayDivergence):
+            session2.instance.invoke("work", [10])
+
+
+class TestCrashBundles:
+    def test_write_load_round_trip(self, host_module, tmp_path):
+        recorder = Recorder()
+        inst = Machine(replay=recorder).instantiate(
+            host_module, _rolling_linker([6]))
+        pre = snapshot_instance(inst)
+        inst.invoke("play", [1])
+        manifest = {"kind": "invoke", "error": None,
+                    "invocations": [{"export": "play", "args": [1]}]}
+        path = write_crash_bundle(tmp_path / "b", encode_module(host_module),
+                                  manifest, snapshot=pre, recorder=recorder)
+        bundle = load_crash_bundle(path)
+        assert bundle.module_bytes == encode_module(host_module)
+        assert bundle.manifest["kind"] == "invoke"
+        assert bundle.snapshot is not None
+        assert bundle.replayer() is not None
+
+    def test_schema_tag_checked(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(json.dumps({"schema": "x/1"}))
+        with pytest.raises(WasmError, match="schema"):
+            load_crash_bundle(tmp_path)
+
+    def test_pipeline_bundle_replays(self, tmp_path):
+        corpus = seed_corpus()
+        rng = random.Random("20260806:fib:0")
+        mutant, recipe = mutate(corpus["fib"], rng)
+        cls = classify(mutant)
+        assert cls.outcome != "pass"
+        failure = Failure(corpus_name="fib", index=0, seed=20260806,
+                          stage=cls.stage, recipe=recipe,
+                          exc_type=cls.exc_type, message=cls.message)
+        bundle_path = save_failure_bundle(failure, mutant, tmp_path)
+        bundle = load_crash_bundle(bundle_path)
+        # align the recorded outcome with the true classification (Failure
+        # records are only minted for escapes; this one is a rejection)
+        bundle.manifest["error"]["outcome"] = cls.outcome
+        reproduced, live = replay_failure_bundle(bundle)
+        assert reproduced, f"bundle did not reproduce: {live}"
+
+    def test_pipeline_bundle_detects_drift(self, tmp_path):
+        corpus = seed_corpus()
+        rng = random.Random("20260806:fib:0")
+        mutant, recipe = mutate(corpus["fib"], rng)
+        cls = classify(mutant)
+        failure = Failure(corpus_name="fib", index=0, seed=20260806,
+                          stage=cls.stage, recipe=recipe,
+                          exc_type="TotallyDifferentError", message="nope")
+        bundle = load_crash_bundle(save_failure_bundle(failure, mutant,
+                                                       tmp_path))
+        bundle.manifest["error"]["outcome"] = cls.outcome
+        reproduced, live = replay_failure_bundle(bundle)
+        assert not reproduced
+
+
+class TestReducer:
+    def test_reduce_bytes_minimizes(self):
+        data = bytes(range(64))
+
+        def has_marker(candidate):
+            return b"\x2a" in candidate  # byte 42 must survive
+
+        reduced, tests = reduce_bytes(data, has_marker)
+        assert reduced == b"\x2a"
+        assert tests > 0
+
+    def test_reduce_bytes_rejects_passing_input(self):
+        with pytest.raises(ValueError, match="predicate"):
+            reduce_bytes(b"abc", lambda c: False)
+
+    def test_reduce_failure_preserves_signature(self):
+        corpus = seed_corpus()
+        rng = random.Random("20260806:fib:0")
+        mutant, _ = mutate(corpus["fib"], rng)
+        target = classify(mutant)
+        assert target.outcome != "pass"
+        reduced, reduction = reduce_failure(mutant, target=target)
+        assert classify(reduced).signature == target.signature
+        # the acceptance bar: at least half the bytes gone
+        assert reduction.ratio >= 0.5, reduction.summary()
+        assert reduction.reduced_size == len(reduced)
+
+    def test_reduce_failure_refuses_passing_module(self, fib_module):
+        binary = encode_module(fib_module)
+        assert classify(binary).outcome == "pass"
+        with pytest.raises(ValueError, match="passing"):
+            reduce_failure(binary)
+
+    def test_reduce_invocations(self):
+        calls = [{"export": "f", "args": [i]} for i in range(10)]
+
+        def needs_seven(candidate):
+            return any(c["args"] == [7] for c in candidate)
+
+        reduced, reduction = reduce_invocations(calls, needs_seven)
+        assert reduced == [{"export": "f", "args": [7]}]
+        assert reduction.original_size == 10
+        assert reduction.reduced_size == 1
+
+    def test_reduced_bundle_replays_exactly(self, tmp_path):
+        from repro.eval import reduce_bundle
+        corpus = seed_corpus()
+        rng = random.Random("20260806:fib:0")
+        mutant, recipe = mutate(corpus["fib"], rng)
+        cls = classify(mutant)
+        failure = Failure(corpus_name="fib", index=0, seed=20260806,
+                          stage=cls.stage, recipe=recipe,
+                          exc_type=cls.exc_type, message=cls.message)
+        bundle = load_crash_bundle(save_failure_bundle(failure, mutant,
+                                                       tmp_path))
+        bundle.manifest["error"]["outcome"] = cls.outcome
+        (bundle.path / "manifest.json").write_text(
+            json.dumps(bundle.manifest, indent=2) + "\n")
+        reduction = reduce_bundle(bundle)
+        assert reduction.ratio >= 0.5
+        # reload from disk: the reduced bundle still reproduces
+        reloaded = load_crash_bundle(bundle.path)
+        assert reloaded.manifest["reduction"]["reduced_size"] < \
+            reduction.original_size
+        reproduced, live = replay_failure_bundle(reloaded)
+        assert reproduced, f"reduced bundle did not reproduce: {live}"

@@ -1,0 +1,224 @@
+"""State snapshots: exact value codec, round-trip, and restore semantics.
+
+The two load-bearing guarantees:
+
+* serialization is *exact* — NaN payloads, signed zeros, grown memory,
+  and sparse non-zero pages survive ``to_json``/``from_json`` bit-for-bit
+  (checked with a hypothesis property);
+* ``restore(snapshot(m))`` resumes execution bit-identically on *either*
+  engine (checked differentially on the PolyBench fast subset).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import POLYBENCH_FAST_SUBSET, polybench_workloads
+from repro.interp import (Machine, ResourceLimits, Snapshot, diff_instance,
+                          restore_instance, snapshot_instance)
+from repro.interp.snapshot import (SNAPSHOT_SCHEMA, decode_value,
+                                   decode_values, encode_value, encode_values)
+from repro.wasm import PAGE_SIZE, SnapshotError
+
+# -- exact value codec ----------------------------------------------------------
+
+
+class TestValueCodec:
+    def test_integers_pass_through(self):
+        assert encode_value(0) == 0
+        assert encode_value(2**64 - 1) == 2**64 - 1
+        assert decode_value(encode_value(2**63)) == 2**63
+
+    def test_negative_zero_survives(self):
+        out = decode_value(encode_value(-0.0))
+        assert out == 0.0 and math.copysign(1.0, out) == -1.0
+
+    def test_nan_payload_survives(self):
+        # a NaN with a non-canonical payload: repr()-based JSON would lose it
+        pattern = struct.pack("<Q", 0x7FF800000000BEEF)
+        nan = struct.unpack("<d", pattern)[0]
+        out = decode_value(encode_value(nan))
+        assert struct.pack("<d", out) == struct.pack("<d", nan)
+
+    def test_infinities(self):
+        assert decode_value(encode_value(math.inf)) == math.inf
+        assert decode_value(encode_value(-math.inf)) == -math.inf
+
+    @given(st.floats(allow_nan=True, allow_infinity=True, width=64))
+    @settings(max_examples=200, deadline=None)
+    def test_any_float_bit_exact(self, value):
+        out = decode_value(encode_value(value))
+        assert struct.pack("<d", out) == struct.pack("<d", value)
+
+
+# -- snapshot round-trip property ------------------------------------------------
+
+
+def _values():
+    """Canonical runtime values: unsigned wasm ints or binary64 floats."""
+    return st.one_of(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+    )
+
+
+def _pages():
+    """A sparse non-zero page map for a memory of up to 5 pages."""
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=4),
+        st.binary(min_size=1, max_size=64).filter(lambda b: any(b)),
+        max_size=3,
+    )
+
+
+@st.composite
+def snapshots(draw):
+    memory = None
+    if draw(st.booleans()):
+        pages = draw(_pages())
+        memory = {"size_pages": 5, "pages": pages, "digest": _digest(pages, 5)}
+    table = draw(st.none() | st.lists(
+        st.none() | st.integers(min_value=0, max_value=9), max_size=6))
+    usage = draw(st.dictionaries(
+        st.sampled_from(["fuel_spent", "peak_depth", "tick"]),
+        st.integers(min_value=0, max_value=10**9), max_size=3))
+    return Snapshot(memory=memory, globals_=draw(st.lists(_values(), max_size=8)),
+                    table=table, usage=usage)
+
+
+def _digest(pages, size_pages):
+    import hashlib
+    data = bytearray(size_pages * PAGE_SIZE)
+    for idx, chunk in pages.items():
+        data[idx * PAGE_SIZE:idx * PAGE_SIZE + len(chunk)] = chunk
+    return hashlib.sha256(bytes(data)).hexdigest()
+
+
+class TestRoundTrip:
+    @given(snapshots())
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_exact(self, snap):
+        back = Snapshot.from_json(snap.to_json())
+        assert back.memory == snap.memory
+        # compare globals through the codec: NaN != NaN under ==
+        assert encode_values(back.globals_) == encode_values(snap.globals_)
+        assert back.table == snap.table
+        assert back.usage == snap.usage
+        # a second trip is byte-stable
+        assert back.to_json() == snap.to_json()
+
+    def test_schema_tag_checked(self):
+        with pytest.raises(SnapshotError, match="schema"):
+            Snapshot.from_dict({"schema": "bogus/9"})
+        assert SNAPSHOT_SCHEMA in Snapshot().to_json()
+
+    def test_decode_values_inverse(self):
+        values = [0, 1, 2**64 - 1, -0.0, 1.5]
+        assert decode_values(encode_values(values)) == values
+
+
+# -- live instance capture/restore ----------------------------------------------
+
+
+class TestInstanceSnapshot:
+    def test_restore_reverts_mutations(self, machine, memory_module,
+                                       print_linker):
+        inst = machine.instantiate(memory_module, print_linker)
+        inst.invoke("roundtrip", [1.25])
+        snap = snapshot_instance(inst)
+        inst.invoke("roundtrip", [9.75])  # mutate memory again
+        assert diff_instance(inst, snap)  # states differ now
+        restore_instance(inst, snap)
+        assert diff_instance(inst, snap) == []
+
+    def test_grown_memory_round_trips(self, machine, memory_module,
+                                      print_linker):
+        inst = machine.instantiate(memory_module, print_linker)
+        inst.invoke("grow", [])
+        snap = snapshot_instance(inst)
+        assert snap.memory["size_pages"] == 3
+        fresh = Machine().instantiate(memory_module, print_linker)
+        assert fresh.memory.size_pages == 1
+        restore_instance(fresh, snap)
+        assert fresh.memory.size_pages == 3
+        assert diff_instance(fresh, snap) == []
+
+    def test_snapshot_is_json_serializable(self, machine, memory_module,
+                                           print_linker):
+        inst = machine.instantiate(memory_module, print_linker)
+        inst.invoke("roundtrip", [3.5])
+        snap = snapshot_instance(inst)
+        back = Snapshot.from_json(snap.to_json())
+        assert diff_instance(inst, back) == []
+
+    def test_shape_mismatch_rejected(self, machine, memory_module, add_module,
+                                     print_linker):
+        inst = machine.instantiate(memory_module, print_linker)
+        snap = snapshot_instance(inst)
+        other = Machine().instantiate(add_module, print_linker)
+        with pytest.raises(SnapshotError):
+            restore_instance(other, snap)
+
+    def test_corrupt_digest_rejected(self, machine, memory_module,
+                                     print_linker):
+        inst = machine.instantiate(memory_module, print_linker)
+        inst.invoke("roundtrip", [2.0])
+        snap = snapshot_instance(inst)
+        snap.memory["digest"] = "0" * 64
+        with pytest.raises(SnapshotError, match="digest"):
+            restore_instance(inst, snap)
+
+    def test_meter_residue_round_trips(self, memory_module, print_linker):
+        limits = ResourceLimits(fuel=10**9)
+        machine = Machine(limits=limits)
+        inst = machine.instantiate(memory_module, print_linker)
+        inst.invoke("roundtrip", [1.0])
+        snap = snapshot_instance(inst)
+        assert snap.usage["fuel_spent"] > 0
+        fresh = Machine(limits=ResourceLimits(fuel=10**9))
+        inst2 = fresh.instantiate(memory_module, print_linker)
+        restore_instance(inst2, snap)
+        assert fresh._meter.residue() == snap.usage
+
+
+# -- both-engines differential on PolyBench --------------------------------------
+
+
+@pytest.mark.parametrize("name", POLYBENCH_FAST_SUBSET)
+@pytest.mark.parametrize("record_predecode", [True, False])
+def test_polybench_restore_resumes_bit_identically(name, record_predecode):
+    """Snapshot on one engine, restore on the other, resume: bit-identical.
+
+    Runs ``main`` once, snapshots, then compares a second invocation
+    resumed from the snapshot on the *opposite* engine against resuming
+    in place: printed output and final state digests must agree exactly.
+    """
+    workload = polybench_workloads([name])[0]
+    module = workload.module()
+
+    printed_a: list = []
+    inst_a = Machine(predecode=record_predecode).instantiate(
+        module, workload.linker(printed_a))
+    inst_a.invoke("main", [])
+    snap = Snapshot.from_json(snapshot_instance(inst_a).to_json())
+
+    printed_b: list = []
+    inst_b = Machine(predecode=not record_predecode).instantiate(
+        module, workload.linker(printed_b))
+    restore_instance(inst_b, snap)
+    assert diff_instance(inst_b, snap) == []
+
+    printed_a.clear()
+    inst_a.invoke("main", [])
+    inst_b.invoke("main", [])
+    assert encode_values(printed_b) == encode_values(printed_a)
+
+    final_a = snapshot_instance(inst_a)
+    final_b = snapshot_instance(inst_b)
+    assert final_a.memory == final_b.memory
+    assert encode_values(final_a.globals_) == encode_values(final_b.globals_)
+    assert final_a.table == final_b.table
