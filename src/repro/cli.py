@@ -16,6 +16,8 @@ the equivalent, plus the usual binary-toolkit conveniences:
   python -m repro stats app.wasm              # sizes, sections, instr mix
   python -m repro fuzz --mutants 5000         # fault-injection campaign
   python -m repro fuzz --save-failures DIR --reduce   # bundle + shrink escapes
+  python -m repro fuzz --parallel 4 --coverage --corpus-dir corpus/
+                                              # sharded, coverage-guided
   python -m repro run app.wasm main 1 2 --record bundle/    # record a run
   python -m repro run app.wasm main --crash-dir crashes/    # bundle on failure
   python -m repro bundle crashes/run         # inspect/verify a crash bundle
@@ -351,7 +353,14 @@ def _run(args: argparse.Namespace, module, call_args, printed, linker,
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    """Run the seeded fault-injection campaign (see repro.eval.faultinject)."""
+    """Run the seeded fault-injection campaign (see repro.eval.faultinject).
+
+    Plain invocations keep the PR-3 serial harness; any of --parallel,
+    --coverage, --corpus-dir, or --time-budget routes through the
+    campaign engine in repro.eval.fuzz (sharding, corpus evolution,
+    signature dedup + auto-reduced bundles). Both paths exit EXIT_FAILURE
+    on escapes per the unified 0..7 taxonomy.
+    """
     from .eval.faultinject import run_campaign
 
     engines: tuple[bool, ...] = (True, False)
@@ -360,6 +369,32 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     elif args.engine == "legacy":
         engines = (False,)
     telemetry = _telemetry_from_args(args)
+
+    if (args.parallel > 1 or args.coverage or args.corpus_dir is not None
+            or args.time_budget is not None):
+        from .eval.fuzz import (FuzzConfig, fold_into_telemetry,
+                                run_fuzz_campaign)
+        config = FuzzConfig(mutants=args.mutants, seed=args.seed,
+                            parallel=args.parallel, coverage=args.coverage,
+                            execute=not args.no_execute, engines=engines,
+                            corpus_dir=args.corpus_dir,
+                            save_failures=args.save_failures,
+                            time_budget=args.time_budget)
+        with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
+                        seed=args.seed, parallel=args.parallel,
+                        coverage=args.coverage):
+            result = run_fuzz_campaign(config)
+        fold_into_telemetry(result, telemetry)
+        print(result.summary())
+        for sig in result.new_signatures:
+            print(f"repro: new signature {sig}", file=sys.stderr)
+        for failure in result.escapes:
+            print(f"ESCAPE {failure}", file=sys.stderr)
+        for bundle in result.bundles:
+            print(f"repro: bundle {bundle}", file=sys.stderr)
+        _write_artifacts(telemetry, args)
+        return EXIT_OK if result.ok else EXIT_FAILURE
+
     with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
                     seed=args.seed):
         result = run_campaign(mutants=args.mutants, seed=args.seed,
@@ -396,7 +431,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 print(f"repro: {bundle_dir.name}: {reduction.summary()}",
                       file=sys.stderr)
     _write_artifacts(telemetry, args)
-    return 0 if result.ok else 1
+    return EXIT_OK if result.ok else EXIT_FAILURE
 
 
 def cmd_bundle(args: argparse.Namespace) -> int:
@@ -754,6 +789,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(requires --save-failures)")
     p.add_argument("--no-execute", action="store_true",
                    help="skip executing statically valid mutants")
+    p.add_argument("--parallel", type=int, default=1, metavar="N",
+                   help="shard the campaign across N worker processes")
+    p.add_argument("--coverage", action="store_true",
+                   help="coverage-guided corpus evolution over the toolkit's "
+                        "own pipeline edges")
+    p.add_argument("--corpus-dir", metavar="DIR", default=None,
+                   help="resumable on-disk corpus; new-signature bundles go "
+                        "under DIR/signatures")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SECS",
+                   help="stop scheduling new rounds after SECS of wall-clock")
     _add_telemetry_flags(p, profile=False)
     p.set_defaults(fn=cmd_fuzz, profile=False)
 

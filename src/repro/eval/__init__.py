@@ -6,10 +6,16 @@ package; everything here is importable for ad-hoc experimentation too.
 
 from .faithfulness import (FaithfulnessResult, check_workload, run_instrumented,
                            run_original)
+from .coverage import (DEFAULT_COVERAGE_MODULES, CoverageCollector,
+                       CoverageMap, collect_edges)
 from .faultinject import (CampaignResult, Classification, Failure, classify,
-                          mutate, regenerate_mutant, replay_failure_bundle,
-                          run_campaign, run_pipeline, save_failure_bundle,
-                          seed_corpus)
+                          mutant_rng, mutate, regenerate_mutant,
+                          replay_failure_bundle, run_campaign, run_pipeline,
+                          save_failure_bundle, seed_corpus)
+from .fuzz import (CORPUS_SCHEMA, MUTATOR_VERSION, CorpusState, FuzzConfig,
+                   FuzzResult, bench_payload, fold_into_telemetry,
+                   load_corpus_entries, run_fuzz_campaign,
+                   save_signature_bundle, signature_key)
 from .reduce import (Reduction, reduce_bundle, reduce_bytes, reduce_failure,
                      reduce_invocations)
 from .hooks_matrix import (FIGURE_GROUPS, make_full_analysis,
@@ -26,20 +32,28 @@ from .workloads import (POLYBENCH_FAST_SUBSET, Workload, default_workloads,
                         polybench_workloads, realworld_workloads)
 
 __all__ = [
-    "CampaignResult", "Classification", "FIGURE_GROUPS", "Failure",
-    "FaithfulnessResult", "InterpBenchReport",
+    "CORPUS_SCHEMA", "CampaignResult", "Classification",
+    "CorpusState", "CoverageCollector", "CoverageMap",
+    "DEFAULT_COVERAGE_MODULES", "FIGURE_GROUPS", "Failure",
+    "FaithfulnessResult", "FuzzConfig", "FuzzResult", "InterpBenchReport",
+    "MUTATOR_VERSION",
     "OverheadReport", "POLYBENCH_FAST_SUBSET", "Reduction", "SizeReport",
     "TimingReport",
-    "Workload", "baseline_runtime", "bench_interpreter", "check_workload",
-    "classify", "default_workloads", "geomean_speedup",
+    "Workload", "baseline_runtime", "bench_interpreter", "bench_payload",
+    "check_workload",
+    "classify", "collect_edges", "default_workloads", "fold_into_telemetry",
+    "geomean_speedup",
     "hook_dispatch_payload", "instrument_binary",
-    "instrumented_runtime", "interp_bench_payload", "make_full_analysis",
-    "make_group_analysis", "measure_size", "mutate", "overhead_sweep",
+    "instrumented_runtime", "interp_bench_payload", "load_corpus_entries",
+    "make_full_analysis",
+    "make_group_analysis", "measure_size", "mutant_rng", "mutate",
+    "overhead_sweep",
     "polybench_workloads", "realworld_workloads", "reduce_bundle",
     "reduce_bytes", "reduce_failure", "reduce_invocations",
     "regenerate_mutant", "render_fig8",
     "render_fig9", "render_table", "render_table5", "replay_failure_bundle",
-    "run_campaign", "run_instrumented",
-    "run_original", "run_pipeline", "save_failure_bundle", "seed_corpus",
+    "run_campaign", "run_fuzz_campaign", "run_instrumented",
+    "run_original", "run_pipeline", "save_failure_bundle",
+    "save_signature_bundle", "seed_corpus", "signature_key",
     "size_sweep", "time_instrumentation", "time_workload",
 ]

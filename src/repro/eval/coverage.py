@@ -1,0 +1,215 @@
+"""Edge coverage over the *toolkit itself*, as a fuzzing signal.
+
+The fault-injection harness needs to know whether a mutant exercised any
+code in the binary pipeline (decoder, validator, instrumenter, encoder)
+that no earlier mutant reached — that is the corpus-admission criterion
+for coverage-guided fuzzing. This module collects intra-function *line
+edges* ``(file, previous_line, line)`` over a fixed set of pipeline
+modules, encoded as stable integers so coverage maps merge cheaply across
+shard processes.
+
+Two backends share one interface:
+
+* ``monitoring`` (Python >= 3.12) — :mod:`sys.monitoring` LINE events.
+  Each location is DISABLEd after its first sighting, so steady-state
+  collection approaches zero overhead; :func:`sys.monitoring.restart_events`
+  on installation makes every collector instance self-contained.
+* ``settrace`` — a classic :func:`sys.settrace` local-trace closure.
+  Slower (line events fire on every execution) but available on 3.10/3.11
+  and exact about the previous-line chain.
+
+Scoping discipline: nothing here is imported by the engines or the
+pipeline, and a collector only observes between ``__enter__``/``__exit__``
+— normal (non-fuzzing) runs never pay for it, which
+``tests/test_fuzz_coverage.py`` pins.
+
+Edge identity is deterministic across processes: target modules are
+numbered in the fixed :data:`DEFAULT_COVERAGE_MODULES` order and lines are
+packed into ``file_idx << 28 | prev << 14 | line``, so two shards that
+execute the same pipeline path report the same integers.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import Iterable
+
+#: Pipeline modules the collector observes, in the (fixed) order that
+#: assigns their stable file ids. Appending is safe; reordering changes
+#: every edge id and therefore invalidates persisted coverage maps (bump
+#: :data:`repro.eval.fuzz.CORPUS_VERSION` if you must).
+DEFAULT_COVERAGE_MODULES = (
+    "repro.wasm.leb128",
+    "repro.wasm.decoder",
+    "repro.wasm.validation",
+    "repro.core.instrument",
+    "repro.wasm.encoder",
+)
+
+_LINE_BITS = 14
+_LINE_MASK = (1 << _LINE_BITS) - 1
+
+
+class CoverageMap:
+    """A mergeable set of edge ids with new-edge accounting."""
+
+    __slots__ = ("edges",)
+
+    def __init__(self, edges: Iterable[int] | None = None):
+        self.edges: set[int] = set(edges or ())
+
+    def add_all(self, edges: Iterable[int]) -> set[int]:
+        """Fold ``edges`` in; returns the subset that was actually new."""
+        new = set(edges) - self.edges
+        self.edges |= new
+        return new
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __contains__(self, edge: int) -> bool:
+        return edge in self.edges
+
+    def to_payload(self) -> list[int]:
+        """Deterministic JSON-serializable form (sorted edge ids)."""
+        return sorted(self.edges)
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[int]) -> "CoverageMap":
+        return cls(int(e) for e in payload)
+
+
+def _module_files(modules: Iterable[str]) -> dict[str, int]:
+    """Map target module ``__file__`` -> stable file index."""
+    files: dict[str, int] = {}
+    for idx, name in enumerate(modules):
+        mod = importlib.import_module(name)
+        files[mod.__file__] = idx
+    return files
+
+
+def default_backend() -> str:
+    return "monitoring" if sys.version_info >= (3, 12) else "settrace"
+
+
+class CoverageCollector:
+    """Collects toolkit line edges while entered as a context manager.
+
+    ``edges`` accumulates packed edge ids; :meth:`drain` hands them over
+    (per-mutant, in the fuzz loop) and clears the buffer. Collectors nest
+    politely with a pre-existing trace function (it is restored on exit)
+    but must not be entered concurrently with another collector.
+    """
+
+    #: sys.monitoring tool slot. 0-2 are claimed by debuggers/coverage/
+    #: profilers by convention; 4 keeps out of everyone's way.
+    _TOOL_ID = 4
+
+    def __init__(self, modules: Iterable[str] = DEFAULT_COVERAGE_MODULES,
+                 backend: str | None = None):
+        self._files = _module_files(modules)
+        self.backend = backend or default_backend()
+        if self.backend not in ("monitoring", "settrace"):
+            raise ValueError(f"unknown coverage backend {self.backend!r}")
+        if self.backend == "monitoring" and not hasattr(sys, "monitoring"):
+            self.backend = "settrace"
+        self.edges: set[int] = set()
+        self._installed = False
+        self._saved_trace = None
+        # per-code previous-line state for the monitoring backend
+        self._prev_line: dict = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "CoverageCollector":
+        if self._installed:
+            raise RuntimeError("coverage collector already installed")
+        if self.backend == "monitoring":
+            self._install_monitoring()
+        else:
+            self._saved_trace = sys.gettrace()
+            sys.settrace(self._global_trace)
+        self._installed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.backend == "monitoring":
+            self._uninstall_monitoring()
+        else:
+            sys.settrace(self._saved_trace)
+            self._saved_trace = None
+        self._installed = False
+
+    def drain(self) -> set[int]:
+        """Return the edges collected since the last drain, clearing them."""
+        edges, self.edges = self.edges, set()
+        return edges
+
+    # -- settrace backend -----------------------------------------------------
+
+    def _global_trace(self, frame, event, arg):
+        if event != "call":
+            return None
+        fidx = self._files.get(frame.f_code.co_filename)
+        if fidx is None:
+            return None
+        base = fidx << (2 * _LINE_BITS)
+        prev = 0
+        edges = self.edges
+
+        def local(fr, ev, a):
+            nonlocal prev
+            if ev == "line":
+                line = fr.f_lineno & _LINE_MASK
+                edges.add(base | (prev << _LINE_BITS) | line)
+                prev = line
+            return local
+
+        return local
+
+    # -- sys.monitoring backend (3.12+) --------------------------------------
+
+    def _install_monitoring(self) -> None:
+        mon = sys.monitoring
+        mon.use_tool_id(self._TOOL_ID, "repro-fuzz-coverage")
+        mon.register_callback(self._TOOL_ID, mon.events.LINE, self._on_line)
+        mon.set_events(self._TOOL_ID, mon.events.LINE)
+        # re-arm locations DISABLEd by a previous collector instance so a
+        # fresh collector observes from scratch (determinism contract)
+        mon.restart_events()
+        self._prev_line.clear()
+
+    def _uninstall_monitoring(self) -> None:
+        mon = sys.monitoring
+        mon.set_events(self._TOOL_ID, 0)
+        mon.register_callback(self._TOOL_ID, mon.events.LINE, None)
+        mon.free_tool_id(self._TOOL_ID)
+        self._prev_line.clear()
+
+    def _on_line(self, code, line_number):
+        mon = sys.monitoring
+        fidx = self._files.get(code.co_filename)
+        if fidx is None:
+            return mon.DISABLE  # foreign code self-disables after one event
+        line = line_number & _LINE_MASK
+        prev = self._prev_line.get(code, 0)
+        self._prev_line[code] = line
+        self.edges.add((fidx << (2 * _LINE_BITS)) | (prev << _LINE_BITS) | line)
+        # first sighting recorded; silence this location for the rest of
+        # the process so steady-state tracing is ~free. Later mutants can
+        # only be credited with globally-new edges anyway.
+        return mon.DISABLE
+
+
+def collect_edges(fn, *args, modules: Iterable[str] = DEFAULT_COVERAGE_MODULES,
+                  backend: str | None = None, **kwargs) -> tuple[object, set[int]]:
+    """One-shot convenience: run ``fn`` under a fresh collector.
+
+    Returns ``(result, edges)``. Exceptions from ``fn`` propagate after the
+    collector is uninstalled.
+    """
+    collector = CoverageCollector(modules=modules, backend=backend)
+    with collector:
+        result = fn(*args, **kwargs)
+    return result, collector.drain()

@@ -225,11 +225,18 @@ MUTATORS = (
 )
 
 
-def mutate(seed_binary: bytes, rng: random.Random) -> tuple[bytes, str]:
-    """Apply 1–3 random mutations; returns the mutant and its recipe."""
+def mutate(seed_binary: bytes, rng: random.Random,
+           max_ops: int = 3) -> tuple[bytes, str]:
+    """Apply 1..max_ops random mutations; returns the mutant and its recipe.
+
+    The default (up to three stacked mutations) is the blind-campaign
+    setting. Coverage-guided fuzzing passes ``max_ops=1``: single-op
+    mutants stay closer to their (interesting) parent, which measurably
+    reaches more deep-stage signatures per budget.
+    """
     data = bytearray(seed_binary)
     recipes = []
-    for _ in range(rng.randrange(1, 4)):
+    for _ in range(rng.randrange(1, max_ops + 1)):
         if not data:
             break
         mutator = rng.choice(MUTATORS)
@@ -237,12 +244,31 @@ def mutate(seed_binary: bytes, rng: random.Random) -> tuple[bytes, str]:
     return bytes(data), "; ".join(recipes) or "identity"
 
 
+def mutant_rng(seed: int, corpus_name: str, index: int) -> random.Random:
+    """The independent mutation RNG for one mutant.
+
+    Derived from ``(campaign_seed, corpus_entry, index)`` rather than one
+    sequential stream, so any mutant regenerates exactly from its triple —
+    shards of a parallel campaign are reproducible in isolation, and
+    :func:`regenerate_mutant` stays exact no matter which process (or
+    round) originally produced the mutant.
+    """
+    return random.Random(f"{seed}:{corpus_name}:{index}")
+
+
 def regenerate_mutant(seed: int, corpus_name: str, index: int,
-                      corpus: dict[str, bytes] | None = None) -> bytes:
-    """Re-create the exact mutant a :class:`Failure` record refers to."""
+                      corpus: dict[str, bytes] | None = None,
+                      max_ops: int = 3) -> bytes:
+    """Re-create the exact mutant a :class:`Failure` record refers to.
+
+    For mutants derived from an *evolved* corpus entry (coverage-guided
+    campaigns), pass ``corpus=repro.eval.fuzz.load_corpus_entries(dir)``
+    so the ``cov-*`` parent bytes resolve, and ``max_ops=1`` to match the
+    guided mutation schedule (bundle manifests record it).
+    """
     corpus = corpus if corpus is not None else seed_corpus()
-    rng = random.Random(f"{seed}:{corpus_name}:{index}")
-    mutant, _ = mutate(corpus[corpus_name], rng)
+    mutant, _ = mutate(corpus[corpus_name], mutant_rng(seed, corpus_name, index),
+                       max_ops=max_ops)
     return mutant
 
 
@@ -308,7 +334,13 @@ def _permissive_linker() -> Linker:
 
 
 def _execute_mutant(binary: bytes, predecode: bool) -> None:
-    """Instantiate and poke a statically valid mutant under tight limits."""
+    """Instantiate and poke a statically valid mutant under tight limits.
+
+    Traps and exhaustion during an export call propagate as WasmErrors —
+    the pipeline records them as clean execute-stage rejections, so their
+    error class (Trap, FuelExhausted, ResourceExhausted, ...) is part of
+    the signature space rather than being silently folded into "pass".
+    """
     module = decode_module(binary)
     machine = Machine(predecode=predecode, limits=EXECUTE_LIMITS)
     instance = machine.instantiate(module, _permissive_linker())
@@ -317,10 +349,7 @@ def _execute_mutant(binary: bytes, predecode: bool) -> None:
             continue
         functype = module.func_type(export.idx)
         args = [1 if t is I32 else 1.0 for t in functype.params]
-        try:
-            machine.call(instance, export.idx, args)
-        except WasmError:
-            pass  # traps and exhaustion are clean rejections
+        machine.call(instance, export.idx, args)
 
 
 def _pipeline_stage(binary: bytes, execute: bool,
@@ -436,8 +465,7 @@ def run_campaign(mutants: int = 5000, seed: int = 20260806,
     names = sorted(corpus)
     for index in range(mutants):
         name = names[index % len(names)]
-        rng = random.Random(f"{seed}:{name}:{index}")
-        mutant, recipe = mutate(corpus[name], rng)
+        mutant, recipe = mutate(corpus[name], mutant_rng(seed, name, index))
         try:
             stage = run_pipeline(mutant, execute=execute, engines=engines)
         except Exception as exc:  # noqa: BLE001 - escapes are the point

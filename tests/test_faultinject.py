@@ -1,6 +1,6 @@
 """Fault-injection harness + the hardening it drove into the pipeline.
 
-A small campaign runs here as a regression gate (the CI fuzz-smoke job
+A small campaign runs here as a regression gate (the CI fuzz-campaign job
 runs the full 5k-mutant campaign); the rest of the file pins down the
 specific robustness fixes: LEB128 canonical-form checks, decoder bounds
 checks, and limits validation.
