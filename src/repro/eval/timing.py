@@ -71,37 +71,66 @@ def time_instrumentation(name: str, module: Module, repeats: int = 5,
 
 @dataclass
 class InterpBenchReport:
-    """One workload timed on both interpreter engines."""
+    """One workload timed across the interpreter engine configurations.
+
+    Three columns: the legacy string-dispatch loop, the unquickened
+    predecoded engine with the default fusion set (the PR-1 engine, kept
+    as the ablation), and the full profile-guided configuration (PGO
+    fusion table + quickening). ``opcode_classes`` carries the workload's
+    *dynamic* opcode-class mix so per-workload ratios are diagnosable.
+    """
 
     name: str
     legacy_seconds: float
     predecoded_seconds: float
     repeats: int
+    pgo_seconds: float | None = None
+    opcode_classes: dict[str, float] | None = None
 
     @property
-    def speedup(self) -> float:
+    def predecode_speedup(self) -> float:
+        """Unquickened predecoded engine vs legacy (the PR-1 ablation)."""
         if self.predecoded_seconds == 0:
             return float("inf")
         return self.legacy_seconds / self.predecoded_seconds
+
+    @property
+    def speedup(self) -> float:
+        """The headline ratio: best configuration vs legacy."""
+        best = self.pgo_seconds if self.pgo_seconds is not None \
+            else self.predecoded_seconds
+        if best == 0:
+            return float("inf")
+        return self.legacy_seconds / best
 
 
 def time_workload(workload: Workload, repeats: int = 3,
                   predecode: bool | None = None,
                   clock: Callable[[], float] | None = None,
-                  tracer: Tracer | None = None) -> float:
+                  tracer: Tracer | None = None,
+                  quicken: bool | None = None,
+                  pgo_profile=None) -> float:
     """Best-of-``repeats`` uninstrumented runtime on the chosen engine.
 
     Instantiates fresh per repeat (memory/globals reset) but times only the
     invoke, so decode cost is excluded — matching how the overhead sweep
     times its baseline. Each repeat is one ``workload_invoke`` span.
+    ``quicken``/``pgo_profile`` select the quickened / profile-guided
+    engine configurations (predecoded machines only).
     """
     if tracer is None:
         tracer = Tracer(clock=clock) if clock is not None else Tracer()
     module = workload.module()
     best = float("inf")
-    engine = "predecode" if predecode in (None, True) else "legacy"
+    if predecode is not None and not predecode:
+        engine = "legacy"
+    elif pgo_profile is not None:
+        engine = "pgo"
+    else:
+        engine = "predecode"
     for _ in range(repeats):
-        machine = Machine(predecode=predecode)
+        machine = Machine(predecode=predecode, quicken=quicken,
+                          pgo_profile=pgo_profile)
         instance = machine.instantiate(module, workload.linker())
         elapsed, = measure(
             lambda: instance.invoke(workload.entry, workload.args), 1,
@@ -113,16 +142,50 @@ def time_workload(workload: Workload, repeats: int = 3,
 
 def bench_interpreter(workloads: list[Workload], repeats: int = 3,
                       clock: Callable[[], float] | None = None,
-                      tracer: Tracer | None = None) -> list[InterpBenchReport]:
-    """Time every workload on the legacy and predecoded engines."""
+                      tracer: Tracer | None = None,
+                      pgo: bool = True,
+                      fusion_table: dict | None = None,
+                      profiles: dict[str, dict] | None = None
+                      ) -> list[InterpBenchReport]:
+    """Time every workload across the engine configurations.
+
+    With ``pgo=True`` this first *closes the profile→dispatch loop*: each
+    workload is profiled once (deterministic, unfused stream), the merged
+    corpus profile yields the fusion table (unless a pre-derived
+    ``fusion_table`` is supplied, e.g. the committed corpus artifact), and
+    the PGO column runs with that table plus quickening. The recorded
+    per-workload profiles also supply each report's dynamic opcode-class
+    mix.
+    """
+    from ..interp.pgo import opcode_class_mix, record_workload_profile
+
+    if profiles is None:
+        profiles = {}
+    if pgo:
+        for w in workloads:
+            if w.name not in profiles:
+                profiles[w.name] = record_workload_profile(w)
+        if fusion_table is None:
+            from ..interp.pgo import fusion_table_payload, merge_profiles
+            fusion_table = fusion_table_payload(
+                merge_profiles(list(profiles.values())))
     reports = []
     for workload in workloads:
         legacy = time_workload(workload, repeats, predecode=False,
                                clock=clock, tracer=tracer)
         predecoded = time_workload(workload, repeats, predecode=True,
-                                   clock=clock, tracer=tracer)
+                                   quicken=False, clock=clock, tracer=tracer)
+        pgo_seconds = None
+        classes = None
+        if pgo:
+            pgo_seconds = time_workload(workload, repeats, predecode=True,
+                                        quicken=True,
+                                        pgo_profile=fusion_table,
+                                        clock=clock, tracer=tracer)
+            classes = opcode_class_mix(profiles[workload.name])
         reports.append(InterpBenchReport(workload.name, legacy, predecoded,
-                                         repeats))
+                                         repeats, pgo_seconds=pgo_seconds,
+                                         opcode_classes=classes))
     return reports
 
 
@@ -132,18 +195,39 @@ def geomean_speedup(reports: list[InterpBenchReport]) -> float:
     return math.exp(sum(math.log(r.speedup) for r in reports) / len(reports))
 
 
-def interp_bench_payload(reports: list[InterpBenchReport]) -> dict:
-    """The JSON payload recorded as ``BENCH_interp.json``."""
-    return {
+def _geomean(values: list[float]) -> float:
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def interp_bench_payload(reports: list[InterpBenchReport],
+                         fusion_table: dict | None = None) -> dict:
+    """The JSON payload recorded as ``BENCH_interp.json``.
+
+    ``geomean_speedup`` is the headline (best configuration vs legacy);
+    ``geomean_predecode_speedup`` keeps the unquickened ablation visible.
+    """
+    payload = {
         "workloads": [
             {
                 "name": r.name,
                 "legacy_seconds": r.legacy_seconds,
                 "predecoded_seconds": r.predecoded_seconds,
+                "pgo_seconds": r.pgo_seconds,
                 "speedup": r.speedup,
+                "predecode_speedup": r.predecode_speedup,
+                "opcode_classes": r.opcode_classes,
                 "repeats": r.repeats,
             }
             for r in reports
         ],
         "geomean_speedup": geomean_speedup(reports),
+        "geomean_predecode_speedup": _geomean(
+            [r.predecode_speedup for r in reports]),
     }
+    if fusion_table is not None:
+        payload["fusion_pairs"] = [[first, second]
+                                   for first, second, *_ in
+                                   fusion_table.get("pairs", [])]
+    return payload

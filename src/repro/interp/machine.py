@@ -32,8 +32,9 @@ from ..wasm.types import FuncType, GlobalType, MemoryType, TableType, ValType
 from .host import GlobalInstance, HostFunction, Linker
 from .limits import Meter, ResourceLimits, ResourceUsage
 from .memory import Memory
-from .predecode import (OP_CALL, OP_CONST, OP_HOOK, DecodedFunction,
-                        cached_decode, decode_function)
+from .predecode import (OP_CALL, OP_CALL_INDIRECT, OP_CALL_INDIRECT_IC,
+                        OP_CONST, OP_HOOK, DecodedFunction, cached_decode,
+                        decode_function, oob_message)
 from .table import Table
 from .values import BINOPS, MASK32, MASK64, UNOPS, default_value
 
@@ -54,6 +55,15 @@ def specialize_hooks_default() -> bool:
     dispatchers, from ``REPRO_SPECIALIZE_HOOKS`` (default on). Only
     meaningful on pre-decoding machines."""
     return os.environ.get("REPRO_SPECIALIZE_HOOKS", "1").lower() not in (
+        "0", "false", "no", "off")
+
+
+def quicken_default() -> bool:
+    """Whether memory ops are quickened and ``call_indirect`` sites get
+    inline caches, from ``REPRO_QUICKEN`` (default on). Only meaningful on
+    pre-decoding machines; ``REPRO_QUICKEN=0`` is the escape hatch that
+    restores the unquickened streams as a differential oracle."""
+    return os.environ.get("REPRO_QUICKEN", "1").lower() not in (
         "0", "false", "no", "off")
 
 
@@ -182,7 +192,34 @@ def bind_hook_sites(decoded: DecodedFunction,
             code[pc] = (OP_HOOK, _generic_hook_dispatcher(host, ()), n_params, 1)
             if registry is not None:
                 registry.append((code, pc))
-    return DecodedFunction(code, decoded.source_body, decoded.hook_sites)
+    return DecodedFunction(code, decoded.source_body, decoded.hook_sites,
+                           decoded.indirect_sites)
+
+
+def bind_indirect_caches(decoded: DecodedFunction,
+                         instance: "Instance") -> DecodedFunction:
+    """Rewrite a stream's ``call_indirect`` slots into inline-cache twins.
+
+    Each recorded site becomes an ``OP_CALL_INDIRECT_IC`` tuple carrying a
+    fresh mutable cache cell ``[last_table_idx, last_func_addr,
+    last_callee]``. The cells memoize instance-resolved callees, so —
+    unlike memory-op quickening, which is instance-independent and may
+    rewrite the shared decoded stream in place — the returned stream is a
+    per-instance copy. Cells are registered on the instance so snapshot
+    restore can reset them (``restore_instance`` must never resurrect a
+    callee resolved against pre-restore table state).
+    """
+    code = list(decoded.code)
+    cells = instance._ic_cells
+    for pc in decoded.indirect_sites:
+        ins = code[pc]
+        if ins[0] != OP_CALL_INDIRECT:  # pragma: no cover - sites decode to call_indirect
+            continue
+        cell: list = [None, None, None]
+        code[pc] = (OP_CALL_INDIRECT_IC, ins[1], ins[2], cell)
+        cells.append(cell)
+    return DecodedFunction(code, decoded.source_body, decoded.hook_sites,
+                           decoded.indirect_sites)
 
 
 class WasmFunction:
@@ -209,12 +246,20 @@ class WasmFunction:
         machine = instance.machine
         if machine.predecode:
             if machine._profiling:
-                # unfused decode (uncached: the shared cache holds fused
-                # streams) so profiled opcode counts attribute 1:1
+                # unfused, unquickened decode (uncached: the shared cache
+                # holds fused streams) so profiled opcode and pair counts
+                # attribute 1:1 to source instructions
                 decoded = decode_function(func, instance.module, fuse=False)
                 hit = False
             else:
-                decoded, hit = cached_decode(func, instance.module)
+                decoded, hit = cached_decode(func, instance.module,
+                                             pairs=machine.fusion_pairs,
+                                             quicken=machine.quicken)
+            if decoded.indirect_sites:
+                # per-instance copy with call_indirect inline caches; must
+                # precede hook binding so the quarantine registry ends up
+                # referencing the same (final) code list the engine runs
+                decoded = bind_indirect_caches(decoded, instance)
             if decoded.hook_sites and machine.specialize_hooks:
                 decoded = bind_hook_sites(decoded, instance.functions)
             self.decoded: DecodedFunction | None = decoded
@@ -249,6 +294,9 @@ class Instance:
         self.memory: Memory | None = None
         self.table: Table | None = None
         self.exports: dict[str, tuple[str, object]] = {}
+        #: call_indirect inline-cache cells bound into this instance's
+        #: streams; snapshot restore resets them (see bind_indirect_caches)
+        self._ic_cells: list[list] = []
 
     def invoke(self, name: str, args: Sequence[int | float] = ()) -> list[int | float]:
         """Call an exported function by name."""
@@ -366,6 +414,19 @@ class Machine:
     Wasabi's generated hooks, which must stay engine-independent) and the
     meter's clock reads are recorded or served from the log. Without it
     the host-call paths pay one hoisted ``is not None`` test.
+
+    ``quicken`` controls instantiation-time quickening on the pre-decoded
+    engine (None follows ``REPRO_QUICKEN``, default on): memory ops are
+    wrapped in ``OP_QUICK`` trampolines that rewrite themselves to
+    pre-bound ``struct.Struct`` twins on first execution, and
+    ``call_indirect`` sites get per-instance monomorphic inline caches.
+    ``REPRO_QUICKEN=0`` restores the unquickened streams exactly — the
+    differential oracle for the quickened engine.
+
+    ``pgo_profile`` selects a profile-guided superinstruction table: a
+    path to (or loaded dict of) a ``repro.profile/1`` or ``repro.fusion/1``
+    artifact, resolved through :func:`repro.interp.pgo.resolve_fusion_pairs`.
+    Without it, fusion uses the hand-picked default pair set, unchanged.
     """
 
     def __init__(self, max_call_depth: int = DEFAULT_MAX_CALL_DEPTH,
@@ -373,13 +434,21 @@ class Machine:
                  specialize_hooks: bool | None = None,
                  limits: ResourceLimits | None = None,
                  telemetry: "Telemetry | None" = None,
-                 replay=None):
+                 replay=None,
+                 quicken: bool | None = None,
+                 pgo_profile=None):
         if limits is not None and limits.max_call_depth is not None:
             max_call_depth = limits.max_call_depth
         self.max_call_depth = max_call_depth
         self.predecode = predecode_default() if predecode is None else predecode
         self.specialize_hooks = (specialize_hooks_default()
                                  if specialize_hooks is None else specialize_hooks)
+        self.quicken = quicken_default() if quicken is None else quicken
+        if pgo_profile is None:
+            self.fusion_pairs: frozenset[tuple[int, int]] | None = None
+        else:
+            from .pgo import resolve_fusion_pairs
+            self.fusion_pairs = resolve_fusion_pairs(pgo_profile)
         self.limits = limits
         self._replay = replay
         if limits is not None and limits.metered:
@@ -684,6 +753,7 @@ class Machine:
         functions = instance.functions
         globals_ = instance.globals
         memory = instance.memory
+        table = instance.table
         # memory.grow extends the bytearray in place, so its identity is
         # stable for the lifetime of the instance and safe to cache here
         memdata = memory.data if memory is not None else None
@@ -704,75 +774,302 @@ class Machine:
         ]
         pc = 0
 
-        while pc < n_instrs:
-            ins = code[pc]
-            op = ins[0]
+        try:
+            while True:
+                ins = code[pc]
+                op = ins[0]
 
-            if op == 0:  # OP_GET_LOCAL
-                append(locals_[ins[1]])
-            elif op == 1:  # OP_BINARY
-                b = pop()
-                stack[-1] = ins[1](stack[-1], b)
-            elif op == 2:  # OP_CONST (pre-masked / pre-rounded)
-                append(ins[1])
-            elif op == 3:  # OP_SET_LOCAL
-                locals_[ins[1]] = pop()
-            elif op == 30:  # OP_GET_LOCAL_CONST (fused)
-                append(locals_[ins[1]])
-                append(ins[2])
-                pc += 2
-                continue
-            elif op == 31:  # OP_CONST_BINARY (fused)
-                stack[-1] = ins[1](stack[-1], ins[2])
-                pc += 2
-                continue
-            elif op == 32:  # OP_GET_LOCAL_BINARY (fused)
-                stack[-1] = ins[1](stack[-1], locals_[ins[2]])
-                pc += 2
-                continue
-            elif op == 33:  # OP_GET2_LOCAL (fused)
-                append(locals_[ins[1]])
-                append(locals_[ins[2]])
-                pc += 2
-                continue
-            elif op == 34:  # OP_HOOK: (_, bound_dispatcher, n_args, skip)
-                n_params = ins[2]
-                if n_params:
-                    call_args = stack[-n_params:]
-                    del stack[-n_params:]
-                else:
-                    call_args = []
-                ins[1](call_args)
-                pc += ins[3]
-                continue
-            elif op == 4:  # OP_LOAD_INT: (_, fmt, offset, mask)
-                addr = pop() + ins[2]
-                try:
-                    append(unpack_from(ins[1], memdata, addr)[0] & ins[3])
-                except struct.error:
-                    raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
-            elif op == 5:  # OP_LOAD_FLOAT: (_, fmt, offset)
-                addr = pop() + ins[2]
-                try:
-                    append(unpack_from(ins[1], memdata, addr)[0])
-                except struct.error:
-                    raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
-            elif op == 6:  # OP_STORE_INT: (_, fmt, offset, width_mask)
-                value = pop()
-                addr = pop() + ins[2]
-                try:
-                    pack_into(ins[1], memdata, addr, value & ins[3])
-                except struct.error:
-                    raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
-            elif op == 7:  # OP_STORE_FLOAT: (_, fmt, offset)
-                value = pop()
-                addr = pop() + ins[2]
-                try:
-                    pack_into(ins[1], memdata, addr, value)
-                except struct.error:
-                    raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
-            elif op == 8:  # OP_BR_IF
-                if pop():
+                if op >= 35:
+                    # Extended opcodes — PGO-fused superinstructions (35-50)
+                    # and quickened twins (51-56) — appear only in
+                    # profile-guided or quickened streams. Dispatching them
+                    # from this guarded side chain keeps the main chain in its
+                    # original, hotness-tuned order: default streams pay
+                    # exactly one extra range check per instruction.
+                    if op >= 51:
+                        if op == 57:  # OP_SEGMENT: (_, compiled_fn, span)
+                            ins[1](stack, locals_, memdata)
+                            pc += ins[2]
+                            continue
+                        elif op == 52:  # OP_QLOAD: (_, bound_unpack, offset, width)
+                            addr = pop() + ins[2]
+                            try:
+                                append(ins[1](memdata, addr)[0])
+                            except struct.error:
+                                raise Trap(self._oob(ins[3], addr, memdata,
+                                                     "load")) from None
+                            pc += 1
+                            continue
+                        elif op == 54:  # OP_QSTORE: (_, bound_pack, offset, width)
+                            value = pop()
+                            addr = pop() + ins[2]
+                            try:
+                                ins[1](memdata, addr, value)
+                            except struct.error:
+                                raise Trap(self._oob(ins[3], addr, memdata,
+                                                     "store")) from None
+                            pc += 1
+                            continue
+                        elif op == 53:  # OP_QLOAD_MASK: (_, bound_unpack, offset,
+                            #               mask, width)
+                            addr = pop() + ins[2]
+                            try:
+                                append(ins[1](memdata, addr)[0] & ins[3])
+                            except struct.error:
+                                raise Trap(self._oob(ins[4], addr, memdata,
+                                                     "load")) from None
+                            pc += 1
+                            continue
+                        elif op == 55:  # OP_QSTORE_MASK: (_, bound_pack, offset,
+                            #               mask, width)
+                            value = pop()
+                            addr = pop() + ins[2]
+                            try:
+                                ins[1](memdata, addr, value & ins[3])
+                            except struct.error:
+                                raise Trap(self._oob(ins[4], addr, memdata,
+                                                     "store")) from None
+                            pc += 1
+                            continue
+                        elif op == 56:  # OP_CALL_INDIRECT_IC: (_, expected,
+                            #               n_params, cell)
+                            table_idx = pop()
+                            cell = ins[3]
+                            if (cell[0] == table_idx
+                                    and table.entries[table_idx] == cell[1]):
+                                # monomorphic hit: same slot still holds the same
+                                # function address, so the memoized callee is valid
+                                callee = cell[2]
+                            else:
+                                func_addr = table.get(table_idx)
+                                callee = functions[func_addr]
+                                if callee.functype != ins[1]:
+                                    raise Trap(
+                                        f"indirect call type mismatch: entry "
+                                        f"{table_idx} has {callee.functype}, "
+                                        f"expected {ins[1]}")
+                                cell[0] = table_idx
+                                cell[1] = func_addr
+                                cell[2] = callee
+                            n_params = ins[2]
+                            if n_params:
+                                call_args = stack[-n_params:]
+                                del stack[-n_params:]
+                            else:
+                                call_args = []
+                            results = self._invoke_callee(callee, call_args)
+                            if results:
+                                stack.extend(results)
+                            pc += 1
+                            continue
+                        else:  # op == 51, OP_QUICK: (_, quickened_twin)
+                            # first execution of a quickenable slot: atomically
+                            # swap in the pre-resolved twin and re-dispatch the
+                            # same pc (the same slot-swap mechanism quarantine
+                            # uses for hook sites)
+                            code[pc] = ins[1]
+                            continue
+                    if op == 35:  # OP_BINARY_CONST (fused)
+                        b = pop()
+                        stack[-1] = ins[1](stack[-1], b)
+                        append(ins[2])
+                    elif op == 36:  # OP_BINARY_BINARY (fused)
+                        b = pop()
+                        a = pop()
+                        stack[-1] = ins[2](stack[-1], ins[1](a, b))
+                    elif op == 37:  # OP_BINARY_GET_LOCAL (fused)
+                        b = pop()
+                        stack[-1] = ins[1](stack[-1], b)
+                        append(locals_[ins[2]])
+                    elif op == 39:  # OP_CONST_CONST (fused)
+                        append(ins[1])
+                        append(ins[2])
+                    elif op == 38:  # OP_CONST_GET_LOCAL (fused)
+                        append(ins[1])
+                        append(locals_[ins[2]])
+                    elif op == 40:  # OP_BINARY_SET_LOCAL (fused)
+                        b = pop()
+                        locals_[ins[2]] = ins[1](pop(), b)
+                    elif op == 41:  # OP_BINARY_UNARY (fused)
+                        b = pop()
+                        stack[-1] = ins[2](ins[1](stack[-1], b))
+                    elif op == 43:  # OP_BINARY_LOAD_FLOAT (fused)
+                        b = pop()
+                        addr = ins[1](pop(), b) + ins[3]
+                        try:
+                            append(unpack_from(ins[2], memdata, addr)[0])
+                        except struct.error:
+                            raise Trap(self._oob(ins[2], addr, memdata,
+                                                 "load")) from None
+                    elif op == 47:  # OP_LOAD_FLOAT_BINARY (fused)
+                        addr = pop() + ins[2]
+                        try:
+                            stack[-1] = ins[3](stack[-1],
+                                               unpack_from(ins[1], memdata,
+                                                           addr)[0])
+                        except struct.error:
+                            raise Trap(self._oob(ins[1], addr, memdata,
+                                                 "load")) from None
+                    elif op == 45:  # OP_BINARY_STORE_FLOAT (fused)
+                        b = pop()
+                        value = ins[1](pop(), b)
+                        addr = pop() + ins[3]
+                        try:
+                            pack_into(ins[2], memdata, addr, value)
+                        except struct.error:
+                            raise Trap(self._oob(ins[2], addr, memdata,
+                                                 "store")) from None
+                    elif op == 50:  # OP_LOAD_FLOAT_CONST (fused)
+                        addr = pop() + ins[2]
+                        try:
+                            append(unpack_from(ins[1], memdata, addr)[0])
+                        except struct.error:
+                            raise Trap(self._oob(ins[1], addr, memdata,
+                                                 "load")) from None
+                        append(ins[3])
+                    elif op == 42:  # OP_UNARY_BR_IF (fused)
+                        if ins[1](pop()):
+                            if meter is not None:
+                                meter.branch(len(stack))
+                            if tele is not None:
+                                tele.n_branches += 1
+                            is_loop, block_pc, cont_pc, height, arity = \
+                                labels[-1 - ins[2]]
+                            if is_loop:
+                                del stack[height:]
+                                del labels[len(labels) - 1 - ins[2]:]
+                                pc = block_pc
+                                continue
+                            if arity:
+                                carried = stack[len(stack) - arity:]
+                                del stack[height:]
+                                stack.extend(carried)
+                            else:
+                                del stack[height:]
+                            del labels[len(labels) - 1 - ins[2]:]
+                            pc = cont_pc
+                            continue
+                    elif op == 44:  # OP_BINARY_LOAD_INT (fused)
+                        b = pop()
+                        addr = ins[1](pop(), b) + ins[3]
+                        try:
+                            append(unpack_from(ins[2], memdata, addr)[0] & ins[4])
+                        except struct.error:
+                            raise Trap(self._oob(ins[2], addr, memdata,
+                                                 "load")) from None
+                    elif op == 48:  # OP_LOAD_INT_BINARY (fused)
+                        addr = pop() + ins[2]
+                        try:
+                            stack[-1] = ins[4](stack[-1],
+                                               unpack_from(ins[1], memdata,
+                                                           addr)[0] & ins[3])
+                        except struct.error:
+                            raise Trap(self._oob(ins[1], addr, memdata,
+                                                 "load")) from None
+                    elif op == 46:  # OP_BINARY_STORE_INT (fused)
+                        b = pop()
+                        value = ins[1](pop(), b)
+                        addr = pop() + ins[3]
+                        try:
+                            pack_into(ins[2], memdata, addr, value & ins[4])
+                        except struct.error:
+                            raise Trap(self._oob(ins[2], addr, memdata,
+                                                 "store")) from None
+                    else:  # op == 49, OP_SET_LOCAL_CONST (fused)
+                        locals_[ins[1]] = pop()
+                        append(ins[2])
+                    pc += 2
+                    continue
+
+                if op == 0:  # OP_GET_LOCAL
+                    append(locals_[ins[1]])
+                elif op == 1:  # OP_BINARY
+                    b = pop()
+                    stack[-1] = ins[1](stack[-1], b)
+                elif op == 2:  # OP_CONST (pre-masked / pre-rounded)
+                    append(ins[1])
+                elif op == 3:  # OP_SET_LOCAL
+                    locals_[ins[1]] = pop()
+                elif op == 30:  # OP_GET_LOCAL_CONST (fused)
+                    append(locals_[ins[1]])
+                    append(ins[2])
+                    pc += 2
+                    continue
+                elif op == 31:  # OP_CONST_BINARY (fused)
+                    stack[-1] = ins[1](stack[-1], ins[2])
+                    pc += 2
+                    continue
+                elif op == 32:  # OP_GET_LOCAL_BINARY (fused)
+                    stack[-1] = ins[1](stack[-1], locals_[ins[2]])
+                    pc += 2
+                    continue
+                elif op == 33:  # OP_GET2_LOCAL (fused)
+                    append(locals_[ins[1]])
+                    append(locals_[ins[2]])
+                    pc += 2
+                    continue
+                elif op == 34:  # OP_HOOK: (_, bound_dispatcher, n_args, skip)
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    ins[1](call_args)
+                    pc += ins[3]
+                    continue
+                elif op == 4:  # OP_LOAD_INT: (_, fmt, offset, mask)
+                    addr = pop() + ins[2]
+                    try:
+                        append(unpack_from(ins[1], memdata, addr)[0] & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                elif op == 5:  # OP_LOAD_FLOAT: (_, fmt, offset)
+                    addr = pop() + ins[2]
+                    try:
+                        append(unpack_from(ins[1], memdata, addr)[0])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                elif op == 6:  # OP_STORE_INT: (_, fmt, offset, width_mask)
+                    value = pop()
+                    addr = pop() + ins[2]
+                    try:
+                        pack_into(ins[1], memdata, addr, value & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
+                elif op == 7:  # OP_STORE_FLOAT: (_, fmt, offset)
+                    value = pop()
+                    addr = pop() + ins[2]
+                    try:
+                        pack_into(ins[1], memdata, addr, value)
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "store")) from None
+                elif op == 8:  # OP_BR_IF
+                    if pop():
+                        if meter is not None:
+                            meter.branch(len(stack))
+                        if tele is not None:
+                            tele.n_branches += 1
+                        is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
+                        if is_loop:
+                            del stack[height:]
+                            del labels[len(labels) - 1 - ins[1]:]
+                            pc = block_pc
+                            continue
+                        if arity:
+                            carried = stack[len(stack) - arity:]
+                            del stack[height:]
+                            stack.extend(carried)
+                        else:
+                            del stack[height:]
+                        del labels[len(labels) - 1 - ins[1]:]
+                        pc = cont_pc
+                        continue
+                elif op == 9:  # OP_UNARY
+                    stack[-1] = ins[1](stack[-1])
+                elif op == 10:  # OP_TEE_LOCAL
+                    locals_[ins[1]] = stack[-1]
+                elif op == 11:  # OP_BR
                     if meter is not None:
                         meter.branch(len(stack))
                     if tele is not None:
@@ -792,132 +1089,115 @@ class Machine:
                     del labels[len(labels) - 1 - ins[1]:]
                     pc = cont_pc
                     continue
-            elif op == 9:  # OP_UNARY
-                stack[-1] = ins[1](stack[-1])
-            elif op == 10:  # OP_TEE_LOCAL
-                locals_[ins[1]] = stack[-1]
-            elif op == 11:  # OP_BR
-                if meter is not None:
-                    meter.branch(len(stack))
-                if tele is not None:
-                    tele.n_branches += 1
-                is_loop, block_pc, cont_pc, height, arity = labels[-1 - ins[1]]
-                if is_loop:
-                    del stack[height:]
-                    del labels[len(labels) - 1 - ins[1]:]
-                    pc = block_pc
+                elif op == 12:  # OP_END
+                    if labels:
+                        labels.pop()
+                    # the function's final end simply falls off the loop
+                elif op == 13:  # OP_LOOP
+                    labels.append((True, pc, pc + 1, len(stack), 0))
+                elif op == 14:  # OP_IF: (_, cont_pc, arity, false_pc)
+                    condition = pop()
+                    labels.append((False, pc, ins[1], len(stack), ins[2]))
+                    if not condition:
+                        pc = ins[3]
+                        continue
+                elif op == 15:  # OP_BLOCK: (_, cont_pc, arity)
+                    labels.append((False, pc, ins[1], len(stack), ins[2]))
+                elif op == 16:  # OP_JUMP (else reached from the then-arm)
+                    pc = ins[1]
                     continue
-                if arity:
-                    carried = stack[len(stack) - arity:]
-                    del stack[height:]
-                    stack.extend(carried)
-                else:
-                    del stack[height:]
-                del labels[len(labels) - 1 - ins[1]:]
-                pc = cont_pc
-                continue
-            elif op == 12:  # OP_END
-                if labels:
-                    labels.pop()
-                # the function's final end simply falls off the loop
-            elif op == 13:  # OP_LOOP
-                labels.append((True, pc, pc + 1, len(stack), 0))
-            elif op == 14:  # OP_IF: (_, cont_pc, arity, false_pc)
-                condition = pop()
-                labels.append((False, pc, ins[1], len(stack), ins[2]))
-                if not condition:
-                    pc = ins[3]
-                    continue
-            elif op == 15:  # OP_BLOCK: (_, cont_pc, arity)
-                labels.append((False, pc, ins[1], len(stack), ins[2]))
-            elif op == 16:  # OP_JUMP (else reached from the then-arm)
-                pc = ins[1]
-                continue
-            elif op == 17:  # OP_CALL: (_, func_idx, n_params)
-                n_params = ins[2]
-                if n_params:
-                    call_args = stack[-n_params:]
-                    del stack[-n_params:]
-                else:
-                    call_args = []
-                results = self._invoke_callee(functions[ins[1]], call_args)
-                if results:
-                    stack.extend(results)
-            elif op == 18:  # OP_RETURN
-                return stack[len(stack) - result_arity:]
-            elif op == 19:  # OP_GET_GLOBAL
-                append(globals_[ins[1]].value)
-            elif op == 20:  # OP_SET_GLOBAL
-                globals_[ins[1]].value = pop()
-            elif op == 21:  # OP_SELECT
-                condition = pop()
-                second = pop()
-                first = pop()
-                append(first if condition else second)
-            elif op == 22:  # OP_DROP
-                pop()
-            elif op == 23:  # OP_CALL_INDIRECT: (_, expected_type, n_params)
-                table_idx = pop()
-                func_addr = instance.table.get(table_idx)
-                callee = functions[func_addr]
-                if callee.functype != ins[1]:
-                    raise Trap(f"indirect call type mismatch: entry {table_idx} "
-                               f"has {callee.functype}, expected {ins[1]}")
-                n_params = ins[2]
-                if n_params:
-                    call_args = stack[-n_params:]
-                    del stack[-n_params:]
-                else:
-                    call_args = []
-                results = self._invoke_callee(callee, call_args)
-                if results:
-                    stack.extend(results)
-            elif op == 24:  # OP_BR_TABLE: (_, labels, default)
-                index = pop()
-                if meter is not None:
-                    meter.branch(len(stack))
-                if tele is not None:
-                    tele.n_branches += 1
-                table_labels = ins[1]
-                depth = table_labels[index] if index < len(table_labels) else ins[2]
-                is_loop, block_pc, cont_pc, height, arity = labels[-1 - depth]
-                if is_loop:
-                    del stack[height:]
+                elif op == 17:  # OP_CALL: (_, func_idx, n_params)
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    results = self._invoke_callee(functions[ins[1]], call_args)
+                    if results:
+                        stack.extend(results)
+                elif op == 18:  # OP_RETURN
+                    return stack[len(stack) - result_arity:]
+                elif op == 19:  # OP_GET_GLOBAL
+                    append(globals_[ins[1]].value)
+                elif op == 20:  # OP_SET_GLOBAL
+                    globals_[ins[1]].value = pop()
+                elif op == 21:  # OP_SELECT
+                    condition = pop()
+                    second = pop()
+                    first = pop()
+                    append(first if condition else second)
+                elif op == 22:  # OP_DROP
+                    pop()
+                elif op == 23:  # OP_CALL_INDIRECT: (_, expected_type, n_params)
+                    table_idx = pop()
+                    func_addr = table.get(table_idx)
+                    callee = functions[func_addr]
+                    if callee.functype != ins[1]:
+                        raise Trap(f"indirect call type mismatch: entry {table_idx} "
+                                   f"has {callee.functype}, expected {ins[1]}")
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    results = self._invoke_callee(callee, call_args)
+                    if results:
+                        stack.extend(results)
+                elif op == 24:  # OP_BR_TABLE: (_, labels, default)
+                    index = pop()
+                    if meter is not None:
+                        meter.branch(len(stack))
+                    if tele is not None:
+                        tele.n_branches += 1
+                    table_labels = ins[1]
+                    depth = table_labels[index] if index < len(table_labels) else ins[2]
+                    is_loop, block_pc, cont_pc, height, arity = labels[-1 - depth]
+                    if is_loop:
+                        del stack[height:]
+                        del labels[len(labels) - 1 - depth:]
+                        pc = block_pc
+                        continue
+                    if arity:
+                        carried = stack[len(stack) - arity:]
+                        del stack[height:]
+                        stack.extend(carried)
+                    else:
+                        del stack[height:]
                     del labels[len(labels) - 1 - depth:]
-                    pc = block_pc
+                    pc = cont_pc
                     continue
-                if arity:
-                    carried = stack[len(stack) - arity:]
-                    del stack[height:]
-                    stack.extend(carried)
-                else:
-                    del stack[height:]
-                del labels[len(labels) - 1 - depth:]
-                pc = cont_pc
-                continue
-            elif op == 25:  # OP_MEMORY_SIZE
-                append(memory.size_pages)
-            elif op == 26:  # OP_MEMORY_GROW
-                delta = pop()
-                append(memory.grow(delta) & MASK32)
-                if tele is not None:
-                    tele.note_grow(memory.size_pages)
-            elif op == 27:  # OP_NOP
-                pass
-            elif op == 28:  # OP_UNREACHABLE
-                raise Trap("unreachable executed")
-            else:  # OP_RAISE: malformed instruction decoded to a placeholder
-                raise ins[1]
-            pc += 1
-
+                elif op == 25:  # OP_MEMORY_SIZE
+                    append(memory.size_pages)
+                elif op == 26:  # OP_MEMORY_GROW
+                    delta = pop()
+                    append(memory.grow(delta) & MASK32)
+                    if tele is not None:
+                        tele.note_grow(memory.size_pages)
+                elif op == 27:  # OP_NOP
+                    pass
+                elif op == 28:  # OP_UNREACHABLE
+                    raise Trap("unreachable executed")
+                else:  # OP_RAISE: malformed instruction decoded to a placeholder
+                    raise ins[1]
+                pc += 1
+        except IndexError:
+            # the only legitimate way out: pc reached the implicit
+            # function end (falling off the final `end`, or a branch to
+            # the function-level label). Anything else is a real bug in
+            # a handler and is re-raised.
+            if pc != n_instrs:
+                raise
         return stack[len(stack) - result_arity:] if result_arity else []
 
     @staticmethod
-    def _oob(fmt: str, addr: int, memdata: bytearray | None, what: str) -> str:
-        width = struct.calcsize(fmt)
-        size = len(memdata) if memdata is not None else 0
-        return (f"out of bounds memory access ({what} of {width} bytes "
-                f"at address {addr}, memory is {size} bytes)")
+    def _oob(fmt: str | int, addr: int, memdata: bytearray | None,
+             what: str) -> str:
+        # quickened twins carry the access width directly; base slots
+        # carry the struct format string
+        width = fmt if isinstance(fmt, int) else struct.calcsize(fmt)
+        return oob_message(width, addr, memdata, what)
 
     # -- the profiled interpreter loop --------------------------------------------
 
@@ -939,12 +1219,14 @@ class Machine:
         """
         profiler = self._telemetry.profiler
         op_counts = profiler.op_counts
+        pair_counts = profiler.pair_counts
         interval = profiler.sample_interval
         instance = wfunc.instance
         code = wfunc.decoded.code
         functions = instance.functions
         globals_ = instance.globals
         memory = instance.memory
+        table = instance.table
         memdata = memory.data if memory is not None else None
         locals_ = args + wfunc.default_locals
         stack: list[int | float] = []
@@ -961,13 +1243,27 @@ class Machine:
         ]
         pc = 0
         executed = 0
+        # opcode-pair tracking: two instructions executed back to back at
+        # adjacent pcs form one fusible pair (prev_base = prev_op * N)
+        prev_pc = -2
+        prev_base = 0
+        n_opcodes = len(op_counts)
 
         profiler.enter(wfunc.name)
         try:
             while pc < n_instrs:
                 ins = code[pc]
                 op = ins[0]
+                if op == 51:  # OP_QUICK: resolve the trampoline *before*
+                    # counting, so the twin is charged exactly once per
+                    # execution (never the trampoline plus the twin)
+                    ins = code[pc] = ins[1]
+                    op = ins[0]
                 op_counts[op] += 1
+                if prev_pc + 1 == pc:
+                    pair_counts[prev_base + op] += 1
+                prev_pc = pc
+                prev_base = op * n_opcodes
                 executed += 1
                 profiler.ticks = ticks = profiler.ticks + 1
                 if ticks >= profiler.next_sample:
@@ -1000,6 +1296,189 @@ class Machine:
                     append(locals_[ins[2]])
                     pc += 2
                     continue
+                elif op == 35:  # OP_BINARY_CONST (fused)
+                    b = pop()
+                    stack[-1] = ins[1](stack[-1], b)
+                    append(ins[2])
+                    pc += 2
+                    continue
+                elif op == 36:  # OP_BINARY_BINARY (fused)
+                    b = pop()
+                    a = pop()
+                    stack[-1] = ins[2](stack[-1], ins[1](a, b))
+                    pc += 2
+                    continue
+                elif op == 37:  # OP_BINARY_GET_LOCAL (fused)
+                    b = pop()
+                    stack[-1] = ins[1](stack[-1], b)
+                    append(locals_[ins[2]])
+                    pc += 2
+                    continue
+                elif op == 38:  # OP_CONST_GET_LOCAL (fused)
+                    append(ins[1])
+                    append(locals_[ins[2]])
+                    pc += 2
+                    continue
+                elif op == 39:  # OP_CONST_CONST (fused)
+                    append(ins[1])
+                    append(ins[2])
+                    pc += 2
+                    continue
+                elif op == 40:  # OP_BINARY_SET_LOCAL (fused)
+                    b = pop()
+                    locals_[ins[2]] = ins[1](pop(), b)
+                    pc += 2
+                    continue
+                elif op == 41:  # OP_BINARY_UNARY (fused)
+                    b = pop()
+                    stack[-1] = ins[2](ins[1](stack[-1], b))
+                    pc += 2
+                    continue
+                elif op == 42:  # OP_UNARY_BR_IF (fused)
+                    if ins[1](pop()):
+                        if meter is not None:
+                            meter.branch(len(stack))
+                        tele.n_branches += 1
+                        is_loop, block_pc, cont_pc, height, arity = \
+                            labels[-1 - ins[2]]
+                        if is_loop:
+                            del stack[height:]
+                            del labels[len(labels) - 1 - ins[2]:]
+                            pc = block_pc
+                            continue
+                        if arity:
+                            carried = stack[len(stack) - arity:]
+                            del stack[height:]
+                            stack.extend(carried)
+                        else:
+                            del stack[height:]
+                        del labels[len(labels) - 1 - ins[2]:]
+                        pc = cont_pc
+                        continue
+                    pc += 2
+                    continue
+                elif op == 43:  # OP_BINARY_LOAD_FLOAT (fused)
+                    b = pop()
+                    addr = ins[1](pop(), b) + ins[3]
+                    try:
+                        append(unpack_from(ins[2], memdata, addr)[0])
+                    except struct.error:
+                        raise Trap(self._oob(ins[2], addr, memdata, "load")) from None
+                    pc += 2
+                    continue
+                elif op == 44:  # OP_BINARY_LOAD_INT (fused)
+                    b = pop()
+                    addr = ins[1](pop(), b) + ins[3]
+                    try:
+                        append(unpack_from(ins[2], memdata, addr)[0] & ins[4])
+                    except struct.error:
+                        raise Trap(self._oob(ins[2], addr, memdata, "load")) from None
+                    pc += 2
+                    continue
+                elif op == 45:  # OP_BINARY_STORE_FLOAT (fused)
+                    b = pop()
+                    value = ins[1](pop(), b)
+                    addr = pop() + ins[3]
+                    try:
+                        pack_into(ins[2], memdata, addr, value)
+                    except struct.error:
+                        raise Trap(self._oob(ins[2], addr, memdata, "store")) from None
+                    pc += 2
+                    continue
+                elif op == 46:  # OP_BINARY_STORE_INT (fused)
+                    b = pop()
+                    value = ins[1](pop(), b)
+                    addr = pop() + ins[3]
+                    try:
+                        pack_into(ins[2], memdata, addr, value & ins[4])
+                    except struct.error:
+                        raise Trap(self._oob(ins[2], addr, memdata, "store")) from None
+                    pc += 2
+                    continue
+                elif op == 47:  # OP_LOAD_FLOAT_BINARY (fused)
+                    addr = pop() + ins[2]
+                    try:
+                        stack[-1] = ins[3](stack[-1],
+                                           unpack_from(ins[1], memdata, addr)[0])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                    pc += 2
+                    continue
+                elif op == 48:  # OP_LOAD_INT_BINARY (fused)
+                    addr = pop() + ins[2]
+                    try:
+                        stack[-1] = ins[4](stack[-1],
+                                           unpack_from(ins[1], memdata, addr)[0]
+                                           & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                    pc += 2
+                    continue
+                elif op == 49:  # OP_SET_LOCAL_CONST (fused)
+                    locals_[ins[1]] = pop()
+                    append(ins[2])
+                    pc += 2
+                    continue
+                elif op == 50:  # OP_LOAD_FLOAT_CONST (fused)
+                    addr = pop() + ins[2]
+                    try:
+                        append(unpack_from(ins[1], memdata, addr)[0])
+                    except struct.error:
+                        raise Trap(self._oob(ins[1], addr, memdata, "load")) from None
+                    append(ins[3])
+                    pc += 2
+                    continue
+                elif op == 52:  # OP_QLOAD (quickened)
+                    addr = pop() + ins[2]
+                    try:
+                        append(ins[1](memdata, addr)[0])
+                    except struct.error:
+                        raise Trap(self._oob(ins[3], addr, memdata, "load")) from None
+                elif op == 53:  # OP_QLOAD_MASK (quickened)
+                    addr = pop() + ins[2]
+                    try:
+                        append(ins[1](memdata, addr)[0] & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[4], addr, memdata, "load")) from None
+                elif op == 54:  # OP_QSTORE (quickened)
+                    value = pop()
+                    addr = pop() + ins[2]
+                    try:
+                        ins[1](memdata, addr, value)
+                    except struct.error:
+                        raise Trap(self._oob(ins[3], addr, memdata, "store")) from None
+                elif op == 55:  # OP_QSTORE_MASK (quickened)
+                    value = pop()
+                    addr = pop() + ins[2]
+                    try:
+                        ins[1](memdata, addr, value & ins[3])
+                    except struct.error:
+                        raise Trap(self._oob(ins[4], addr, memdata, "store")) from None
+                elif op == 56:  # OP_CALL_INDIRECT_IC (quickened)
+                    table_idx = pop()
+                    cell = ins[3]
+                    if cell[0] == table_idx and \
+                            table.entries[table_idx] == cell[1]:
+                        callee = cell[2]
+                    else:
+                        func_addr = table.get(table_idx)
+                        callee = functions[func_addr]
+                        if callee.functype != ins[1]:
+                            raise Trap(
+                                f"indirect call type mismatch: entry {table_idx} "
+                                f"has {callee.functype}, expected {ins[1]}")
+                        cell[0] = table_idx
+                        cell[1] = func_addr
+                        cell[2] = callee
+                    n_params = ins[2]
+                    if n_params:
+                        call_args = stack[-n_params:]
+                        del stack[-n_params:]
+                    else:
+                        call_args = []
+                    results = self._invoke_callee(callee, call_args)
+                    if results:
+                        stack.extend(results)
                 elif op == 34:  # OP_HOOK
                     n_params = ins[2]
                     if n_params:
@@ -1120,7 +1599,7 @@ class Machine:
                     pop()
                 elif op == 23:  # OP_CALL_INDIRECT
                     table_idx = pop()
-                    func_addr = instance.table.get(table_idx)
+                    func_addr = table.get(table_idx)
                     callee = functions[func_addr]
                     if callee.functype != ins[1]:
                         raise Trap(f"indirect call type mismatch: entry {table_idx} "

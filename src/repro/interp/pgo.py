@@ -1,0 +1,278 @@
+"""Profile-guided superinstruction selection: profiler → fusion table.
+
+Closes the loop ROADMAP item 2 left open: the self-profiler
+(:mod:`repro.obs.profiler`) records exact opcode-*pair* frequencies while
+executing unfused streams, and this module turns those recordings into the
+pair table :func:`repro.interp.predecode._fuse_pairs` consumes — replacing
+the hand-picked superinstruction set with one derived from measured
+workloads.
+
+Two small versioned JSON artifacts:
+
+* ``repro.profile/1`` — a recorded pair profile: per-corpus-entry metadata
+  plus ``[first_name, second_name, count]`` rows (opcode *names*, not ids,
+  so profiles survive opcode renumbering) and per-opcode totals. Emitted by
+  ``repro pgo`` and by :func:`profile_payload` from any attached profiler.
+* ``repro.fusion/1`` — a derived fusion table: the ordered pair list
+  :func:`select_pairs` chose, with the share each pair had of all recorded
+  pairs. Emitted by ``repro pgo --fusion-out``; consumable anywhere a
+  profile is (``Machine(pgo_profile=...)``, ``repro run --pgo-profile``).
+
+Determinism: profiles are recorded on the profiler's *unfused, unquickened*
+stream (instruction counting, no sampling jitter in the pair counts), over
+a fixed corpus, so two recordings of the same corpus are bit-identical —
+the derived table is a pure function of the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..wasm.errors import WasmError
+from .predecode import FUSION_RULES, OP_NAMES
+
+PROFILE_SCHEMA = "repro.profile/1"
+FUSION_SCHEMA = "repro.fusion/1"
+
+#: opcode name → id, the inverse of predecode.OP_NAMES (names are unique).
+_NAME_TO_OP: dict[str, int] = {name: op for op, name in OP_NAMES.items()}
+
+#: Pairs below this share of all recorded pairs are noise, not candidates:
+#: a fused handler that almost never runs still costs a dispatch-chain slot
+#: for every instruction behind it.
+DEFAULT_MIN_SHARE = 0.005
+
+
+def profile_payload(profiler, corpus: list[dict] | None = None) -> dict:
+    """The ``repro.profile/1`` artifact for one recorded profiler.
+
+    ``corpus`` describes what was executed (workload names/groups), purely
+    documentary — selection uses only the counts.
+    """
+    return {
+        "schema": PROFILE_SCHEMA,
+        "corpus": list(corpus or []),
+        "total_instructions": profiler.total_instructions,
+        "total_pairs": profiler.total_pairs,
+        "pairs": [[first, second, count]
+                  for first, second, count, _ in
+                  profiler.hot_pairs(top=len(profiler.pair_counts))],
+        "opcodes": {OP_NAMES[op]: count
+                    for op, count in enumerate(profiler.op_counts) if count},
+    }
+
+
+def merge_profiles(payloads: list[dict]) -> dict:
+    """Sum several ``repro.profile/1`` payloads into one corpus profile."""
+    corpus: list[dict] = []
+    pair_totals: dict[tuple[str, str], int] = {}
+    opcode_totals: dict[str, int] = {}
+    total_instructions = 0
+    total_pairs = 0
+    for payload in payloads:
+        _check_schema(payload, PROFILE_SCHEMA)
+        corpus.extend(payload.get("corpus", []))
+        total_instructions += payload.get("total_instructions", 0)
+        total_pairs += payload.get("total_pairs", 0)
+        for first, second, count in payload.get("pairs", []):
+            key = (first, second)
+            pair_totals[key] = pair_totals.get(key, 0) + count
+        for name, count in payload.get("opcodes", {}).items():
+            opcode_totals[name] = opcode_totals.get(name, 0) + count
+    ranked = sorted(pair_totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return {
+        "schema": PROFILE_SCHEMA,
+        "corpus": corpus,
+        "total_instructions": total_instructions,
+        "total_pairs": total_pairs,
+        "pairs": [[first, second, count] for (first, second), count in ranked],
+        "opcodes": dict(sorted(opcode_totals.items(), key=lambda kv: -kv[1])),
+    }
+
+
+def write_profile(payload: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_profile(path: str | Path) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") not in (PROFILE_SCHEMA, FUSION_SCHEMA):
+        raise WasmError(
+            f"not a repro profile or fusion table (schema "
+            f"{payload.get('schema')!r}, expected {PROFILE_SCHEMA!r} or "
+            f"{FUSION_SCHEMA!r})")
+    return payload
+
+
+def _check_schema(payload: dict, expected: str) -> None:
+    if payload.get("schema") != expected:
+        raise WasmError(f"expected a {expected!r} payload, got schema "
+                        f"{payload.get('schema')!r}")
+
+
+def fusable_pairs(profile: dict) -> list[tuple[str, str, int, float]]:
+    """The profile's pairs restricted to the implementable fusion menu.
+
+    Returns ``(first_name, second_name, count, share)`` rows, descending by
+    count; ``share`` is of *all* recorded pairs (fusable or not), so it
+    measures how much of the dynamic pair stream a fusion would cover.
+    """
+    _check_schema(profile, PROFILE_SCHEMA)
+    total = profile.get("total_pairs", 0) or 1
+    rows = []
+    for first, second, count in profile.get("pairs", []):
+        fop = _NAME_TO_OP.get(first)
+        sop = _NAME_TO_OP.get(second)
+        if fop is None or sop is None or (fop, sop) not in FUSION_RULES:
+            continue
+        rows.append((first, second, count, count / total))
+    return rows
+
+
+def unfused_hot_pairs(profile: dict,
+                      top: int = 10) -> list[tuple[str, str, int, float, bool]]:
+    """The profile's hottest pairs annotated with fusability.
+
+    ``(first, second, count, share, fusable)`` rows for the report's "top
+    unfused hot pairs" section: what the PGO pass *would* fuse (fusable
+    True) and what it cannot (no implementable superinstruction).
+    """
+    _check_schema(profile, PROFILE_SCHEMA)
+    total = profile.get("total_pairs", 0) or 1
+    rows = []
+    for first, second, count in profile.get("pairs", [])[:top]:
+        fop = _NAME_TO_OP.get(first)
+        sop = _NAME_TO_OP.get(second)
+        fusable = (fop is not None and sop is not None
+                   and (fop, sop) in FUSION_RULES)
+        rows.append((first, second, count, count / total, fusable))
+    return rows
+
+
+def select_pairs(profile: dict,
+                 min_share: float = DEFAULT_MIN_SHARE,
+                 max_pairs: int | None = None) -> list[tuple[str, str]]:
+    """Derive the fusion pair table from a recorded profile.
+
+    Keeps every fusable pair covering at least ``min_share`` of all
+    recorded pairs, hottest first, capped at ``max_pairs``. The result is
+    deterministic for a given profile (ties broken by name).
+    """
+    ranked = sorted(fusable_pairs(profile),
+                    key=lambda row: (-row[2], row[0], row[1]))
+    chosen = [(first, second) for first, second, _count, share in ranked
+              if share >= min_share]
+    if max_pairs is not None:
+        chosen = chosen[:max_pairs]
+    return chosen
+
+
+def fusion_table_payload(profile: dict,
+                         min_share: float = DEFAULT_MIN_SHARE,
+                         max_pairs: int | None = None) -> dict:
+    """The ``repro.fusion/1`` artifact: a derived, self-describing table."""
+    shares = {(first, second): share
+              for first, second, _count, share in fusable_pairs(profile)}
+    chosen = select_pairs(profile, min_share=min_share, max_pairs=max_pairs)
+    return {
+        "schema": FUSION_SCHEMA,
+        "min_share": min_share,
+        "derived_from": {
+            "corpus": [entry.get("name") for entry in profile.get("corpus", [])],
+            "total_pairs": profile.get("total_pairs", 0),
+        },
+        "pairs": [[first, second, round(shares[(first, second)], 6)]
+                  for first, second in chosen],
+    }
+
+
+def resolve_fusion_pairs(source) -> frozenset[tuple[int, int]]:
+    """Resolve ``Machine(pgo_profile=...)`` input to an id pair table.
+
+    Accepts a path to — or an already-loaded dict of — either artifact:
+    a ``repro.fusion/1`` table is taken verbatim; a ``repro.profile/1``
+    profile goes through :func:`select_pairs` with defaults. Unknown pair
+    names (from a newer/older opcode set) are ignored rather than rejected,
+    as are pairs without an implementable rule.
+    """
+    if isinstance(source, (str, Path)):
+        source = load_profile(source)
+    if not isinstance(source, dict):
+        raise WasmError(f"cannot resolve a fusion table from {source!r}")
+    schema = source.get("schema")
+    if schema == FUSION_SCHEMA:
+        names = [(first, second) for first, second, *_ in source.get("pairs", [])]
+    elif schema == PROFILE_SCHEMA:
+        names = select_pairs(source)
+    else:
+        raise WasmError(
+            f"not a repro profile or fusion table (schema {schema!r})")
+    pairs = set()
+    for first, second in names:
+        fop = _NAME_TO_OP.get(first)
+        sop = _NAME_TO_OP.get(second)
+        if fop is not None and sop is not None and (fop, sop) in FUSION_RULES:
+            pairs.add((fop, sop))
+    return frozenset(pairs)
+
+
+def record_workload_profile(workload) -> dict:
+    """Record one workload's profile on a fresh profiling machine.
+
+    The profiling machine executes the unfused, unquickened stream —
+    instruction counting, no wall-clock sampling in the counts — so the
+    result is exact and deterministic for the workload.
+    """
+    # imported lazily: obs → interp is the normal dependency direction
+    from ..obs.telemetry import Telemetry
+    from .machine import Machine
+
+    telemetry = Telemetry(profile=True)
+    machine = Machine(predecode=True, telemetry=telemetry)
+    instance = machine.instantiate(workload.module(), workload.linker())
+    instance.invoke(workload.entry, workload.args)
+    return profile_payload(
+        telemetry.profiler,
+        corpus=[{"name": workload.name, "group": workload.group}])
+
+
+def opcode_class_mix(profile: dict) -> dict[str, float]:
+    """A profile's dynamic opcode mix aggregated to coarse classes.
+
+    ``{class: share_of_executed_instructions}``, descending — the
+    per-workload diagnostic BENCH_interp.json records next to each speedup
+    (a memory-heavy mix explains a memory-bound workload's ratio).
+    """
+    from ..obs.profiler import OP_CLASSES
+
+    total = profile.get("total_instructions", 0) or 1
+    totals: dict[str, int] = {}
+    for name, count in profile.get("opcodes", {}).items():
+        op = _NAME_TO_OP.get(name)
+        cls = OP_CLASSES[op] if op is not None else "other"
+        totals[cls] = totals.get(cls, 0) + count
+    return {cls: count / total
+            for cls, count in sorted(totals.items(),
+                                     key=lambda kv: (-kv[1], kv[0]))}
+
+
+def record_corpus_profile(polybench_names=None, n: int | None = None,
+                          include_realworld: bool = True) -> dict:
+    """Record the standard corpus profile: PolyBench subset + synthetics.
+
+    Each workload runs once via :func:`record_workload_profile` (no
+    cross-workload interference) and the per-workload profiles are merged.
+    Deterministic: same corpus, same counts.
+    """
+    from ..eval.workloads import (POLYBENCH_FAST_SUBSET, polybench_workloads,
+                                  realworld_workloads)
+
+    if polybench_names is None:
+        polybench_names = POLYBENCH_FAST_SUBSET
+    workloads = polybench_workloads(polybench_names, n)
+    if include_realworld:
+        workloads += realworld_workloads()
+    return merge_profiles([record_workload_profile(w) for w in workloads])

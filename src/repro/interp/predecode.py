@@ -41,10 +41,14 @@ debugging straightforward.
 
 from __future__ import annotations
 
-from ..wasm.errors import WasmError
+import math
+from struct import Struct
+from struct import error as _struct_error
+
+from ..wasm.errors import Trap, WasmError
 from ..wasm.module import Function, Instr, Module
 from ..wasm.numeric import f32_round
-from .values import MASK32, MASK64, OP_HANDLERS
+from .values import BINOPS, MASK32, MASK64, OP_HANDLERS
 
 # Opcode ids, ordered roughly by dynamic frequency on numeric workloads so
 # the interpreter's if/elif chain resolves hot instructions first.
@@ -80,11 +84,17 @@ OP_UNREACHABLE = 28
 OP_RAISE = 29
 
 # Fused superinstructions. :func:`_fuse_pairs` rewrites slot *i* to execute
-# both instruction *i* and *i+1* (then skip ahead two pcs) for the hottest
-# adjacent pairs in compiled expression code — address arithmetic is almost
+# both instruction *i* and *i+1* (then skip ahead two pcs) for hot adjacent
+# pairs in compiled expression code — address arithmetic is almost
 # entirely ``get_local``/``const`` feeding a binary op. Slot *i+1* keeps its
 # ordinary decoding, so a branch that lands there still executes it solo and
 # the stream stays 1:1 with the source body.
+#
+# Which pairs actually get fused is table-driven: :data:`FUSION_RULES` is
+# the full menu of *implementable* pairs, :data:`DEFAULT_FUSION_PAIRS` the
+# hand-picked subset used when no profile is supplied, and a PGO table
+# derived from recorded ``repro.profile/1`` artifacts (see
+# :mod:`repro.interp.pgo`) selects a data-driven subset per machine.
 OP_GET_LOCAL_CONST = 30    # (_, local_idx, const) — push local, push const
 OP_CONST_BINARY = 31       # (_, fn, const)       — stack[-1] = fn(top, const)
 OP_GET_LOCAL_BINARY = 32   # (_, fn, local_idx)   — stack[-1] = fn(top, local)
@@ -99,6 +109,61 @@ OP_GET2_LOCAL = 33         # (_, i, j)            — push two locals
 # their ordinary decoding so branches into the middle of a (never-branched-
 # into, in practice) hook sequence still behave like the source program.
 OP_HOOK = 34
+
+# The profile-guided extension of the fusion menu (PR 7). Same contract as
+# the four classic fusions above: execute source instructions *i* and *i+1*
+# in one dispatch, skip two pcs, leave slot *i+1* decodable for branches.
+OP_BINARY_CONST = 35       # (_, fn, const)          — binary, then push const
+OP_BINARY_BINARY = 36      # (_, fn1, fn2)           — two stacked binaries
+OP_BINARY_GET_LOCAL = 37   # (_, fn, idx)            — binary, push local
+OP_CONST_GET_LOCAL = 38    # (_, const, idx)         — push const, push local
+OP_CONST_CONST = 39        # (_, c1, c2)             — push two consts
+OP_BINARY_SET_LOCAL = 40   # (_, fn, idx)            — local[idx] = binary
+OP_BINARY_UNARY = 41       # (_, fn, un)             — un(binary)
+OP_UNARY_BR_IF = 42        # (_, un, label)          — branch on un(top)
+OP_BINARY_LOAD_FLOAT = 43  # (_, fn, fmt, off)       — load at binary address
+OP_BINARY_LOAD_INT = 44    # (_, fn, fmt, off, mask)
+OP_BINARY_STORE_FLOAT = 45  # (_, fn, fmt, off)      — store binary result
+OP_BINARY_STORE_INT = 46   # (_, fn, fmt, off, mask)
+OP_LOAD_FLOAT_BINARY = 47  # (_, fmt, off, fn)       — binary on loaded value
+OP_LOAD_INT_BINARY = 48    # (_, fmt, off, mask, fn)
+OP_SET_LOCAL_CONST = 49    # (_, idx, const)         — pop to local, push const
+OP_LOAD_FLOAT_CONST = 50   # (_, fmt, off, const)    — load, then push const
+
+# Quickening (PR 7). ``decode_function(quicken=True)`` wraps every bare
+# memory op in an ``OP_QUICK`` trampoline carrying its pre-resolved twin:
+# the twin holds a bound ``struct.Struct.unpack_from``/``pack_into`` method
+# (no per-access format-cache probe) and drops the canonicalization mask
+# where the format already guarantees canonical values. The first time the
+# slot executes, the trampoline atomically swaps itself for the twin (the
+# same single-slot list assignment quarantine uses) and re-dispatches, so
+# the steady state pays nothing for having been quickened lazily.
+OP_QUICK = 51              # (_, twin)               — code[pc] = twin; retry
+OP_QLOAD = 52              # (_, unpack, off, width) — no mask needed
+OP_QLOAD_MASK = 53         # (_, unpack, off, mask, width)
+OP_QSTORE = 54             # (_, pack, off, width)   — full-width store
+OP_QSTORE_MASK = 55        # (_, pack, off, mask, width)
+
+# Monomorphic inline cache for ``call_indirect``, installed per *instance*
+# (the cache cell holds that instance's resolved callee) by
+# ``repro.interp.machine.bind_indirect_caches`` at quickened sites:
+# ``(_, expected_type, n_params, cell)`` with ``cell`` a mutable
+# ``[last_table_idx, last_func_addr, last_callee]``. A hit needs the same
+# table index *and* the same table entry (tables mutate), so table.set /
+# snapshot-restore fall back to the full resolve+type-check path.
+OP_CALL_INDIRECT_IC = 56
+
+# The logical endpoint of superinstruction formation (PR 7): a *compiled
+# straight-line segment*. At quickening time, maximal runs of pure
+# stack-machine ops (consts, locals, arithmetic, loads/stores, drop — no
+# control flow, no calls, no hook sites) are translated once into a small
+# Python function with every constant, mask, and bound struct method baked
+# in, and the run's first slot becomes ``(OP_SEGMENT, fn, span)``: one
+# dispatch executes the whole run, then skips ``span`` pcs. The covered
+# slots keep their ordinary decoding, so a branch landing inside the
+# segment executes the original (pair-fusable, quickenable) instructions —
+# the same fallback contract fused pairs honour.
+OP_SEGMENT = 57
 
 #: Import namespace of Wasabi's generated low-level hooks. The instrumenter
 #: (``repro.core.hooks.HOOK_MODULE``) aliases this constant, so the engine
@@ -144,6 +209,29 @@ OP_NAMES: dict[int, str] = {
     OP_GET_LOCAL_BINARY: "get_local+binary",
     OP_GET2_LOCAL: "get_local+get_local",
     OP_HOOK: "hook",
+    OP_BINARY_CONST: "binary+const",
+    OP_BINARY_BINARY: "binary+binary",
+    OP_BINARY_GET_LOCAL: "binary+get_local",
+    OP_CONST_GET_LOCAL: "const+get_local",
+    OP_CONST_CONST: "const+const",
+    OP_BINARY_SET_LOCAL: "binary+set_local",
+    OP_BINARY_UNARY: "binary+unary",
+    OP_UNARY_BR_IF: "unary+br_if",
+    OP_BINARY_LOAD_FLOAT: "binary+load.float",
+    OP_BINARY_LOAD_INT: "binary+load.int",
+    OP_BINARY_STORE_FLOAT: "binary+store.float",
+    OP_BINARY_STORE_INT: "binary+store.int",
+    OP_LOAD_FLOAT_BINARY: "load.float+binary",
+    OP_LOAD_INT_BINARY: "load.int+binary",
+    OP_SET_LOCAL_CONST: "set_local+const",
+    OP_LOAD_FLOAT_CONST: "load.float+const",
+    OP_QUICK: "quicken",
+    OP_QLOAD: "load.quick",
+    OP_QLOAD_MASK: "load.quick.mask",
+    OP_QSTORE: "store.quick",
+    OP_QSTORE_MASK: "store.quick.mask",
+    OP_CALL_INDIRECT_IC: "call_indirect.ic",
+    OP_SEGMENT: "segment",
 }
 
 #: Size of a dense per-opcode counter array covering every opcode id.
@@ -190,16 +278,23 @@ class DecodedFunction:
     and lets the cache detect body replacement. ``hook_sites`` lists the
     pcs of ``call`` instructions targeting Wasabi hook imports; it is empty
     for uninstrumented modules, whose decode is entirely unaffected.
+    ``indirect_sites`` lists the pcs of ``call_indirect`` slots on quickened
+    streams — the machine rewrites those per instance into monomorphic
+    inline caches (:data:`OP_CALL_INDIRECT_IC`); it is empty on unquickened
+    streams.
     """
 
-    __slots__ = ("code", "source_body", "hook_sites")
+    __slots__ = ("code", "source_body", "hook_sites", "indirect_sites")
 
     def __init__(
-        self, code: list[tuple], source_body: list[Instr], hook_sites: tuple[int, ...] = ()
+        self, code: list[tuple], source_body: list[Instr],
+        hook_sites: tuple[int, ...] = (),
+        indirect_sites: tuple[int, ...] = (),
     ):
         self.code = code
         self.source_body = source_body
         self.hook_sites = hook_sites
+        self.indirect_sites = indirect_sites
 
     def __len__(self) -> int:
         return len(self.code)
@@ -344,40 +439,375 @@ def _hook_import_indices(module: Module) -> frozenset[int]:
     return frozenset(indices)
 
 
-def _fuse_pairs(code: list[tuple], blocked: frozenset[int] | set[int] = frozenset()) -> None:
+#: The full menu of *implementable* pair fusions: ``(first_op, second_op)``
+#: → builder taking the two decoded tuples and returning the fused tuple.
+#: A PGO table (or :data:`DEFAULT_FUSION_PAIRS`) selects which entries a
+#: decode actually applies; pairs outside this menu can be profiled but
+#: never fused. The menu itself was chosen from recorded PolyBench +
+#: synthetic pair profiles (see ``repro pgo``): together these shapes cover
+#: the overwhelming majority of back-to-back executions in compiled
+#: numeric code.
+FUSION_RULES: dict[tuple[int, int], object] = {
+    (OP_GET_LOCAL, OP_CONST):
+        lambda f, s: (OP_GET_LOCAL_CONST, f[1], s[1]),
+    (OP_GET_LOCAL, OP_BINARY):
+        lambda f, s: (OP_GET_LOCAL_BINARY, s[1], f[1]),
+    (OP_GET_LOCAL, OP_GET_LOCAL):
+        lambda f, s: (OP_GET2_LOCAL, f[1], s[1]),
+    (OP_CONST, OP_BINARY):
+        lambda f, s: (OP_CONST_BINARY, s[1], f[1]),
+    (OP_CONST, OP_GET_LOCAL):
+        lambda f, s: (OP_CONST_GET_LOCAL, f[1], s[1]),
+    (OP_CONST, OP_CONST):
+        lambda f, s: (OP_CONST_CONST, f[1], s[1]),
+    (OP_BINARY, OP_CONST):
+        lambda f, s: (OP_BINARY_CONST, f[1], s[1]),
+    (OP_BINARY, OP_BINARY):
+        lambda f, s: (OP_BINARY_BINARY, f[1], s[1]),
+    (OP_BINARY, OP_GET_LOCAL):
+        lambda f, s: (OP_BINARY_GET_LOCAL, f[1], s[1]),
+    (OP_BINARY, OP_SET_LOCAL):
+        lambda f, s: (OP_BINARY_SET_LOCAL, f[1], s[1]),
+    (OP_BINARY, OP_UNARY):
+        lambda f, s: (OP_BINARY_UNARY, f[1], s[1]),
+    (OP_UNARY, OP_BR_IF):
+        lambda f, s: (OP_UNARY_BR_IF, f[1], s[1]),
+    (OP_BINARY, OP_LOAD_FLOAT):
+        lambda f, s: (OP_BINARY_LOAD_FLOAT, f[1], s[1], s[2]),
+    (OP_BINARY, OP_LOAD_INT):
+        lambda f, s: (OP_BINARY_LOAD_INT, f[1], s[1], s[2], s[3]),
+    (OP_BINARY, OP_STORE_FLOAT):
+        lambda f, s: (OP_BINARY_STORE_FLOAT, f[1], s[1], s[2]),
+    (OP_BINARY, OP_STORE_INT):
+        lambda f, s: (OP_BINARY_STORE_INT, f[1], s[1], s[2], s[3]),
+    (OP_LOAD_FLOAT, OP_BINARY):
+        lambda f, s: (OP_LOAD_FLOAT_BINARY, f[1], f[2], s[1]),
+    (OP_LOAD_INT, OP_BINARY):
+        lambda f, s: (OP_LOAD_INT_BINARY, f[1], f[2], f[3], s[1]),
+    (OP_SET_LOCAL, OP_CONST):
+        lambda f, s: (OP_SET_LOCAL_CONST, f[1], s[1]),
+    (OP_LOAD_FLOAT, OP_CONST):
+        lambda f, s: (OP_LOAD_FLOAT_CONST, f[1], f[2], s[1]),
+}
+
+#: The hand-picked pair set predating profile-guided selection — the
+#: default whenever no PGO profile is supplied, so engines without a
+#: profile behave exactly as before. ``Machine(pgo_profile=...)`` swaps in
+#: a table derived from recorded pair frequencies instead.
+DEFAULT_FUSION_PAIRS: frozenset[tuple[int, int]] = frozenset({
+    (OP_GET_LOCAL, OP_CONST),
+    (OP_GET_LOCAL, OP_BINARY),
+    (OP_GET_LOCAL, OP_GET_LOCAL),
+    (OP_CONST, OP_BINARY),
+})
+
+_DEFAULT_RULES = {pair: FUSION_RULES[pair] for pair in DEFAULT_FUSION_PAIRS}
+
+
+def _fuse_pairs(code: list[tuple],
+                blocked: frozenset[int] | set[int] = frozenset(),
+                pairs: frozenset[tuple[int, int]] | None = None) -> None:
     """Rewrite hot adjacent pairs into superinstructions, in place.
 
-    Overlapping fusions are fine: a fused slot is only *entered* at its own
-    pc, and it always skips exactly one slot, whose unfused decoding is kept
-    for branches that target it directly. Slots in ``blocked`` (the leading
-    location constant of a hook call site) are never consumed as the second
-    half of a pair, so the machine's hook-site fusion stays reachable.
+    ``pairs`` selects which :data:`FUSION_RULES` entries apply (``None``
+    means :data:`DEFAULT_FUSION_PAIRS`). Overlapping fusions are fine: a
+    fused slot is only *entered* at its own pc, and it always skips exactly
+    one slot, whose unfused decoding is kept for branches that target it
+    directly. Slots in ``blocked`` (the leading location constant of a hook
+    call site) are never fused in either position, so the machine's
+    hook-site rewrite stays reachable.
     """
+    if pairs is None:
+        rules = _DEFAULT_RULES
+    else:
+        rules = {pair: FUSION_RULES[pair] for pair in pairs
+                 if pair in FUSION_RULES}
+    get = rules.get
     for pc in range(len(code) - 1):
-        if pc + 1 in blocked:
+        if pc in blocked or pc + 1 in blocked:
             continue
         first = code[pc]
-        fop = first[0]
         second = code[pc + 1]
-        sop = second[0]
-        if fop == OP_GET_LOCAL:
-            if sop == OP_CONST:
-                code[pc] = (OP_GET_LOCAL_CONST, first[1], second[1])
-            elif sop == OP_BINARY:
-                code[pc] = (OP_GET_LOCAL_BINARY, second[1], first[1])
-            elif sop == OP_GET_LOCAL:
-                code[pc] = (OP_GET2_LOCAL, first[1], second[1])
-        elif fop == OP_CONST and sop == OP_BINARY:
-            code[pc] = (OP_CONST_BINARY, second[1], first[1])
+        rule = get((first[0], second[0]))
+        if rule is not None:
+            code[pc] = rule(first, second)
+
+
+#: ``(fmt, mask)`` pairs whose store mask is redundant: the operand stack
+#: only holds canonical values, so a full-width store can never overflow
+#: its pack format. Narrow stores (store8/16/32) still need the mask.
+_FULL_WIDTH_STORES = frozenset({("<I", MASK32), ("<Q", MASK64)})
+
+
+def _quicken_slots(code: list[tuple]) -> None:
+    """Wrap bare memory ops in :data:`OP_QUICK` trampolines, in place.
+
+    Each twin pre-resolves what the generic slot re-derives on every
+    execution: the ``struct`` format string becomes a bound
+    ``Struct.unpack_from``/``pack_into`` method (no format-cache probe per
+    access), and the canonicalization mask is dropped when the format
+    already yields canonical values (unsigned loads; full-width stores).
+    Signed loads and narrow stores keep their masks. The twin's last field
+    is the access width in bytes, used only on the trap path so
+    out-of-bounds messages stay bit-identical with the unquickened engine.
+    """
+    structs: dict[str, Struct] = {}
+    for pc, ins in enumerate(code):
+        op = ins[0]
+        if op == OP_LOAD_INT:
+            fmt = ins[1]
+            s = structs.get(fmt) or structs.setdefault(fmt, Struct(fmt))
+            if fmt[1].isupper():  # unsigned: unpack is already canonical
+                twin = (OP_QLOAD, s.unpack_from, ins[2], s.size)
+            else:
+                twin = (OP_QLOAD_MASK, s.unpack_from, ins[2], ins[3], s.size)
+            code[pc] = (OP_QUICK, twin)
+        elif op == OP_LOAD_FLOAT:
+            fmt = ins[1]
+            s = structs.get(fmt) or structs.setdefault(fmt, Struct(fmt))
+            code[pc] = (OP_QUICK, (OP_QLOAD, s.unpack_from, ins[2], s.size))
+        elif op == OP_STORE_INT:
+            fmt = ins[1]
+            s = structs.get(fmt) or structs.setdefault(fmt, Struct(fmt))
+            if (fmt, ins[3]) in _FULL_WIDTH_STORES:
+                twin = (OP_QSTORE, s.pack_into, ins[2], s.size)
+            else:
+                twin = (OP_QSTORE_MASK, s.pack_into, ins[2], ins[3], s.size)
+            code[pc] = (OP_QUICK, twin)
+        elif op == OP_STORE_FLOAT:
+            fmt = ins[1]
+            s = structs.get(fmt) or structs.setdefault(fmt, Struct(fmt))
+            code[pc] = (OP_QUICK, (OP_QSTORE, s.pack_into, ins[2], s.size))
+
+
+def oob_message(width: int, addr: int, memdata, what: str) -> str:
+    """The canonical out-of-bounds trap message.
+
+    Compiled segments, quickened twins, and the generic machine handlers
+    all funnel through this one formatter so the trap text is bit-identical
+    across every engine configuration.
+    """
+    size = len(memdata) if memdata is not None else 0
+    return (f"out of bounds memory access ({what} of {width} bytes "
+            f"at address {addr}, memory is {size} bytes)")
+
+
+#: Shortest run worth compiling: below this, one CALL_FUNCTION into the
+#: compiled segment costs about as much as the dispatches it saves.
+_SEGMENT_MIN = 4
+
+#: Ops a compiled segment may contain: pure operand-stack work with no
+#: control flow, no calls, and no observable effects besides locals and
+#: linear memory — exactly the part of the stream where dispatch overhead
+#: is pure loss.
+_SEGMENT_VOCAB = frozenset({
+    OP_GET_LOCAL, OP_BINARY, OP_CONST, OP_SET_LOCAL, OP_LOAD_INT,
+    OP_LOAD_FLOAT, OP_STORE_INT, OP_STORE_FLOAT, OP_UNARY, OP_TEE_LOCAL,
+    OP_DROP,
+})
+
+#: Binary handlers with an exact inline expression template, keyed by the
+#: *identity* of the table function — matching by identity means a template
+#: can never drift from the semantics it replaces (anything unrecognized is
+#: called through the table function instead of inlined).
+_INLINE_BINOPS: dict[int, str] = {
+    id(BINOPS[name]): template
+    for name, template in {
+        "i32.add": "(({a} + {b}) & 0xffffffff)",
+        "i32.sub": "(({a} - {b}) & 0xffffffff)",
+        "i32.mul": "(({a} * {b}) & 0xffffffff)",
+        "i32.shl": "(({a} << ({b} % 32)) & 0xffffffff)",
+        "i64.add": "(({a} + {b}) & 0xffffffffffffffff)",
+        "i64.sub": "(({a} - {b}) & 0xffffffffffffffff)",
+        "i64.mul": "(({a} * {b}) & 0xffffffffffffffff)",
+        "i64.shl": "(({a} << ({b} % 64)) & 0xffffffffffffffff)",
+        "i32.and": "({a} & {b})",
+        "i32.or": "({a} | {b})",
+        "i32.xor": "({a} ^ {b})",
+        "f64.add": "({a} + {b})",
+        "f64.sub": "({a} - {b})",
+        "f64.mul": "({a} * {b})",
+    }.items()
+}
+
+
+def _compile_segment(slots: list[tuple]):
+    """Translate a straight-line run of decoded slots into one function.
+
+    Symbolically executes the run against a virtual operand stack of
+    Python expressions, emitting one statement per produced value (so
+    evaluation order, every i32/i64 wrap mask, and the order of memory
+    effects match the interpreted stream exactly). Values the run consumes
+    from below its own pushes become leading ``stack`` reads; whatever the
+    virtual stack holds at the end is appended back. Loads and stores keep
+    their individual try/except so a trapping access raises the same
+    message after the same prefix of memory effects as the generic
+    handlers.
+    """
+    env: dict = {"_se": _struct_error, "_Trap": Trap, "_oob": oob_message}
+    lines: list[str] = []
+    vstack: list[str] = []
+    structs: dict[str, Struct] = {}
+    counters = {"args": 0, "tmp": 0}
+
+    def vpop() -> str:
+        if vstack:
+            return vstack.pop()
+        name = f"a{counters['args']}"
+        counters["args"] += 1
+        return name
+
+    def vpeek() -> str:
+        if not vstack:
+            # borrow the entry stack's top: it is consumed by the prologue
+            # and re-pushed by the epilogue, preserving net stack effect
+            name = f"a{counters['args']}"
+            counters["args"] += 1
+            vstack.append(name)
+        return vstack[-1]
+
+    def tmp() -> str:
+        counters["tmp"] += 1
+        return f"t{counters['tmp']}"
+
+    def lit(value) -> str:
+        if isinstance(value, float) and not math.isfinite(value):
+            name = f"k{len(env)}"
+            env[name] = value
+            return name
+        return repr(value)
+
+    def ref(obj) -> str:
+        name = f"f{id(obj)}"
+        env[name] = obj
+        return name
+
+    def addr_of(base: str, offset: int) -> str:
+        if not offset:
+            return base
+        name = tmp()
+        lines.append(f"{name} = {base} + {offset}")
+        return name
+
+    def bound(fmt: str, attr: str) -> str:
+        s = structs.get(fmt) or structs.setdefault(fmt, Struct(fmt))
+        return ref(getattr(s, attr))
+
+    def emit_load(ins, masked: bool) -> None:
+        addr = addr_of(vpop(), ins[2])
+        s = structs.get(ins[1]) or structs.setdefault(ins[1], Struct(ins[1]))
+        out = tmp()
+        mask = f" & {ins[3]}" if masked else ""
+        lines.extend([
+            "try:",
+            f"    {out} = {bound(ins[1], 'unpack_from')}(memdata, {addr})[0]{mask}",
+            "except _se:",
+            f"    raise _Trap(_oob({s.size}, {addr}, memdata, 'load')) from None",
+        ])
+        vstack.append(out)
+
+    def emit_store(ins, masked: bool) -> None:
+        value = vpop()
+        addr = addr_of(vpop(), ins[2])
+        s = structs.get(ins[1]) or structs.setdefault(ins[1], Struct(ins[1]))
+        mask = f" & {ins[3]}" if masked else ""
+        lines.extend([
+            "try:",
+            f"    {bound(ins[1], 'pack_into')}(memdata, {addr}, {value}{mask})",
+            "except _se:",
+            f"    raise _Trap(_oob({s.size}, {addr}, memdata, 'store')) from None",
+        ])
+
+    for ins in slots:
+        op = ins[0]
+        if op == OP_GET_LOCAL:
+            out = tmp()
+            lines.append(f"{out} = locals_[{ins[1]}]")
+            vstack.append(out)
+        elif op == OP_CONST:
+            vstack.append(lit(ins[1]))
+        elif op == OP_BINARY:
+            b = vpop()
+            a = vpop()
+            out = tmp()
+            template = _INLINE_BINOPS.get(id(ins[1]))
+            if template is not None:
+                lines.append(f"{out} = " + template.format(a=a, b=b))
+            else:
+                lines.append(f"{out} = {ref(ins[1])}({a}, {b})")
+            vstack.append(out)
+        elif op == OP_SET_LOCAL:
+            lines.append(f"locals_[{ins[1]}] = {vpop()}")
+        elif op == OP_TEE_LOCAL:
+            lines.append(f"locals_[{ins[1]}] = {vpeek()}")
+        elif op == OP_UNARY:
+            out = tmp()
+            lines.append(f"{out} = {ref(ins[1])}({vpop()})")
+            vstack.append(out)
+        elif op == OP_LOAD_INT:
+            emit_load(ins, masked=True)
+        elif op == OP_LOAD_FLOAT:
+            emit_load(ins, masked=False)
+        elif op == OP_STORE_INT:
+            emit_store(ins, masked=True)
+        elif op == OP_STORE_FLOAT:
+            emit_store(ins, masked=False)
+        else:  # OP_DROP
+            vpop()
+
+    n_args = counters["args"]
+    prologue = [f"a{k} = stack[-{k + 1}]" for k in range(n_args)]
+    if n_args:
+        prologue.append(f"del stack[-{n_args}:]")
+    body = prologue + lines + [f"stack.append({v})" for v in vstack]
+    if not body:
+        return None
+    src = "def _segment(stack, locals_, memdata):\n" + "\n".join(
+        "    " + line for line in body)
+    exec(compile(src, "<quickened-segment>", "exec"), env)
+    return env["_segment"]
+
+
+def _compile_segments(code: list[tuple],
+                      blocked: frozenset[int] | set[int] = frozenset()) -> None:
+    """Replace straight-line runs with :data:`OP_SEGMENT` slots, in place.
+
+    Runs before pair fusion: the segment takes the run's first slot (so
+    fusion can never consume it), while the covered slots keep their
+    ordinary decoding as the branch-target fallback — fusion and memory-op
+    quickening still apply to them, so a branch into the middle of a
+    segment executes at fused-pair speed. Hook sites (``blocked``) never
+    join a segment; the machine's per-instance OP_HOOK rewrite stays
+    reachable.
+    """
+    n = len(code)
+    pc = 0
+    while pc < n:
+        if code[pc][0] in _SEGMENT_VOCAB and pc not in blocked:
+            start = pc
+            while pc < n and code[pc][0] in _SEGMENT_VOCAB and pc not in blocked:
+                pc += 1
+            if pc - start >= _SEGMENT_MIN:
+                fn = _compile_segment(code[start:pc])
+                if fn is not None:
+                    code[start] = (OP_SEGMENT, fn, pc - start)
+        else:
+            pc += 1
 
 
 def decode_function(func: Function, module: Module,
-                    fuse: bool = True) -> DecodedFunction:
+                    fuse: bool = True,
+                    pairs: frozenset[tuple[int, int]] | None = None,
+                    quicken: bool = False) -> DecodedFunction:
     """Decode one function body into its threaded form (uncached).
 
     ``fuse=False`` skips the pair-fusion pass, leaving every slot a base
     opcode — the self-profiler executes unfused streams so its per-opcode
-    counts attribute 1:1 to source instructions.
+    counts attribute 1:1 to source instructions. ``pairs`` selects the
+    fusion table (``None`` = :data:`DEFAULT_FUSION_PAIRS`); ``quicken``
+    additionally wraps bare memory ops in :data:`OP_QUICK` trampolines and
+    records ``call_indirect`` slots in ``indirect_sites`` for the machine's
+    per-instance inline-cache rewrite.
     """
     body = func.body
     end_of, else_of = match_blocks(body)
@@ -405,25 +835,54 @@ def decode_function(func: Function, module: Module,
             consts = pc >= 2 and code[pc - 1][0] == OP_CONST and code[pc - 2][0] == OP_CONST
             if consts and code[pc][2] >= 2:
                 blocked.add(pc - 2)
+    if quicken:
+        # before fusion: the segment claims each run's first slot (so a
+        # fusion pair can never swallow it), while the covered slots fall
+        # through to fusion + quickening as branch-target fallbacks
+        _compile_segments(code, blocked)
     if fuse:
-        _fuse_pairs(code, blocked)
-    return DecodedFunction(code, body, hook_sites)
+        _fuse_pairs(code, blocked, pairs)
+    indirect_sites: tuple[int, ...] = ()
+    if quicken:
+        _quicken_slots(code)
+        indirect_sites = tuple(
+            pc for pc, ins in enumerate(code) if ins[0] == OP_CALL_INDIRECT)
+    return DecodedFunction(code, body, hook_sites, indirect_sites)
 
 
-def cached_decode(func: Function, module: Module) -> tuple[DecodedFunction, bool]:
+def cached_decode(func: Function, module: Module,
+                  pairs: frozenset[tuple[int, int]] | None = None,
+                  quicken: bool = False) -> tuple[DecodedFunction, bool]:
     """Decode ``func``, reusing the per-``Function`` cache when possible.
 
+    The cache (``func._decoded``) is keyed by decode variant
+    ``(quicken, pairs)``: quickened streams rewrite their own slots as they
+    execute, so an unquickened machine (``REPRO_QUICKEN=0``) and machines
+    with different PGO fusion tables must never observe each other's
+    streams. Replacing ``func.body`` invalidates every variant at once.
     Returns ``(decoded, was_cache_hit)``.
     """
-    decoded = getattr(func, "_decoded", None)
-    if (
-        decoded is not None
-        and decoded.source_body is func.body
-        and len(decoded.code) == len(func.body)
-    ):
-        return decoded, True
-    decoded = decode_function(func, module)
-    func._decoded = decoded  # type: ignore[attr-defined]
+    key = (quicken, pairs)
+    cache: dict | None = getattr(func, "_decoded", None)
+    if cache is not None:
+        decoded = cache.get(key)
+        if (
+            decoded is not None
+            and decoded.source_body is func.body
+            and len(decoded.code) == len(func.body)
+        ):
+            return decoded, True
+        # any stale variant means the body was replaced (or mutated):
+        # every cached stream decoded from the old body is now invalid
+        stale = next(iter(cache.values()), None)
+        if stale is not None and (stale.source_body is not func.body
+                                  or len(stale.code) != len(func.body)):
+            cache = None
+    if cache is None:
+        cache = {}
+        func._decoded = cache  # type: ignore[attr-defined]
+    decoded = decode_function(func, module, pairs=pairs, quicken=quicken)
+    cache[key] = decoded
     return decoded, False
 
 

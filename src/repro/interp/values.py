@@ -13,6 +13,7 @@ functions and are the interpreter's arithmetic core.
 from __future__ import annotations
 
 import math
+import operator
 import struct
 from typing import Callable
 
@@ -219,9 +220,12 @@ def _register_int_ops(prefix: str, bits: int) -> None:
     BINOPS[f"{prefix}.div_u"] = lambda a, b: _div_u(a, b, bits)
     BINOPS[f"{prefix}.rem_s"] = lambda a, b: _rem_s(a, b, bits)
     BINOPS[f"{prefix}.rem_u"] = lambda a, b: _rem_u(a, b, bits)
-    BINOPS[f"{prefix}.and"] = lambda a, b: a & b
-    BINOPS[f"{prefix}.or"] = lambda a, b: a | b
-    BINOPS[f"{prefix}.xor"] = lambda a, b: a ^ b
+    # bitwise ops on already-masked unsigned values stay in range, so the
+    # C-level operator functions are drop-in (and much cheaper to call
+    # than a Python-level lambda)
+    BINOPS[f"{prefix}.and"] = operator.and_
+    BINOPS[f"{prefix}.or"] = operator.or_
+    BINOPS[f"{prefix}.xor"] = operator.xor
     BINOPS[f"{prefix}.shl"] = lambda a, b: (a << (b % bits)) & mask
     BINOPS[f"{prefix}.shr_s"] = lambda a, b: _shr_s(a, b, bits)
     BINOPS[f"{prefix}.shr_u"] = lambda a, b: a >> (b % bits)
@@ -245,17 +249,26 @@ _register_int_ops("i64", 64)
 
 def _register_float_ops(prefix: str, narrow: bool) -> None:
     rnd = f32_round if narrow else (lambda x: x)
-    UNOPS[f"{prefix}.abs"] = lambda x: abs(x)
-    UNOPS[f"{prefix}.neg"] = lambda x: -x
+    UNOPS[f"{prefix}.abs"] = operator.abs
+    UNOPS[f"{prefix}.neg"] = operator.neg
     UNOPS[f"{prefix}.ceil"] = _fceil
     UNOPS[f"{prefix}.floor"] = _ffloor
     UNOPS[f"{prefix}.trunc"] = _ftrunc
     UNOPS[f"{prefix}.nearest"] = _fnearest
-    UNOPS[f"{prefix}.sqrt"] = lambda x: rnd(_fsqrt(x))
-    BINOPS[f"{prefix}.add"] = lambda a, b: rnd(a + b)
-    BINOPS[f"{prefix}.sub"] = lambda a, b: rnd(a - b)
-    BINOPS[f"{prefix}.mul"] = lambda a, b: rnd(a * b)
-    BINOPS[f"{prefix}.div"] = lambda a, b: rnd(_fdiv(a, b))
+    if narrow:
+        UNOPS[f"{prefix}.sqrt"] = lambda x: rnd(_fsqrt(x))
+        BINOPS[f"{prefix}.add"] = lambda a, b: rnd(a + b)
+        BINOPS[f"{prefix}.sub"] = lambda a, b: rnd(a - b)
+        BINOPS[f"{prefix}.mul"] = lambda a, b: rnd(a * b)
+        BINOPS[f"{prefix}.div"] = lambda a, b: rnd(_fdiv(a, b))
+    else:
+        # f64 results need no narrowing: Python floats *are* IEEE
+        # doubles, so +/-/* are exact and the C-level operators apply
+        UNOPS[f"{prefix}.sqrt"] = _fsqrt
+        BINOPS[f"{prefix}.add"] = operator.add
+        BINOPS[f"{prefix}.sub"] = operator.sub
+        BINOPS[f"{prefix}.mul"] = operator.mul
+        BINOPS[f"{prefix}.div"] = _fdiv
     BINOPS[f"{prefix}.min"] = _fmin
     BINOPS[f"{prefix}.max"] = _fmax
     BINOPS[f"{prefix}.copysign"] = _fcopysign

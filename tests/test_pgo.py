@@ -1,0 +1,452 @@
+"""The profile→dispatch loop: PGO artifacts, quickening, compiled segments.
+
+Differential coverage for the quickened engine (superinstruction segments,
+pre-resolved memory-op slots, call_indirect inline caches) against the
+unquickened predecoded engine and the legacy string-dispatch loop — the two
+oracles every quickened stream must match bit-for-bit — plus unit coverage
+for the ``repro.profile/1`` / ``repro.fusion/1`` artifacts and the CLI
+verbs that close the loop.
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import polybench_workloads
+from repro.interp import Machine
+from repro.interp.pgo import (FUSION_SCHEMA,
+                              PROFILE_SCHEMA, fusion_table_payload,
+                              load_profile, merge_profiles,
+                              record_workload_profile, resolve_fusion_pairs,
+                              select_pairs, write_profile)
+from repro.interp.predecode import (DEFAULT_FUSION_PAIRS, OP_SEGMENT,
+                                    _SEGMENT_MIN, _compile_segments,
+                                    decode_function)
+from repro.interp.snapshot import (Snapshot, diff_instance, restore_instance,
+                                   snapshot_instance)
+from repro.minic import compile_source
+from repro.wasm import Trap, encode_module
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.types import FuncType, I32
+
+
+ENGINES = [
+    {"predecode": False},                       # legacy string dispatch
+    {"predecode": True, "quicken": False},      # unquickened ablation
+    {"predecode": True, "quicken": True},       # full quickened engine
+]
+
+
+def _all_engines(module, name, args, repeats=2, mutate=None):
+    """Invoke ``name`` ``repeats`` times on every engine configuration.
+
+    Two invocations per instance so quickened streams are exercised both
+    before and after their first-execution slot rewrites. ``mutate`` (called
+    with the instance between invocations) injects state changes like table
+    mutation. Returns one list of results per engine.
+    """
+    out = []
+    for kwargs in ENGINES:
+        instance = Machine(**kwargs).instantiate(module)
+        results = []
+        for i in range(repeats):
+            if mutate is not None and i:
+                mutate(instance)
+            results.append(instance.invoke(name, args))
+        out.append(results)
+    return out
+
+
+def _bits_of(results):
+    return [[struct.pack("<d", v) if isinstance(v, float)
+             else (v % 2 ** 64).to_bytes(8, "little") for v in values]
+            for values in results]
+
+
+def _assert_identical(runs):
+    baseline = _bits_of(runs[0])
+    for other in runs[1:]:
+        assert _bits_of(other) == baseline
+
+
+def _trap_on(module, name, args, **kwargs):
+    instance = Machine(**kwargs).instantiate(module)
+    with pytest.raises(Trap) as exc:
+        instance.invoke(name, args)
+    return str(exc.value)
+
+
+# -- hypothesis differential corpus --------------------------------------------
+
+
+class TestQuickenedBitIdentical:
+    """Legacy, unquickened-predecoded, and quickened engines must agree
+    bit-for-bit on a hypothesis corpus mixing the quickened surfaces:
+    straight-line arithmetic runs (compiled segments), f64/i32 loads and
+    stores (quickened memory slots), and integer wraparound."""
+
+    MIXED = """
+        memory 1;
+        export func crunch(a: i32, b: i32, x: f64) -> f64 {
+            var i: i32;
+            var acc: f64 = 0.0;
+            mem_f64[0] = x;
+            for (i = 0; i < 24; i = i + 1) {
+                mem_i32[64 + i] = a * i + b;
+                mem_f64[1 + i] = acc + mem_f64[0] * f64(i);
+                acc = acc + mem_f64[1 + i] - f64(mem_i32[64 + i]);
+            }
+            return acc + f64(f32(x));
+        }
+        export func bits(a: i32, b: i32) -> i64 {
+            var wide: i64 = i64(a) * i64(b);
+            mem_i64[0] = (wide << 7) ^ (wide >> 3);
+            return mem_i64[0] ^ i64(a % (b | 1));
+        }
+    """
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1),
+           st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1),
+           st.floats(allow_nan=False, width=64))
+    def test_mixed_program(self, a, b, x):
+        module = compile_source(self.MIXED)
+        _assert_identical(_all_engines(module, "crunch", [a, b, x]))
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1),
+           st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1))
+    def test_integer_wraparound(self, a, b):
+        module = compile_source(self.MIXED)
+        _assert_identical(_all_engines(module, "bits", [a, b]))
+
+
+# -- compiled segments ----------------------------------------------------------
+
+
+class TestCompiledSegments:
+    SRC = """
+        memory 1;
+        export func kernel(i: i32, x: f64) -> f64 {
+            mem_f64[i] = x * 2.0 + 1.0;
+            return mem_f64[i] * mem_f64[i] - x;
+        }
+    """
+
+    def _decoded(self, quicken):
+        module = compile_source(self.SRC)
+        func = next(f for f in module.functions if f.body is not None)
+        return decode_function(func, module, quicken=quicken)
+
+    def test_quickened_stream_contains_segments(self):
+        code = self._decoded(quicken=True).code
+        segments = [ins for ins in code if ins[0] == OP_SEGMENT]
+        assert segments, "straight-line kernel produced no compiled segment"
+        for _, fn, span in segments:
+            assert callable(fn)
+            assert span >= _SEGMENT_MIN
+
+    def test_unquickened_stream_has_no_segments(self):
+        code = self._decoded(quicken=False).code
+        assert not any(ins[0] == OP_SEGMENT for ins in code)
+
+    def test_covered_slots_keep_fallback_decoding(self):
+        # branch targets inside a segment must still find executable slots
+        plain = self._decoded(quicken=False).code
+        quick = self._decoded(quicken=True).code
+        for pc, ins in enumerate(quick):
+            if ins[0] == OP_SEGMENT:
+                for covered in range(pc + 1, pc + ins[2]):
+                    assert quick[covered][0] != OP_SEGMENT
+                    assert quick[covered][0] == plain[covered][0] or \
+                        quick[covered][0] >= 35  # fused/quickened fallback
+
+    def test_short_runs_stay_uncompiled(self):
+        module = compile_source("""
+            export func tiny(a: i32) -> i32 { return a + 1; }
+        """)
+        func = next(f for f in module.functions if f.body is not None)
+        code = decode_function(func, module, quicken=True).code
+        assert not any(ins[0] == OP_SEGMENT for ins in code)
+
+    def test_blocked_pcs_never_join_segments(self):
+        module = compile_source(self.SRC)
+        func = next(f for f in module.functions if f.body is not None)
+        decoded = decode_function(func, module, quicken=False)
+        code = list(decoded.code)
+        # block a pc in the middle of what would otherwise be a run
+        starts = [pc for pc, ins in enumerate(code)]
+        target = starts[4]
+        _compile_segments(code, blocked={target})
+        for pc, ins in enumerate(code):
+            if ins[0] == OP_SEGMENT:
+                assert not (pc <= target < pc + ins[2])
+
+    def test_segment_results_match_legacy(self):
+        module = compile_source(self.SRC)
+        _assert_identical(_all_engines(module, "kernel", [7, 2.5]))
+
+
+# -- call_indirect inline caches ------------------------------------------------
+
+
+def _dispatch_module():
+    """A table with two i32→i32 functions and an exported dispatcher."""
+    builder = ModuleBuilder()
+    sig = FuncType((I32,), (I32,))
+
+    fb = builder.function((I32,), (I32,), name="inc")
+    fb.get_local(0).i32_const(1).emit("i32.add")
+    fb.finish()
+    inc = fb.func_idx
+
+    fb = builder.function((I32,), (I32,), name="dbl")
+    fb.get_local(0).i32_const(2).emit("i32.mul")
+    fb.finish()
+    dbl = fb.func_idx
+
+    builder.add_table(4, 4)
+    builder.add_element(0, [inc, dbl])
+
+    fb = builder.function((I32, I32), (I32,), export="dispatch")
+    fb.get_local(1)          # argument
+    fb.get_local(0)          # table index
+    fb.call_indirect(builder.module.add_type(sig))
+    fb.finish()
+    return builder.build(), inc, dbl
+
+
+class TestCallIndirectIC:
+    def test_monomorphic_and_megamorphic_paths(self):
+        module, _, _ = _dispatch_module()
+        for kwargs in ENGINES:
+            instance = Machine(**kwargs).instantiate(module)
+            # repeated same-target calls (IC hit path after the first)
+            assert [instance.invoke("dispatch", [0, 10]) for _ in range(3)] \
+                == [[11]] * 3
+            # switch targets (IC miss → rebind), then back
+            assert instance.invoke("dispatch", [1, 10]) == [20]
+            assert instance.invoke("dispatch", [0, 10]) == [11]
+
+    def test_table_mutation_invalidates_cache(self):
+        module, inc, dbl = _dispatch_module()
+        results = []
+        for kwargs in ENGINES:
+            instance = Machine(**kwargs).instantiate(module)
+            out = [instance.invoke("dispatch", [0, 10])]   # cache 'inc'
+            instance.table.set(0, dbl)                     # mutate under the IC
+            out.append(instance.invoke("dispatch", [0, 10]))
+            instance.table.set(0, None)                    # uninitialize
+            try:
+                instance.invoke("dispatch", [0, 10])
+                out.append("no trap")
+            except Trap as exc:
+                out.append(str(exc))
+            results.append(out)
+        assert results[0] == results[1] == results[2]
+        assert results[0][:2] == [[11], [20]]
+        assert "uninitialized" in results[0][2]
+
+    def test_trap_messages_match_legacy(self):
+        module, _, _ = _dispatch_module()
+        for index in (2, 99):  # uninitialized entry / out of bounds
+            messages = {_trap_on(module, "dispatch", [index, 1], **kwargs)
+                        for kwargs in ENGINES}
+            assert len(messages) == 1, messages
+
+
+# -- memory quickening at the page boundary ------------------------------------
+
+
+class TestMemoryBoundary:
+    SRC = """
+        memory 1;
+        export func load_f64(i: i32) -> f64 { return mem_f64[i]; }
+        export func store_f64(i: i32, x: f64) -> f64 {
+            mem_f64[i] = x;
+            return mem_f64[i] + 1.0;
+        }
+        export func grow_then_store(i: i32, x: f64) -> f64 {
+            var prev: i32 = memory_grow(1);
+            mem_f64[i] = x * f64(prev);
+            return mem_f64[i];
+        }
+    """
+
+    def test_last_valid_slot_agrees(self):
+        # f64 index 8191 covers bytes 65528..65535, the last in-bounds access
+        module = compile_source(self.SRC)
+        _assert_identical(_all_engines(module, "store_f64", [8191, 3.25]))
+
+    @pytest.mark.parametrize("index", [8192, 2 ** 28])
+    def test_oob_trap_messages_match(self, index):
+        module = compile_source(self.SRC)
+        for entry in ("load_f64", "store_f64"):
+            args = [index] if entry == "load_f64" else [index, 1.0]
+            messages = {_trap_on(module, entry, args, **kwargs)
+                        for kwargs in ENGINES}
+            assert len(messages) == 1, messages
+            assert "out of bounds memory access" in next(iter(messages))
+
+    def test_access_valid_only_after_grow(self):
+        # index 8192 is the first slot of page 2: traps at 1 page, succeeds
+        # after memory.grow — quickened slots must see the grown memory
+        module = compile_source(self.SRC)
+        runs = []
+        for kwargs in ENGINES:
+            instance = Machine(**kwargs).instantiate(module)
+            with pytest.raises(Trap):
+                instance.invoke("store_f64", [8192, 2.0])
+            runs.append([instance.invoke("grow_then_store", [8192, 2.0]),
+                         instance.invoke("store_f64", [8192, 2.0])])
+        _assert_identical(runs)
+
+
+# -- snapshot/restore on the quickened engine ----------------------------------
+
+
+class TestSnapshotQuickened:
+    def test_quickened_state_rebuilt_on_restore(self):
+        """Snapshot mid-run on the quickened engine, restore into a fresh
+        quickened instance: diff is empty, and the resumed run is
+        bit-identical — quickened slots and IC cells are rebuilt, never
+        serialized."""
+        workload = polybench_workloads(["trisolv"], n=12)[0]
+        module = workload.module()
+
+        printed_a: list = []
+        inst_a = Machine(predecode=True, quicken=True).instantiate(
+            module, workload.linker(printed_a))
+        inst_a.invoke("main", [])  # quickens slots, then snapshot mid-state
+        snap = Snapshot.from_json(snapshot_instance(inst_a).to_json())
+
+        printed_b: list = []
+        inst_b = Machine(predecode=True, quicken=True).instantiate(
+            module, workload.linker(printed_b))
+        restore_instance(inst_b, snap)
+        assert diff_instance(inst_b, snap) == []
+
+        printed_a.clear()
+        inst_a.invoke("main", [])
+        inst_b.invoke("main", [])
+        assert printed_a == printed_b
+
+    def test_ic_cells_reset_not_stale_after_restore(self):
+        module, inc, dbl = _dispatch_module()
+        machine = Machine(predecode=True, quicken=True)
+        instance = machine.instantiate(module)
+        assert instance.invoke("dispatch", [0, 10]) == [11]  # IC caches 'inc'
+
+        snap = snapshot_instance(instance)
+        fresh = Machine(predecode=True, quicken=True).instantiate(module)
+        restore_instance(fresh, snap)
+        # mutate the restored table: a stale (serialized) cache would still
+        # dispatch to 'inc'
+        fresh.table.set(0, dbl)
+        assert fresh.invoke("dispatch", [0, 10]) == [20]
+
+
+# -- artifacts and pair selection ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return record_workload_profile(polybench_workloads(["trisolv"], n=8)[0])
+
+
+class TestArtifacts:
+    def test_profile_round_trip(self, tiny_profile, tmp_path):
+        path = write_profile(tiny_profile, tmp_path / "p.json")
+        loaded = load_profile(path)
+        assert loaded == tiny_profile
+        assert loaded["schema"] == PROFILE_SCHEMA
+        assert loaded["total_instructions"] > 0
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "repro.metrics/1"}))
+        from repro.wasm import WasmError
+        with pytest.raises(WasmError, match="schema"):
+            load_profile(path)
+
+    def test_merge_sums_counts(self, tiny_profile):
+        merged = merge_profiles([tiny_profile, tiny_profile])
+        assert merged["total_instructions"] == \
+            2 * tiny_profile["total_instructions"]
+        assert len(merged["corpus"]) == 2
+
+    def test_select_pairs_min_share_and_cap(self, tiny_profile):
+        everything = select_pairs(tiny_profile, min_share=0.0)
+        assert select_pairs(tiny_profile, min_share=2.0) == []
+        capped = select_pairs(tiny_profile, min_share=0.0, max_pairs=3)
+        assert capped == everything[:3]
+
+    def test_fusion_table_resolves_to_rule_backed_ids(self, tiny_profile):
+        table = fusion_table_payload(tiny_profile)
+        assert table["schema"] == FUSION_SCHEMA
+        resolved = resolve_fusion_pairs(table)
+        assert resolved  # a PolyBench kernel always has fusable hot pairs
+        # a profile resolves the same way as the table derived from it
+        assert resolve_fusion_pairs(tiny_profile) == resolved
+
+    def test_unknown_pair_names_ignored(self):
+        table = {"schema": FUSION_SCHEMA,
+                 "pairs": [["warp.fold", "warp.unfold", 0.5]]}
+        assert resolve_fusion_pairs(table) == frozenset()
+
+    def test_default_pairs_used_without_profile(self):
+        machine = Machine(predecode=True, quicken=True)
+        assert machine.fusion_pairs is None  # decode falls back to the
+        # classic built-in set
+        assert DEFAULT_FUSION_PAIRS
+
+
+# -- CLI: the closed loop -------------------------------------------------------
+
+
+class TestCLI:
+    def test_pgo_verb_writes_both_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "profile.json"
+        fusion = tmp_path / "fusion.json"
+        assert main(["pgo", "-o", str(out), "--fusion-out", str(fusion),
+                     "--workloads", "trisolv", "--n", "8",
+                     "--no-realworld"]) == 0
+        profile = load_profile(out)
+        table = load_profile(fusion)
+        assert profile["schema"] == PROFILE_SCHEMA
+        assert table["schema"] == FUSION_SCHEMA
+        captured = capsys.readouterr().out
+        assert "derived fusion table" in captured
+
+    def test_run_with_pgo_profile(self, tmp_path, capsys):
+        from repro.cli import main
+        module = compile_source("""
+            export func main(n: i32) -> f64 {
+                var s: f64 = 0.0;
+                var i: i32;
+                for (i = 0; i < n; i = i + 1) { s = s + f64(i) * 0.5; }
+                return s;
+            }
+        """)
+        wasm = tmp_path / "prog.wasm"
+        wasm.write_bytes(encode_module(module))
+        fusion = tmp_path / "fusion.json"
+        assert main(["pgo", "-o", str(tmp_path / "p.json"),
+                     "--fusion-out", str(fusion), "--workloads", "trisolv",
+                     "--n", "8", "--no-realworld"]) == 0
+        capsys.readouterr()
+        assert main(["run", str(wasm), "main", "8",
+                     "--pgo-profile", str(fusion)]) == 0
+        assert "14" in capsys.readouterr().out
+
+    def test_run_with_bad_profile_path_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+        module = compile_source("export func main() -> i32 { return 1; }")
+        wasm = tmp_path / "prog.wasm"
+        wasm.write_bytes(encode_module(module))
+        assert main(["run", str(wasm), "main",
+                     "--pgo-profile", str(tmp_path / "missing.json")]) != 0
+        assert "cannot load PGO profile" in capsys.readouterr().err
