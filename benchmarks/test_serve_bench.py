@@ -1,0 +1,192 @@
+"""Service throughput, warm-start latency, supervision overhead (BENCH_serve.json).
+
+Three claims, one JSON artifact:
+
+* **Throughput** — round-trips/second through the full stack (unix
+  socket -> daemon -> pool -> supervised worker -> back), measured on
+  ping (pure transport + dispatch) and on a small ``run`` request
+  (transport + warm guest execution).
+* **Warm vs cold latency** — the worker keeps instantiated modules warm
+  (snapshot/restore per request instead of decode+instantiate), so the
+  second request for a module is much cheaper than the first. Both
+  latencies are recorded; warm must beat cold.
+* **Supervision overhead <= 5%** — the acceptance criterion. The same
+  request executed through the same :class:`RequestHandler` code path,
+  once in-process (the degraded fallback) and once under full
+  supervision (subprocess + pipe + watchdog poll). The workload is
+  auto-scaled until the in-process baseline is long enough (~0.7 s) that
+  the fixed per-request supervision cost is honestly amortized — the
+  claim is about steady-state service traffic, not 1 ms pings.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.serve import ServeClient, ServeConfig, ServeDaemon, WorkerPool
+from repro.wasm import encode_module, parse_wat
+
+SPIN_WAT = """
+(module
+  (func (export "spin") (param i32) (result i32)
+    (local i32 i32)
+    block
+      loop
+        local.get 1
+        local.get 0
+        i32.ge_s
+        br_if 1
+        local.get 2
+        local.get 1
+        i32.add
+        local.set 2
+        local.get 1
+        i32.const 1
+        i32.add
+        local.set 1
+        br 0
+      end
+    end
+    local.get 2)
+)
+"""
+
+#: in-process baseline must run at least this long for the overhead
+#: comparison to be about steady state, not fixed dispatch cost
+MIN_BASELINE_SECONDS = 0.7
+
+PING_ROUNDS = 200
+RUN_ROUNDS = 60
+LATENCY_REPEATS = 12
+OVERHEAD_REPEATS = 5
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _spin_request(module_bytes: bytes, n: int) -> dict:
+    return {"kind": "run", "module": module_bytes, "entry": "spin",
+            "args": [n]}
+
+
+def test_serve_throughput_and_overhead(results_dir, tmp_path):
+    module_bytes = encode_module(parse_wat(SPIN_WAT))
+
+    # -- throughput + latency: the full socket stack -------------------------
+    pool = WorkerPool(ServeConfig(workers=2, request_timeout=120.0,
+                                  poll_interval=0.005)).start()
+    socket_path = tmp_path / "bench.sock"
+    daemon = ServeDaemon(socket_path, pool).start()
+    import threading
+    accept_thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    accept_thread.start()
+    client = ServeClient(socket_path)
+    try:
+        assert client.ping()["ok"]
+        start = time.perf_counter()
+        for _ in range(PING_ROUNDS):
+            client.ping()
+        ping_rps = PING_ROUNDS / (time.perf_counter() - start)
+
+        # warm both workers so the run-rate measures steady state
+        for _ in range(4):
+            assert client.run(module_bytes, "spin", [100])["ok"]
+        start = time.perf_counter()
+        for _ in range(RUN_ROUNDS):
+            response = client.run(module_bytes, "spin", [100])
+            assert response["ok"]
+        run_rps = RUN_ROUNDS / (time.perf_counter() - start)
+    finally:
+        daemon.stop()
+        accept_thread.join(timeout=10.0)
+
+    # -- warm vs cold latency (one worker: requests pin to one instance) ----
+    pool = WorkerPool(ServeConfig(workers=1, request_timeout=120.0,
+                                  poll_interval=0.005)).start()
+    try:
+        cold_samples, warm_samples = [], []
+        for round_idx in range(LATENCY_REPEATS):
+            # vary the module bytes per round so every round's first
+            # request really is cold (a fresh digest, fresh decode and
+            # instantiation — not a warm-cache hit from a prior round)
+            variant = encode_module(parse_wat(SPIN_WAT.replace(
+                "(module",
+                f'(module\n  (func (export "tag") (result i32) '
+                f'i32.const {round_idx})', 1)))
+            request = _spin_request(variant, 100)
+            start = time.perf_counter()
+            first = pool.submit(dict(request))
+            cold_samples.append(time.perf_counter() - start)
+            assert first["ok"] and first["warm"] is False
+            start = time.perf_counter()
+            second = pool.submit(dict(request))
+            warm_samples.append(time.perf_counter() - start)
+            assert second["ok"] and second["warm"] is True
+        cold_ms = 1000 * statistics.median(cold_samples)
+        warm_ms = 1000 * statistics.median(warm_samples)
+    finally:
+        pool.close()
+
+    # -- supervision overhead on an amortizing workload ----------------------
+    iterations = 50_000
+    in_process = WorkerPool(ServeConfig(workers=0)).start()  # degraded path
+    supervised = WorkerPool(ServeConfig(workers=1, request_timeout=300.0,
+                                        poll_interval=0.005)).start()
+    try:
+        while True:
+            in_process.submit(_spin_request(module_bytes, iterations))
+            baseline = _median_seconds(
+                lambda: in_process.submit(_spin_request(module_bytes,
+                                                        iterations)), 3)
+            if baseline >= MIN_BASELINE_SECONDS or iterations >= 12_800_000:
+                break
+            iterations *= 2
+        baseline = _median_seconds(
+            lambda: in_process.submit(_spin_request(module_bytes,
+                                                    iterations)),
+            OVERHEAD_REPEATS)
+        supervised.submit(_spin_request(module_bytes, iterations))  # warm up
+        supervised_time = _median_seconds(
+            lambda: supervised.submit(_spin_request(module_bytes,
+                                                    iterations)),
+            OVERHEAD_REPEATS)
+    finally:
+        in_process.close()
+        supervised.close()
+    overhead_pct = 100 * (supervised_time - baseline) / baseline
+
+    payload = {
+        "ping_requests_per_sec": round(ping_rps, 1),
+        "run_requests_per_sec": round(run_rps, 1),
+        "ping_rounds": PING_ROUNDS,
+        "run_rounds": RUN_ROUNDS,
+        "cold_latency_ms": round(cold_ms, 3),
+        "warm_latency_ms": round(warm_ms, 3),
+        "warm_speedup": round(cold_ms / warm_ms, 2) if warm_ms else None,
+        "supervision": {
+            "workload_iterations": iterations,
+            "in_process_seconds": round(baseline, 4),
+            "supervised_seconds": round(supervised_time, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "repeats": OVERHEAD_REPEATS,
+        },
+    }
+    path = results_dir / "BENCH_serve.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"ping {ping_rps:,.0f}/s | run {run_rps:,.0f}/s | "
+          f"cold {cold_ms:.1f}ms vs warm {warm_ms:.1f}ms | "
+          f"supervision overhead {overhead_pct:+.2f}% "
+          f"on a {baseline:.2f}s workload [recorded in {path}]")
+
+    assert ping_rps > 50, payload  # the transport is not pathological
+    assert warm_ms < cold_ms, payload  # warm-start earns its keep
+    # the acceptance criterion: happy-path supervision costs <= 5%
+    assert overhead_pct <= 5.0, payload

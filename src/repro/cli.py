@@ -26,13 +26,23 @@ the equivalent, plus the usual binary-toolkit conveniences:
   python -m repro bundle crashes/run         # inspect/verify a crash bundle
   python -m repro replay crashes/run         # reproduce it from the bundle
 
+Service mode (the supervised instrumentation daemon, see repro.serve):
+
+  python -m repro serve --socket /tmp/repro.sock --workers 4 \
+      --cache-dir cache/ --crash-dir crashes/
+  python -m repro run app.wasm main 1 2 --serve /tmp/repro.sock
+  python -m repro instrument app.wasm --serve /tmp/repro.sock
+  python -m repro fuzz --parallel 4 --supervise   # crash-isolated shards
+
 Exit codes form a stable failure taxonomy (pinned by tests/test_cli.py):
 0 success; 1 other failure (fuzz escapes, unresolved imports, …); 2 usage
 error; 3 trap (unreachable, out-of-bounds, call-stack exhaustion); 4
 resource exhaustion (fuel/deadline/memory budget); 5 malformed or invalid
 module (decode/validate/encode); 6 analysis fault (a hook raised under the
 ``raise``/``abort`` policy); 7 replay divergence (a replayed run deviated
-from its recorded log).
+from its recorded log); 8 worker killed (the service supervisor SIGKILLed
+the request: hard timeout, RSS ceiling, or worker crash); 9 breaker open
+(the input is quarantined after repeatedly killing workers).
 """
 
 from __future__ import annotations
@@ -54,9 +64,10 @@ from .interp import (Linker, Machine, Recorder, ResourceLimits,
 from .interp.snapshot import decode_values, encode_values
 from .minic import compile_source
 from .obs import Telemetry, maybe_span, render_report
-from .wasm import (AnalysisError, DecodeError, EncodeError, ReplayDivergence,
-                   ResourceExhausted, Trap, ValidationError, WasmError,
-                   decode_module, encode_module, format_module,
+from .wasm import (AnalysisError, BreakerOpen, DecodeError, EncodeError,
+                   ReplayDivergence, ResourceExhausted, ServiceUnavailable,
+                   SnapshotError, Trap, ValidationError, WasmError,
+                   WorkerKilled, decode_module, encode_module, format_module,
                    validate_module)
 from .wasm.types import F64, I32, FuncType
 
@@ -76,6 +87,10 @@ EXIT_MALFORMED = 5
 EXIT_ANALYSIS_FAULT = 6
 #: A replayed run diverged from its recorded log.
 EXIT_REPLAY_DIVERGENCE = 7
+#: The service supervisor killed the request (hard timeout/OOM/crash).
+EXIT_WORKER_KILLED = 8
+#: The service circuit breaker quarantined this input.
+EXIT_BREAKER_OPEN = 9
 
 
 def exit_status(exc: BaseException) -> int:
@@ -85,8 +100,14 @@ def exit_status(exc: BaseException) -> int:
     replay may surface any error class); :class:`AnalysisError` is checked
     before :class:`Trap` because :class:`AnalysisAbort` subclasses both
     and the *cause* is the analysis; :class:`ResourceExhausted` is a Trap
-    subclass and keeps its own status.
+    subclass and keeps its own status. The service statuses are disjoint
+    from the rest (:class:`ServiceError` subclasses only ``WasmError``);
+    :class:`~repro.wasm.ServiceUnavailable` stays a generic failure.
     """
+    if isinstance(exc, BreakerOpen):
+        return EXIT_BREAKER_OPEN
+    if isinstance(exc, WorkerKilled):
+        return EXIT_WORKER_KILLED
     if isinstance(exc, ReplayDivergence):
         return EXIT_REPLAY_DIVERGENCE
     if isinstance(exc, AnalysisError):
@@ -148,6 +169,8 @@ def _write_artifacts(telemetry: Telemetry | None, args: argparse.Namespace,
 
 
 def cmd_instrument(args: argparse.Namespace) -> int:
+    if getattr(args, "serve", None):
+        return _instrument_via_service(args)
     telemetry = _telemetry_from_args(args)
     with maybe_span(telemetry, "decode", path=args.input):
         module = _load(args.input)
@@ -243,9 +266,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return exit_status(exc)
     call_args = [float(a) if "." in a else int(a) for a in args.args]
+    limits = _limits_from_args(args)
+    if getattr(args, "serve", None):
+        return _run_via_service(args, call_args, limits)
     printed: list = []
     linker = _default_linker(printed)
-    limits = _limits_from_args(args)
     recorder = Recorder() if (args.record or args.crash_dir) else None
     if args.pgo_profile is not None:
         # load eagerly for a clean diagnostic (Machine would also resolve a
@@ -258,6 +283,150 @@ def cmd_run(args: argparse.Namespace) -> int:
             return EXIT_FAILURE
     return _run(args, module, call_args, printed, linker, limits, telemetry,
                 recorder)
+
+
+def _run_via_service(args: argparse.Namespace, call_args,
+                     limits: ResourceLimits | None) -> int:
+    """Route ``repro run --serve SOCKET`` through the service daemon."""
+    from .serve import ServeClient
+    if args.record or args.crash_dir or args.pgo_profile:
+        print("repro: --record/--crash-dir/--pgo-profile cannot combine with "
+              "--serve (the daemon owns bundling and engine flags)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    client = ServeClient(args.serve)
+    try:
+        response = client.run(
+            Path(args.input).read_bytes(), args.entry, call_args,
+            analysis=args.analysis, instrument=bool(args.instrument),
+            limits=asdict(limits) if limits is not None else None,
+            on_analysis_error=args.on_analysis_error,
+            request_timeout=args.serve_timeout)
+    except (BreakerOpen, WorkerKilled) as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exit_status(exc)
+    except ServiceUnavailable as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    return _render_service_run(args, call_args, response)
+
+
+def _render_service_run(args: argparse.Namespace, call_args,
+                        response: dict) -> int:
+    """Print a service run's response exactly like a local ``repro run``."""
+    if not response.get("ok"):
+        error = response.get("error", {})
+        detail = f"{error.get('type')}: {error.get('message')}"
+        if error.get("kill_class"):
+            detail += f" [killed: {error['kill_class']}]"
+        print(f"repro: {detail}", file=sys.stderr)
+        if response.get("bundle"):
+            print(f"repro: crash bundle written to {response['bundle']}",
+                  file=sys.stderr)
+        return int(response.get("status", EXIT_FAILURE))
+    if response.get("analysis_report"):
+        print(response["analysis_report"], end="")
+    for value in decode_values(response.get("printed", [])):
+        print(f"[print] {value}")
+    results = decode_values(response.get("results", []))
+    print(f"{args.entry}({', '.join(map(str, call_args))}) = {results}")
+    if args.verbose:
+        usage = response.get("usage", {})
+        summary = " ".join(f"{key}={value}"
+                           for key, value in sorted(usage.items())
+                           if value is not None)
+        origin = ("warm instance" if response.get("warm")
+                  else "cold instance")
+        if not response.get("supervised", True):
+            origin += ", UNSUPERVISED (service degraded)"
+        print(f"repro: served by pid {response.get('pid')} ({origin})",
+              file=sys.stderr)
+        if summary:
+            print(f"repro: {summary}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _instrument_via_service(args: argparse.Namespace) -> int:
+    """Route ``repro instrument --serve SOCKET`` through the daemon's
+    content-addressed artifact cache."""
+    from .serve import ServeClient
+    groups = None
+    if args.hooks != "all":
+        groups = sorted(set(args.hooks.split(",")))
+    client = ServeClient(args.serve)
+    try:
+        response = client.instrument(Path(args.input).read_bytes(), groups)
+    except ServiceUnavailable as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(f"repro: {error.get('type')}: {error.get('message')}",
+              file=sys.stderr)
+        return int(response.get("status", EXIT_FAILURE))
+    raw = response["module"]
+    output = args.output or (Path(args.input).stem + ".instrumented.wasm")
+    Path(output).write_bytes(raw)
+    original_size = Path(args.input).stat().st_size
+    source = "cache" if response.get("cache_hit") else "worker"
+    print(f"instrumented {args.input} -> {output} (service: {source})")
+    print(f"  hooks generated: {response.get('hook_count')}")
+    print(f"  size: {original_size} -> {len(raw)} bytes "
+          f"({100 * (len(raw) - original_size) / original_size:+.1f}%)")
+    return EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the supervised instrumentation daemon (see repro.serve)."""
+    import signal
+
+    from .serve import ServeConfig, ServeDaemon, WorkerPool
+    telemetry = _telemetry_from_args(args)
+    config = ServeConfig(
+        workers=args.workers,
+        request_timeout=args.request_timeout,
+        rss_limit_mb=args.rss_limit_mb if args.rss_limit_mb > 0 else None,
+        cache_dir=args.cache_dir,
+        crash_dir=args.crash_dir,
+        allow_test_ops=args.allow_test_ops)
+    pool = WorkerPool(config, telemetry=telemetry).start()
+    if pool.degraded:
+        print(f"repro: service DEGRADED: {pool.degraded_reason} "
+              f"(requests run unsupervised in-process)", file=sys.stderr)
+    daemon = ServeDaemon(args.socket, pool, telemetry=telemetry)
+    daemon.start()
+    rss = f"{config.rss_limit_mb:g} MiB" if config.rss_limit_mb else "off"
+    print(f"repro: serving on {args.socket} ({config.workers} workers, "
+          f"timeout {config.request_timeout:g}s, rss ceiling {rss})",
+          flush=True)
+
+    def _stop_signal(signum, frame):  # pragma: no cover - signal path
+        daemon.stop()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _stop_signal)
+        except (OSError, ValueError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        daemon.serve_forever()
+    finally:
+        daemon.stop()
+        stats = pool.stats()
+        pool.fold_into_telemetry(telemetry)
+        kills = sum(stats["kills"].values())
+        print(f"repro: served {stats['requests_total']} requests "
+              f"({kills} kills, {stats['worker_restarts']} restarts, "
+              f"{stats['cache_hits']} cache hits, "
+              f"{stats['warm_hits']} warm hits)", file=sys.stderr)
+        _write_artifacts(telemetry, args)
+    return EXIT_OK
 
 
 def _report_analysis(analysis: Analysis) -> None:
@@ -396,7 +565,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
 
     if (args.parallel > 1 or args.coverage or args.corpus_dir is not None
-            or args.time_budget is not None):
+            or args.time_budget is not None or args.supervise):
         from .eval.fuzz import (FuzzConfig, fold_into_telemetry,
                                 run_fuzz_campaign)
         config = FuzzConfig(mutants=args.mutants, seed=args.seed,
@@ -404,7 +573,10 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                             execute=not args.no_execute, engines=engines,
                             corpus_dir=args.corpus_dir,
                             save_failures=args.save_failures,
-                            time_budget=args.time_budget)
+                            time_budget=args.time_budget,
+                            supervised=args.supervise,
+                            shard_timeout=args.shard_timeout,
+                            shard_rss_limit_mb=args.shard_rss_limit_mb)
         with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
                         seed=args.seed, parallel=args.parallel,
                         coverage=args.coverage):
@@ -417,8 +589,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"ESCAPE {failure}", file=sys.stderr)
         for bundle in result.bundles:
             print(f"repro: bundle {bundle}", file=sys.stderr)
+        if result.shards_killed:
+            print(f"repro: {result.shards_killed} supervised shard(s) "
+                  f"killed (deadline/RSS/crash); their mutant blocks are "
+                  f"regenerable from the cursor", file=sys.stderr)
+        if result.interrupted:
+            print("repro: interrupted; completed shards merged"
+                  + (" and corpus cursor saved" if args.corpus_dir else ""),
+                  file=sys.stderr)
         _write_artifacts(telemetry, args)
-        return EXIT_OK if result.ok else EXIT_FAILURE
+        return (EXIT_OK if result.ok and not result.interrupted
+                else EXIT_FAILURE)
 
     with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
                     seed=args.seed):
@@ -568,7 +749,50 @@ def cmd_replay(args: argparse.Namespace) -> int:
         return exit_status(exc) if isinstance(exc, WasmError) else EXIT_FAILURE
     if bundle.manifest.get("kind") == "pipeline":
         return _replay_pipeline_bundle(args, bundle)
+    if bundle.manifest.get("kind") == "service":
+        return _replay_service_bundle(args, bundle)
     return _replay_invoke_bundle(args, bundle)
+
+
+def _replay_service_bundle(args: argparse.Namespace, bundle) -> int:
+    """Service bundles replay by re-running the killed request one-shot
+    under a fresh supervisor: reproduction means the same kill class."""
+    from .serve import ServeConfig, WorkerPool
+
+    service = bundle.manifest.get("service", {})
+    recorded = (bundle.manifest.get("error", {}).get("kill_class")
+                or service.get("kill_class", "?"))
+    request = dict(service.get("request", {}))
+    request["module"] = bundle.module_bytes
+    config = ServeConfig(
+        workers=1, max_retries=0,
+        breaker_threshold=10 ** 9,  # the replay must not self-quarantine
+        request_timeout=float(service.get("request_timeout") or 30.0),
+        rss_limit_mb=service.get("rss_limit_mb"),
+        allow_test_ops=request.get("kind") == "__test__")
+    pool = WorkerPool(config).start()
+    try:
+        response = pool.submit(request)
+    except WorkerKilled as exc:
+        if exc.kill_class == recorded:
+            print(f"{bundle.path}: reproduced: worker killed "
+                  f"[{exc.kill_class}]")
+            return EXIT_OK
+        print(f"{bundle.path}: DIVERGED", file=sys.stderr)
+        print(f"  recorded: worker killed [{recorded}]", file=sys.stderr)
+        print(f"  live:     worker killed [{exc.kill_class}]", file=sys.stderr)
+        return EXIT_REPLAY_DIVERGENCE
+    finally:
+        pool.close()
+    if response.get("ok"):
+        live = "request completed"
+    else:
+        error = response.get("error", {})
+        live = f"failed cleanly: {error.get('type')}: {error.get('message')}"
+    print(f"{bundle.path}: DIVERGED", file=sys.stderr)
+    print(f"  recorded: worker killed [{recorded}]", file=sys.stderr)
+    print(f"  live:     {live}", file=sys.stderr)
+    return EXIT_REPLAY_DIVERGENCE
 
 
 def _replay_pipeline_bundle(args: argparse.Namespace, bundle) -> int:
@@ -592,7 +816,14 @@ def _replay_invoke_bundle(args: argparse.Namespace, bundle) -> int:
     """Reconstruct the recorded run: same module, limits, analysis, and
     host-boundary log; optionally a different engine (``--engine``)."""
     manifest = bundle.manifest
-    module = decode_module(bundle.module_bytes)
+    try:
+        module = decode_module(bundle.module_bytes)
+    except WasmError as exc:
+        # invoke bundles record modules that decoded when written; one that
+        # no longer does is bundle damage, reported taxonomically
+        print(f"repro: {bundle.path}: bundle module does not decode: {exc}",
+              file=sys.stderr)
+        return exit_status(exc)
     engine = manifest.get("engine", {})
     predecode = engine.get("predecode")
     if args.engine == "predecode":
@@ -638,6 +869,10 @@ def _replay_invoke_bundle(args: argparse.Namespace, bundle) -> int:
     except ReplayDivergence as div:
         print(f"{bundle.path}: DIVERGED: {div}", file=sys.stderr)
         return EXIT_REPLAY_DIVERGENCE
+    except SnapshotError as exc:
+        # a corrupted snapshot is a broken bundle, not a divergence
+        print(f"repro: {bundle.path}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
     mismatches = _compare_outcome(manifest, error, results, instance)
     if not mismatches:
@@ -782,6 +1017,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hooks", default="all",
                    help="comma-separated hook groups (default: all)")
     p.add_argument("--metadata", help="write hook/function metadata JSON")
+    p.add_argument("--serve", metavar="SOCKET", default=None,
+                   help="instrument via the service daemon at this unix "
+                        "socket (content-addressed artifact cache)")
     _add_telemetry_flags(p, profile=False)
     p.set_defaults(fn=cmd_instrument, profile=False)
 
@@ -827,6 +1065,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fuse superinstructions from this recorded "
                         "repro.profile/1 or repro.fusion/1 artifact "
                         "(see `repro pgo`) instead of the built-in set")
+    p.add_argument("--serve", metavar="SOCKET", default=None,
+                   help="execute via the service daemon at this unix socket "
+                        "(crash-isolated, hard-deadline supervised)")
+    p.add_argument("--serve-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="hard supervised deadline for this request "
+                        "(default: the daemon's --request-timeout)")
     _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_run)
 
@@ -888,8 +1133,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "under DIR/signatures")
     p.add_argument("--time-budget", type=float, default=None, metavar="SECS",
                    help="stop scheduling new rounds after SECS of wall-clock")
+    p.add_argument("--supervise", action="store_true",
+                   help="run campaign shards in supervised service workers "
+                        "(hard deadlines + RSS ceiling per shard)")
+    p.add_argument("--shard-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="hard wall-clock deadline per supervised shard "
+                        "(default: 120)")
+    p.add_argument("--shard-rss-limit-mb", type=float, default=2048.0,
+                   metavar="MB",
+                   help="RSS ceiling per supervised shard (default: 2048; "
+                        "0 disables)")
     _add_telemetry_flags(p, profile=False)
     p.set_defaults(fn=cmd_fuzz, profile=False)
+
+    p = sub.add_parser("serve", help="run the supervised instrumentation "
+                                     "daemon over a unix socket")
+    p.add_argument("--socket", default="/tmp/repro-serve.sock",
+                   help="unix socket path (default: /tmp/repro-serve.sock)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="supervised worker subprocesses (default: 2; "
+                        "0 forces the degraded in-process mode)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="hard wall-clock deadline per request before the "
+                        "worker is SIGKILLed (default: 30)")
+    p.add_argument("--rss-limit-mb", type=float, default=1024.0, metavar="MB",
+                   help="RSS ceiling per worker before SIGKILL "
+                        "(default: 1024; 0 disables)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="content-addressed artifact cache directory")
+    p.add_argument("--crash-dir", metavar="DIR", default=None,
+                   help="write a replayable service bundle per killed "
+                        "request under DIR")
+    p.add_argument("--allow-test-ops", action="store_true",
+                   help="honor __test__ fault-injection requests (CI smoke "
+                        "and tests only)")
+    _add_telemetry_flags(p, profile=False)
+    p.set_defaults(fn=cmd_serve, profile=False)
 
     p = sub.add_parser("bundle", help="inspect a crash bundle directory")
     p.add_argument("bundle", help="crash bundle directory")

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -92,6 +93,13 @@ class FuzzConfig:
     #: cap on corpus admissions per shard round (keeps rounds bounded when
     #: a fresh campaign discovers hundreds of new edges at once).
     max_additions_per_shard: int = 8
+    #: route shards through supervised service workers (repro.serve): hard
+    #: wall-clock deadline + RSS ceiling per shard, SIGKILL on breach.
+    supervised: bool = False
+    #: hard deadline per supervised shard before the worker is killed.
+    shard_timeout: float = 120.0
+    #: RSS ceiling per supervised shard worker (``None``/0 disables).
+    shard_rss_limit_mb: float | None = 2048.0
 
     def resolved_signatures_dir(self) -> str | None:
         if self.signatures_dir is not None:
@@ -127,6 +135,15 @@ class FuzzResult:
     #: signature keys already in the persisted table when the run started
     #: (a resumed campaign must not re-announce or re-bundle them)
     preexisting: frozenset = frozenset()
+    #: why a persisted corpus was discarded (stale schema/mutator version),
+    #: or None when it loaded cleanly / no corpus dir was used
+    corpus_reset: str | None = None
+    #: Ctrl-C ended the campaign early; the completed shard prefix was
+    #: merged and the resume cursor only advanced over merged blocks
+    interrupted: bool = False
+    #: shards in supervised mode whose worker the supervisor SIGKILLed
+    shards_killed: int = 0
+    supervised: bool = False
 
     @property
     def ok(self) -> bool:
@@ -151,7 +168,11 @@ class FuzzResult:
         if self.coverage:
             parts.append(f"{self.edges} edges (+{self.new_edges}), "
                          f"corpus {self.corpus_size} (+{self.corpus_added})")
+        if self.supervised:
+            parts.append(f"{self.shards_killed} shards killed")
         parts.append(f"{len(self.escapes)} escapes")
+        if self.interrupted:
+            parts.append("INTERRUPTED")
         return ", ".join(parts)
 
 
@@ -181,6 +202,8 @@ class CorpusState:
         self.next_index = 0
         #: evolved entry name -> {"parent": ..., "index": ..., "new_edges": n}
         self.lineage: dict[str, dict] = {}
+        #: why :meth:`load` discarded a persisted corpus (None = clean load)
+        self.reset_reason: str | None = None
 
     def admit(self, data: bytes, parent: str, index: int,
               new_edges: int) -> str | None:
@@ -222,9 +245,12 @@ class CorpusState:
 
     @classmethod
     def load(cls, directory: str | Path) -> "CorpusState":
-        """Load persisted state; silently starts fresh when the directory
-        is absent, or carries an incompatible schema/mutator version (a
-        stale CI cache must degrade to a fresh campaign, not an error)."""
+        """Load persisted state; starts fresh when the directory is absent,
+        or carries an incompatible schema/mutator version (a stale CI cache
+        must degrade to a fresh campaign, not an error). A discarded corpus
+        records *why* in ``reset_reason`` — the campaign surfaces it as a
+        stderr warning and a ``fuzz_corpus_reset`` telemetry event instead
+        of silently throwing evolved entries away."""
         state = cls()
         directory = Path(directory)
         path = directory / "corpus.json"
@@ -232,10 +258,18 @@ class CorpusState:
             return state
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError) as exc:
+            state.reset_reason = f"unreadable corpus.json: {exc}"
             return state
-        if (payload.get("schema") != CORPUS_SCHEMA
-                or payload.get("mutator_version") != MUTATOR_VERSION):
+        schema = payload.get("schema")
+        if schema != CORPUS_SCHEMA:
+            state.reset_reason = (f"stale corpus schema {schema!r} "
+                                  f"(current is {CORPUS_SCHEMA!r})")
+            return state
+        version = payload.get("mutator_version")
+        if version != MUTATOR_VERSION:
+            state.reset_reason = (f"stale mutator version {version!r} "
+                                  f"(current is {MUTATOR_VERSION})")
             return state
         state.next_index = int(payload.get("next_index", 0))
         state.coverage = CoverageMap.from_payload(payload.get("coverage", ()))
@@ -432,6 +466,41 @@ def save_signature_bundle(record: dict, seed: int, directory: str | Path,
 # -- the campaign controller ----------------------------------------------------
 
 
+def _ignore_sigint() -> None:
+    """Process-pool initializer: shard workers must not die on the
+    terminal's Ctrl-C (the whole foreground process group receives it);
+    the parent cancels pending shards and drains the running ones, then
+    converts the interrupt into the exit taxonomy."""
+    import signal
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - non-main thread
+        pass
+
+
+def _supervised_shard(pool, payload: dict, config: FuzzConfig) -> dict | None:
+    """Run one shard in a supervised service worker.
+
+    ``None`` means the supervisor SIGKILLed the shard (hard deadline, RSS
+    ceiling, or a crash that exhausted its retry): the campaign counts the
+    kill and advances the cursor past the block instead of dying with it.
+    A clean worker-side error, by contrast, is a controller bug and raises.
+    """
+    from ..wasm.errors import ServiceError, WorkerKilled
+    try:
+        response = pool.submit({"kind": "fuzz_shard", "payload": payload},
+                               timeout=config.shard_timeout)
+    except WorkerKilled:
+        return None
+    except ServiceError as exc:  # pragma: no cover - e.g. pool closed
+        raise RuntimeError(f"supervised shard failed: {exc}") from exc
+    if not response.get("ok"):
+        error = response.get("error", {})
+        raise RuntimeError(f"supervised shard failed: {error.get('type')}: "
+                           f"{error.get('message')}")
+    return response["shard"]
+
+
 def _merge_shard(config: FuzzConfig, state: CorpusState, result: FuzzResult,
                  shard: dict) -> None:
     """Fold one shard's report into the campaign state, deduplicating.
@@ -487,26 +556,55 @@ def _merge_shard(config: FuzzConfig, state: CorpusState, result: FuzzResult,
 
 
 def run_fuzz_campaign(config: FuzzConfig) -> FuzzResult:
-    """Run one campaign (serial or sharded) and return its merged result."""
+    """Run one campaign (serial, sharded, or supervised) and return its
+    merged result.
+
+    Ctrl-C never loses completed work: shard workers ignore SIGINT, the
+    parent cancels pending shards, merges the contiguous prefix of
+    completed ones, and advances the resume cursor only over merged
+    blocks — so a resumed campaign regenerates exactly the un-merged
+    mutants (``result.interrupted`` tells the CLI to exit non-zero).
+    """
     started = time.perf_counter()
     state = (CorpusState.load(config.corpus_dir)
              if config.corpus_dir is not None else CorpusState())
     result = FuzzResult(seed=config.seed, parallel=max(1, config.parallel),
                         coverage=config.coverage,
+                        supervised=config.supervised,
                         backend=default_backend() if config.coverage else None)
+    if state.reset_reason is not None:
+        result.corpus_reset = state.reset_reason
+        print(f"repro: fuzz corpus reset: {state.reset_reason}; "
+              f"starting a fresh campaign", file=sys.stderr)
     # signatures already in the persisted table are not "new" this run
     result.preexisting = frozenset(state.signatures)
 
     executor = None
-    if config.parallel > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    pool = None
+    run_one = _shard_worker
+    if config.supervised:
+        from concurrent.futures import ThreadPoolExecutor
+
+        from ..serve import ServeConfig, WorkerPool
+        pool = WorkerPool(ServeConfig(
+            workers=max(1, config.parallel),
+            request_timeout=config.shard_timeout,
+            rss_limit_mb=config.shard_rss_limit_mb or None)).start()
+        executor = ThreadPoolExecutor(max_workers=max(1, config.parallel),
+                                      thread_name_prefix="repro-fuzz-shard")
+
+        def run_one(payload, _pool=pool):
+            return _supervised_shard(_pool, payload, config)
+    elif config.parallel > 1:
         import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             context = multiprocessing.get_context()
         executor = ProcessPoolExecutor(max_workers=config.parallel,
-                                       mp_context=context)
+                                       mp_context=context,
+                                       initializer=_ignore_sigint)
     try:
         remaining = config.mutants
         while remaining > 0:
@@ -524,17 +622,41 @@ def run_fuzz_campaign(config: FuzzConfig) -> FuzzResult:
                     cursor += share
             payloads = [_shard_payload(config, state, block)
                         for block in blocks]
-            if executor is None:
-                reports = [_shard_worker(p) for p in payloads]
-            else:
-                reports = list(executor.map(_shard_worker, payloads))
-            for report in reports:  # submission order: deterministic merge
-                _merge_shard(config, state, result, report)
-            state.next_index = cursor
-            remaining -= round_total
+            completed: list = []
+            futures: list = []
+            try:
+                if executor is None:
+                    for payload in payloads:
+                        completed.append(run_one(payload))
+                else:
+                    futures = [executor.submit(run_one, payload)
+                               for payload in payloads]
+                    for future in futures:
+                        completed.append(future.result())
+            except KeyboardInterrupt:
+                result.interrupted = True
+                for future in futures:
+                    future.cancel()
+            # submission-order merge over the contiguous completed prefix
+            # (all of it on a normal round); a killed supervised shard
+            # (None) is counted and skipped, its block's cursor advance
+            # kept — its mutants are deterministically regenerable
+            merged = 0
+            for report, block in zip(completed, blocks):
+                if report is None:
+                    result.shards_killed += 1
+                else:
+                    _merge_shard(config, state, result, report)
+                state.next_index = block[-1] + 1
+                merged += len(block)
+            remaining -= merged
+            if result.interrupted:
+                break
     finally:
         if executor is not None:
             executor.shutdown()
+        if pool is not None:
+            pool.close()
 
     result.elapsed = time.perf_counter() - started
     result.corpus_size = len(state.entries)
@@ -577,10 +699,19 @@ def fold_into_telemetry(result: FuzzResult, telemetry) -> None:
     registry.gauge("repro_fuzz_coverage_edges",
                    help="toolkit edges in the coverage frontier").set(
         result.edges)
+    if result.supervised:
+        registry.counter("repro_fuzz_shards_killed_total",
+                         help="supervised shards SIGKILLed by the "
+                              "service watchdog").set(result.shards_killed)
     for failure in result.escapes:
         telemetry.event("fuzz_escape", detail=str(failure))
     for sig in result.new_signatures:
         telemetry.event("fuzz_new_signature", signature=sig)
+    if result.corpus_reset:
+        telemetry.event("fuzz_corpus_reset", reason=result.corpus_reset)
+    if result.interrupted:
+        telemetry.event("fuzz_interrupted", mutants=result.mutants,
+                        next_index_saved=True)
 
 
 def bench_payload(result: FuzzResult) -> dict:
@@ -600,4 +731,6 @@ def bench_payload(result: FuzzResult) -> dict:
         "escapes": len(result.escapes),
         "rejected_at": dict(sorted(result.rejected_at.items())),
         "survived": result.survived,
+        "supervised": result.supervised,
+        "shards_killed": result.shards_killed,
     }

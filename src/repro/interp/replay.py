@@ -165,16 +165,30 @@ class Recorder:
 
 
 def load_log(path: str | Path) -> list[dict]:
-    """Load a JSONL replay log, validating the schema header."""
-    lines = [ln for ln in Path(path).read_text().splitlines() if ln.strip()]
+    """Load a JSONL replay log, validating the schema header.
+
+    Any way the file can be broken — missing, unreadable, truncated
+    mid-line, not JSON at all — surfaces as :class:`WasmError`, so the CLI
+    answers with its taxonomy instead of a traceback.
+    """
+    try:
+        lines = [ln for ln in Path(path).read_text().splitlines()
+                 if ln.strip()]
+    except OSError as exc:
+        raise WasmError(f"cannot read replay log {path}: {exc}") from None
     if not lines:
         raise WasmError(f"empty replay log {path}")
-    header = json.loads(lines[0])
-    if header.get("schema") != REPLAY_SCHEMA:
+    try:
+        header = json.loads(lines[0])
+        entries = [json.loads(ln) for ln in lines[1:]]
+    except json.JSONDecodeError as exc:
+        raise WasmError(f"corrupt replay log {path}: {exc}") from None
+    if not isinstance(header, dict) or header.get("schema") != REPLAY_SCHEMA:
+        schema = header.get("schema") if isinstance(header, dict) else None
         raise WasmError(
-            f"not a repro replay log (schema {header.get('schema')!r}, "
+            f"not a repro replay log (schema {schema!r}, "
             f"expected {REPLAY_SCHEMA!r})")
-    return [json.loads(ln) for ln in lines[1:]]
+    return entries
 
 
 class Replayer:
@@ -389,19 +403,40 @@ def write_crash_bundle(directory: str | Path, module_bytes: bytes,
 
 
 def load_crash_bundle(directory: str | Path) -> CrashBundle:
-    """Load a crash bundle, validating its schema tag."""
+    """Load a crash bundle, validating its schema tag.
+
+    Corrupt or truncated bundles (hand-edited manifests, interrupted
+    writes, missing payload files) raise :class:`WasmError` /
+    :class:`SnapshotError` — never a bare ``json`` or ``OSError``
+    traceback — so ``repro bundle`` / ``repro replay`` keep their exit
+    taxonomy on damaged input.
+    """
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.is_file():
         raise WasmError(f"{directory} is not a crash bundle "
                         f"(no manifest.json)")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise WasmError(
+            f"{directory}: corrupt bundle manifest: {exc}") from None
+    if not isinstance(manifest, dict):
+        raise WasmError(f"{directory}: bundle manifest is not a JSON object")
     if manifest.get("schema") != BUNDLE_SCHEMA:
         raise WasmError(
             f"not a repro crash bundle (schema {manifest.get('schema')!r}, "
             f"expected {BUNDLE_SCHEMA!r})")
     files = manifest.get("files", {})
-    module_bytes = (directory / files.get("module", "module.wasm")).read_bytes()
+    if not isinstance(files, dict):
+        raise WasmError(f"{directory}: bundle manifest 'files' entry is "
+                        f"not a JSON object")
+    module_path = directory / files.get("module", "module.wasm")
+    try:
+        module_bytes = module_path.read_bytes()
+    except OSError as exc:
+        raise WasmError(f"{directory}: bundle module {module_path.name!r} "
+                        f"cannot be read: {exc}") from None
     snapshot = None
     if "snapshot" in files:
         try:
@@ -410,6 +445,11 @@ def load_crash_bundle(directory: str | Path) -> CrashBundle:
             raise SnapshotError(
                 f"bundle manifest names snapshot {files['snapshot']!r} "
                 f"but the file is missing") from None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            raise SnapshotError(
+                f"corrupt bundle snapshot {files['snapshot']!r}: "
+                f"{exc}") from None
     log = None
     if "replay" in files:
         log = load_log(directory / files["replay"])

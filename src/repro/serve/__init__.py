@@ -1,0 +1,29 @@
+"""The supervised instrumentation service (ROADMAP item 1's backbone).
+
+Process-isolated execution for the decode→instrument→encode→execute
+pipeline: a pool of recycled worker subprocesses under a watchdog that
+enforces hard wall-clock deadlines and an RSS ceiling by SIGKILL,
+classifies every death (timeout / oom / crash), respawns with exponential
+backoff + jitter, quarantines repeat-killer inputs behind a circuit
+breaker, and writes replayable crash bundles instead of stack traces. A
+content-addressed artifact cache serves repeated instrumentation
+requests, and a unix-socket daemon (``repro serve``) + client expose the
+whole thing to other processes. When workers cannot start at all, the
+pool degrades to supervised-in-name-only in-process execution —
+explicitly reported, never silent.
+"""
+
+from .cache import CACHE_SCHEMA, ArtifactCache, artifact_key
+from .client import ServeClient
+from .daemon import ServeDaemon
+from .pool import WorkerPool
+from .supervisor import (KillReport, ServeConfig, WorkerSupervisor,
+                         read_rss_mb, rss_monitoring_available)
+from .worker import RequestHandler, worker_main
+
+__all__ = [
+    "ArtifactCache", "CACHE_SCHEMA", "KillReport", "RequestHandler",
+    "ServeClient", "ServeConfig", "ServeDaemon", "WorkerPool",
+    "WorkerSupervisor", "artifact_key", "read_rss_mb",
+    "rss_monitoring_available", "worker_main",
+]

@@ -1,0 +1,139 @@
+"""Content-addressed artifact cache for the instrumentation service.
+
+Instrumenting a module is a pure function of (module bytes, hook-group
+set, engine flags), so the service never has to run the
+decode→instrument→encode pipeline twice for the same input: artifacts are
+stored on disk under a key derived from exactly those three inputs
+(:func:`artifact_key`) and served back on later requests — including
+requests from *other* worker processes and later daemon incarnations.
+
+Robustness rules, in order:
+
+* **Atomic writes.** An entry is a payload file plus a metadata sidecar;
+  both are written to a temp file in the target directory and
+  ``os.replace``d into place, so a killed worker (the supervisor SIGKILLs
+  on timeout/OOM) can never leave a half-written entry that a later read
+  would trust. The sidecar is written last and is the commit point: a
+  payload without its sidecar is invisible.
+* **Corruption-tolerant reads.** Every payload is verified against the
+  SHA-256 recorded in its sidecar on load; a mismatch (torn write,
+  bit rot, a truncated file restored from a bad backup) is treated as a
+  miss — the entry is evicted best-effort and the caller recomputes.
+  A corrupt cache can cost time, never correctness.
+* **Plain files.** No index, no lock file: the key *is* the file name
+  (sharded two-level, git-object style), so concurrent readers and
+  writers need no coordination beyond the atomic rename.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Schema tag stamped into every entry's metadata sidecar.
+CACHE_SCHEMA = "repro.serve-cache/1"
+
+
+def artifact_key(module_bytes: bytes, groups=None, flags: dict | None = None) -> str:
+    """The cache key: sha256(module bytes) × hook-group set × engine flags.
+
+    ``groups`` is an iterable of hook-group names or ``None`` for "all"
+    (the two are distinct keys on purpose: "all" tracks whatever
+    ``ALL_GROUPS`` currently is). ``flags`` is any JSON-able dict of
+    engine/pipeline knobs that change the artifact.
+    """
+    h = hashlib.sha256()
+    h.update(hashlib.sha256(module_bytes).digest())
+    h.update(b"\x00")
+    if groups is None:
+        h.update(b"<all>")
+    else:
+        h.update(",".join(sorted(groups)).encode("utf-8"))
+    h.update(b"\x00")
+    h.update(json.dumps(flags or {}, sort_keys=True, default=str).encode("utf-8"))
+    return h.hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ArtifactCache:
+    """On-disk content-addressed store of instrumented-module artifacts.
+
+    ``load``/``store`` are safe to call concurrently from many processes;
+    the worst interleaving wastes one recompute. Hit/miss/corruption
+    counters are per-process (each worker folds its own into the pool's
+    aggregate via the response it returns).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        shard = self.directory / key[:2]
+        return shard / f"{key}.bin", shard / f"{key}.json"
+
+    def load(self, key: str) -> tuple[bytes, dict] | None:
+        """Return ``(payload, meta)`` for a verified entry, else ``None``.
+
+        Any failure mode — missing files, unparseable sidecar, payload
+        digest mismatch — degrades to a miss; corrupt entries are evicted
+        so they are not re-verified (and re-failed) on every request.
+        """
+        payload_path, meta_path = self._paths(key)
+        try:
+            meta = json.loads(meta_path.read_text())
+            payload = payload_path.read_bytes()
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        if (not isinstance(meta, dict)
+                or meta.get("schema") != CACHE_SCHEMA
+                or hashlib.sha256(payload).hexdigest() != meta.get("payload_sha256")):
+            self.corrupt += 1
+            self.misses += 1
+            self.evict(key)
+            return None
+        self.hits += 1
+        return payload, meta
+
+    def store(self, key: str, payload: bytes, meta: dict | None = None) -> None:
+        """Persist one artifact atomically (payload first, sidecar last)."""
+        payload_path, meta_path = self._paths(key)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        record = dict(meta or {})
+        record["schema"] = CACHE_SCHEMA
+        record["payload_sha256"] = hashlib.sha256(payload).hexdigest()
+        _atomic_write(payload_path, payload)
+        _atomic_write(meta_path, json.dumps(record, sort_keys=True).encode("utf-8"))
+
+    def evict(self, key: str) -> None:
+        """Best-effort removal of one entry (sidecar first: uncommit)."""
+        payload_path, meta_path = self._paths(key)
+        for path in (meta_path, payload_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt}

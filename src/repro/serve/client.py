@@ -1,0 +1,97 @@
+"""Client for the ``repro serve`` daemon: one request, one response.
+
+Connection-per-request over the unix socket, with request timeouts and
+bounded, backed-off retries on *transport* failures (connection refused,
+reset, a daemon mid-restart). Application-level failures — a killed
+request, an open breaker, a guest trap — are **not** retried here: the
+daemon already applied the pool's retry policy, and its response carries
+the exit-status taxonomy for the caller to act on.
+
+Exhausting the transport retries raises
+:class:`~repro.wasm.errors.ServiceUnavailable`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+
+from ..wasm.errors import ServiceUnavailable
+from . import wire
+
+
+class ServeClient:
+    """Talks to one daemon socket; stateless between requests."""
+
+    def __init__(self, socket_path: str | Path, timeout: float = 120.0,
+                 retries: int = 2, retry_delay: float = 0.1):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_delay = retry_delay
+
+    # -- transport -------------------------------------------------------------
+
+    def request(self, message: dict, timeout: float | None = None) -> dict:
+        """Send one request and return the decoded response dict."""
+        budget = timeout if timeout is not None else self.timeout
+        payload = wire.dumps(message)
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_delay * (2 ** (attempt - 1)))
+            try:
+                return self._round_trip(payload, budget)
+            except (ConnectionError, FileNotFoundError, socket.timeout,
+                    OSError, wire.WireError) as exc:
+                last_error = exc
+        raise ServiceUnavailable(
+            f"cannot reach repro service at {self.socket_path} after "
+            f"{self.retries + 1} attempts: {last_error}")
+
+    def _round_trip(self, payload: bytes, budget: float) -> dict:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+            conn.settimeout(budget)
+            conn.connect(self.socket_path)
+            conn.sendall(payload)
+            with conn.makefile("rb") as reader:
+                line = wire.read_line(reader)
+            if not line.strip():
+                raise ConnectionError("daemon closed the connection "
+                                      "without a response")
+            return wire.loads(line)
+
+    # -- convenience verbs -------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"kind": "ping"}, timeout=10.0)
+
+    def run(self, module_bytes: bytes, entry: str, args=None,
+            analysis: str = "none", limits: dict | None = None,
+            instrument: bool = False, on_analysis_error: str = "raise",
+            request_timeout: float | None = None) -> dict:
+        from ..interp.snapshot import encode_values
+        message = {
+            "kind": "run", "module": module_bytes, "entry": entry,
+            "args": encode_values(args or []), "analysis": analysis,
+            "limits": limits, "instrument": instrument,
+            "on_analysis_error": on_analysis_error,
+        }
+        if request_timeout is not None:
+            message["request_timeout"] = request_timeout
+        return self.request(message)
+
+    def instrument(self, module_bytes: bytes, groups=None,
+                   request_timeout: float | None = None) -> dict:
+        message = {"kind": "instrument", "module": module_bytes,
+                   "groups": sorted(groups) if groups is not None else None}
+        if request_timeout is not None:
+            message["request_timeout"] = request_timeout
+        return self.request(message)
+
+    def stats(self) -> dict:
+        return self.request({"kind": "stats"}, timeout=10.0)
+
+    def shutdown_daemon(self) -> dict:
+        return self.request({"kind": "shutdown_daemon"}, timeout=10.0)

@@ -1,0 +1,141 @@
+"""The service daemon: a unix-socket front end over the worker pool.
+
+``repro serve`` builds a :class:`~repro.serve.pool.WorkerPool` and hands
+it to a :class:`ServeDaemon`; clients (:mod:`repro.serve.client`, the
+``--serve`` CLI flags, the CI smoke job) connect per request, send one
+JSON line, and read one back. Connection handling is a thread per
+request — the pool below provides the isolation and backpressure (a
+request blocks until a worker frees up), so the daemon itself stays a
+thin, crash-tolerant adapter:
+
+* a client that disconnects mid-request only loses its own response;
+* a malformed line gets a structured error response, not a dropped
+  connection or a daemon traceback;
+* pool-level failures (kills, breaker, degradation) are translated into
+  the same ``status`` taxonomy the CLI exits with, so remote and local
+  runs triage identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import threading
+from pathlib import Path
+
+from ..wasm.errors import BreakerOpen, WasmError, WorkerKilled
+from . import wire
+from .pool import WorkerPool
+
+
+class ServeDaemon:
+    """Accept loop + per-connection request handling over a unix socket."""
+
+    def __init__(self, socket_path: str | Path, pool: WorkerPool,
+                 telemetry=None):
+        self.socket_path = str(socket_path)
+        self.pool = pool
+        self.telemetry = telemetry
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        """Bind and listen (stale socket files from a killed daemon are
+        replaced — the service owns its path)."""
+        path = Path(self.socket_path)
+        if path.exists():
+            path.unlink()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(self.socket_path)
+        listener.listen(64)
+        listener.settimeout(0.25)
+        self._listener = listener
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drain handler threads, close the pool."""
+        self._stop.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            with contextlib.suppress(OSError):
+                listener.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self.pool.close()
+        with contextlib.suppress(OSError):
+            os.unlink(self.socket_path)
+
+    def serve_forever(self) -> None:
+        """Run the accept loop until :meth:`stop` (or EOF via signal)."""
+        assert self._listener is not None, "call start() first"
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us: shutting down
+            thread = threading.Thread(target=self._handle_connection,
+                                      args=(conn,), daemon=True,
+                                      name="repro-serve-conn")
+            thread.start()
+            self._threads.append(thread)
+            self._threads = [t for t in self._threads if t.is_alive()]
+
+    # -- one connection --------------------------------------------------------
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        with contextlib.suppress(OSError, BrokenPipeError):
+            with conn:
+                conn.settimeout(600.0)
+                with conn.makefile("rb") as reader:
+                    line = wire.read_line(reader)
+                if not line.strip():
+                    return
+                response = self._respond(line)
+                conn.sendall(wire.dumps(response))
+
+    def _respond(self, line: bytes) -> dict:
+        try:
+            request = wire.loads(line)
+        except wire.WireError as exc:
+            return {"ok": False, "status": 2,
+                    "error": {"type": "WireError", "message": str(exc)}}
+        kind = request.get("kind")
+        if kind == "stats":
+            return {"ok": True, "stats": self.pool.stats(),
+                    "degraded": self.pool.degraded}
+        if kind == "shutdown_daemon":
+            # respond first; the stop happens off-thread so the client
+            # gets its acknowledgement before the listener dies
+            threading.Thread(target=self.stop, daemon=True).start()
+            return {"ok": True, "stopping": True}
+        try:
+            timeout = request.pop("request_timeout", None)
+            return self.pool.submit(request, timeout=timeout)
+        except BreakerOpen as exc:
+            return {"ok": False, "status": 9,
+                    "error": {"type": "BreakerOpen", "message": str(exc)}}
+        except WorkerKilled as exc:
+            response = {"ok": False, "status": 8,
+                        "error": {"type": "WorkerKilled",
+                                  "message": str(exc),
+                                  "kill_class": exc.kill_class}}
+            bundle = getattr(exc, "bundle", None)
+            if bundle:
+                response["bundle"] = bundle
+            return response
+        except WasmError as exc:
+            from ..cli import exit_status
+            return {"ok": False, "status": exit_status(exc),
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)}}
+        except Exception as exc:
+            return {"ok": False, "status": 1,
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)}}

@@ -1,0 +1,277 @@
+"""One supervised worker: subprocess, watchdog, hard kills, classification.
+
+The cooperative :class:`~repro.interp.limits.Meter` bounds *well-behaved*
+guests — ones whose unbounded progress still passes through metered charge
+points. A service accepting arbitrary modules needs the uncooperative
+guarantee too: a request that wedges the interpreter (or the Python
+runtime under it), or that commits memory faster than the page-cap
+accounting can see, must be stopped from *outside* the process. That is
+this module's job:
+
+* each request runs in a recycled worker subprocess
+  (:mod:`repro.serve.worker`) connected by a pipe;
+* while a request is in flight the supervisor polls the pipe in short
+  intervals, enforcing a **hard wall-clock deadline** and an **RSS
+  ceiling** (read from ``/proc/<pid>/status``) by SIGKILLing the worker —
+  no cooperation required, no cleanup trusted;
+* every death is classified into the kill taxonomy —
+  ``timeout`` / ``oom`` / ``crash`` — as a :class:`KillReport`. A clean
+  guest trap is *not* a kill: the worker catches it and answers with an
+  ordinary error response.
+
+Respawn pacing (exponential backoff + jitter) lives here too so the pool
+above can stay a pure scheduler.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+
+def default_start_context():
+    """The ``fork`` multiprocessing context when available (cheap worker
+    spawn, shared read-only module cache pages), else the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for the supervised execution service (pool + daemon + workers)."""
+
+    #: Worker subprocesses. ``0`` forces the degraded in-process path.
+    workers: int = 2
+    #: Hard wall-clock deadline per request (seconds); requests may lower
+    #: or raise it per-call. This is the SIGKILL bound, distinct from (and
+    #: typically above) any cooperative ``--timeout`` the request carries.
+    request_timeout: float = 30.0
+    #: RSS ceiling per worker in MiB; ``None`` disables the check (also
+    #: disabled, and reported, where ``/proc`` is unavailable).
+    rss_limit_mb: float | None = 1024.0
+    #: Watchdog poll interval while a request is in flight.
+    poll_interval: float = 0.015
+    #: How long to wait for a fresh worker's ready handshake.
+    spawn_timeout: float = 20.0
+    #: In-request retries when the worker *crashed* (not timeout/oom — those
+    #: deterministically consume their budget again).
+    max_retries: int = 1
+    #: Kills by the same input digest before the breaker quarantines it.
+    breaker_threshold: int = 2
+    #: Respawn backoff: ``base * 2^attempt`` capped at ``cap``, plus up to
+    #: ``jitter`` fraction of random smear so a crash loop across many
+    #: workers does not respawn in lockstep.
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    backoff_jitter: float = 0.25
+    #: Respawn attempts before a worker slot is abandoned.
+    max_respawn_attempts: int = 5
+    #: Recycle a worker after this many served requests (bounds leak
+    #: accumulation from repeated hostile inputs); ``None`` never recycles.
+    recycle_after: int | None = 256
+    #: Artifact-cache directory shared by all workers (``None`` disables).
+    cache_dir: str | None = None
+    #: Where killed requests' service crash bundles go (``None`` disables).
+    crash_dir: str | None = None
+    #: Enable the ``__test__`` request ops (hang/alloc/exit/…) used by the
+    #: test suite and the CI smoke job to fault workers deterministically.
+    allow_test_ops: bool = False
+
+    def backoff_delay(self, attempt: int, rng=None) -> float:
+        """Backoff before respawn ``attempt`` (0-based), jitter applied."""
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        if self.backoff_jitter:
+            import random
+            rng = rng if rng is not None else random
+            delay *= 1.0 + self.backoff_jitter * rng.random()
+        return delay
+
+
+@dataclass
+class KillReport:
+    """One supervised death, classified.
+
+    ``kill_class`` is ``timeout`` (hard deadline passed), ``oom`` (RSS
+    ceiling crossed), or ``crash`` (the worker died on its own — segfault,
+    ``os._exit``, unhandled interpreter failure). ``rss_mb`` is the last
+    reading that triggered (or preceded) the kill when one was taken.
+    """
+
+    kill_class: str
+    detail: str
+    elapsed: float = 0.0
+    rss_mb: float | None = None
+    exitcode: int | None = None
+    worker_id: int = -1
+
+    def describe(self) -> str:
+        parts = [self.detail]
+        if self.rss_mb is not None:
+            parts.append(f"rss {self.rss_mb:.0f} MiB")
+        parts.append(f"after {self.elapsed:.2f}s")
+        return f"[{self.kill_class}] " + ", ".join(parts)
+
+
+def read_rss_mb(pid: int) -> float | None:
+    """Resident-set size of a process in MiB via ``/proc``; ``None`` when
+    unreadable (process gone, or a platform without procfs)."""
+    try:
+        with open(f"/proc/{pid}/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def rss_monitoring_available() -> bool:
+    return read_rss_mb(os.getpid()) is not None
+
+
+class WorkerSupervisor:
+    """Owns one worker subprocess and watches every request it runs.
+
+    ``submit`` returns either the worker's response dict or a
+    :class:`KillReport`; it never raises for guest misbehavior. After a
+    KillReport the worker is dead — the caller (pool) owns respawning.
+    """
+
+    def __init__(self, worker_id: int, config: ServeConfig, ctx=None):
+        self.worker_id = worker_id
+        self.config = config
+        self._ctx = ctx if ctx is not None else default_start_context()
+        self.process = None
+        self.conn = None
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker and wait for its ready handshake."""
+        from .worker import worker_main
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        init = {"cache_dir": self.config.cache_dir,
+                "allow_test_ops": self.config.allow_test_ops}
+        process = self._ctx.Process(
+            target=worker_main, args=(child_conn, init),
+            name=f"repro-serve-worker-{self.worker_id}", daemon=True)
+        process.start()
+        child_conn.close()
+        self.process, self.conn = process, parent_conn
+        self.requests_served = 0
+        if not parent_conn.poll(self.config.spawn_timeout):
+            self.kill()
+            raise OSError(f"worker {self.worker_id} never became ready "
+                          f"within {self.config.spawn_timeout}s")
+        ready = parent_conn.recv()
+        if not (isinstance(ready, dict) and ready.get("ready")):
+            self.kill()
+            raise OSError(f"worker {self.worker_id} sent a malformed "
+                          f"ready handshake: {ready!r}")
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker and reap it. Idempotent."""
+        process, conn = self.process, self.conn
+        if process is not None and process.pid is not None:
+            try:
+                os.kill(process.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+            process.join(timeout=5.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.process = self.conn = None
+
+    def shutdown(self) -> None:
+        """Polite stop: ask the worker loop to exit, then reap."""
+        if self.conn is not None and self.alive:
+            try:
+                self.conn.send({"kind": "shutdown"})
+                self.process.join(timeout=1.0)
+            except (OSError, ValueError):
+                pass
+        self.kill()
+
+    # -- the supervised request ----------------------------------------------
+
+    def submit(self, request: dict, timeout: float | None = None,
+               rss_limit_mb: float | None = ...):
+        """Run one request under the watchdog.
+
+        Returns the worker's response dict, or a :class:`KillReport` when
+        the watchdog had to kill (deadline / RSS) or the worker died.
+        """
+        config = self.config
+        deadline_budget = timeout if timeout is not None else config.request_timeout
+        rss_limit = config.rss_limit_mb if rss_limit_mb is ... else rss_limit_mb
+        started = time.monotonic()
+        deadline = started + deadline_budget
+        conn, process = self.conn, self.process
+        if conn is None or process is None or not process.is_alive():
+            return KillReport("crash", "worker was already dead at submit",
+                              worker_id=self.worker_id)
+        try:
+            conn.send(request)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            self.kill()
+            return KillReport("crash", f"worker pipe failed on send: {exc}",
+                              elapsed=time.monotonic() - started,
+                              worker_id=self.worker_id)
+        last_rss: float | None = None
+        while True:
+            try:
+                if conn.poll(config.poll_interval):
+                    response = conn.recv()
+                    self.requests_served += 1
+                    return response
+            except (EOFError, OSError):
+                exitcode = process.exitcode
+                self.kill()
+                return KillReport(
+                    "crash",
+                    f"worker died mid-request (exit code {exitcode})",
+                    elapsed=time.monotonic() - started, rss_mb=last_rss,
+                    exitcode=exitcode, worker_id=self.worker_id)
+            now = time.monotonic()
+            if not process.is_alive():
+                # drain a response racing the death notification
+                if conn.poll(0):
+                    continue
+                exitcode = process.exitcode
+                self.kill()
+                return KillReport(
+                    "crash",
+                    f"worker died mid-request (exit code {exitcode})",
+                    elapsed=now - started, rss_mb=last_rss,
+                    exitcode=exitcode, worker_id=self.worker_id)
+            if now >= deadline:
+                self.kill()
+                return KillReport(
+                    "timeout",
+                    f"request exceeded its hard deadline of "
+                    f"{deadline_budget:g}s", elapsed=now - started,
+                    rss_mb=last_rss, worker_id=self.worker_id)
+            if rss_limit is not None:
+                rss = read_rss_mb(process.pid)
+                if rss is not None:
+                    last_rss = rss
+                    if rss > rss_limit:
+                        self.kill()
+                        return KillReport(
+                            "oom",
+                            f"worker RSS crossed the {rss_limit:g} MiB "
+                            f"ceiling", elapsed=time.monotonic() - started,
+                            rss_mb=rss, worker_id=self.worker_id)

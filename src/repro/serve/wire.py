@@ -1,0 +1,78 @@
+"""JSON-lines wire codec for the service socket.
+
+One request line, one response line, connection closed — the simplest
+protocol that survives killed peers (a half-written line is a malformed
+request, not a wedged connection). Binary fields (module bytes, fuzz
+corpus entries) ride as ``{"$bytes": <base64>}`` markers, packed and
+unpacked recursively so nested payloads (e.g. a fuzz shard's corpus dict)
+need no special casing at call sites.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+#: Protocol tag sent in every message; receivers refuse anything else.
+WIRE_SCHEMA = "repro.serve/1"
+
+#: Upper bound on one message line (64 MiB) — a corrupted length prefix or
+#: a hostile client must not balloon the daemon's memory.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class WireError(ValueError):
+    """A malformed or oversized wire message."""
+
+
+def _pack(value):
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"$bytes": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, dict):
+        return {str(k): _pack(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_pack(v) for v in value]
+    return value
+
+
+def _unpack(value):
+    if isinstance(value, dict):
+        if set(value) == {"$bytes"}:
+            return base64.b64decode(value["$bytes"])
+        return {k: _unpack(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unpack(v) for v in value]
+    return value
+
+
+def dumps(message: dict) -> bytes:
+    """Encode one message as a newline-terminated JSON line."""
+    envelope = {"schema": WIRE_SCHEMA}
+    envelope.update(_pack(message))
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def loads(line: bytes) -> dict:
+    """Decode one wire line, validating the schema tag."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise WireError(f"message of {len(line)} bytes exceeds the "
+                        f"{MAX_MESSAGE_BYTES}-byte cap")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WireError(f"malformed wire message: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("schema") != WIRE_SCHEMA:
+        raise WireError(
+            f"not a repro service message (schema "
+            f"{payload.get('schema') if isinstance(payload, dict) else None!r},"
+            f" expected {WIRE_SCHEMA!r})")
+    payload.pop("schema", None)
+    return _unpack(payload)
+
+
+def read_line(fh) -> bytes:
+    """Read one bounded line from a socket file object."""
+    line = fh.readline(MAX_MESSAGE_BYTES + 1)
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise WireError("wire message exceeded the size cap")
+    return line

@@ -1,0 +1,311 @@
+"""The worker side of the service: request execution inside a subprocess.
+
+``worker_main`` is the subprocess entry point: a recv/handle/send loop over
+the supervisor's pipe. :class:`RequestHandler` does the actual work and is
+deliberately process-agnostic — the pool reuses it in-process verbatim for
+the degraded (unsupervised) fallback, so both paths execute requests
+through exactly one code path.
+
+Request kinds:
+
+* ``ping`` — liveness handshake.
+* ``run`` — decode + instantiate + invoke, mirroring ``repro run``.
+  Uninstrumented runs are **warm-started**: the worker instantiates a
+  module once per (digest, limits, engine flags), snapshots the fresh
+  instance, and restores the snapshot per request instead of
+  re-instantiating (:mod:`repro.interp.snapshot`). Analysis runs always
+  build a fresh session — analyses accumulate state by design.
+* ``instrument`` — decode + instrument + encode through the
+  content-addressed :class:`~repro.serve.cache.ArtifactCache`.
+* ``fuzz_shard`` — one fuzz-campaign shard
+  (:func:`repro.eval.fuzz._shard_worker`) so supervised campaigns get
+  crash isolation per shard.
+* ``__test__`` — deterministic fault injection (hang / alloc / exit /
+  flaky / sleep / raise), only honored when the supervisor was configured
+  with ``allow_test_ops``.
+
+Every guest failure — traps, resource exhaustion, malformed modules,
+analysis faults — is caught and answered as an ordinary error response
+carrying the CLI's exit-status taxonomy. Only genuinely abnormal process
+death reaches the supervisor as a kill.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import json
+import os
+import signal
+import time
+from collections import OrderedDict
+
+from ..interp.snapshot import (decode_values, encode_values,
+                               restore_instance, snapshot_instance)
+from ..wasm.errors import WasmError
+
+#: Warm instances kept per worker (LRU); each holds a machine + snapshot.
+WARM_CACHE_CAPACITY = 8
+
+
+def _error_response(exc: BaseException) -> dict:
+    from ..cli import exit_status
+    response = {"ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+                "status": exit_status(exc) if isinstance(exc, WasmError) else 1}
+    location = getattr(exc, "location", None)
+    if location is not None:
+        response["error"]["location"] = str(location)
+    return response
+
+
+class RequestHandler:
+    """Executes service requests; one per worker (or per degraded pool)."""
+
+    def __init__(self, cache_dir: str | None = None,
+                 allow_test_ops: bool = False):
+        self.allow_test_ops = allow_test_ops
+        self.cache = None
+        if cache_dir is not None:
+            from .cache import ArtifactCache
+            self.cache = ArtifactCache(cache_dir)
+        #: (module digest, limits json, flags json) -> warm entry
+        self._warm: OrderedDict[tuple, dict] = OrderedDict()
+        self._module_cache: OrderedDict[str, object] = OrderedDict()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        kind = request.get("kind")
+        try:
+            if kind == "ping":
+                return {"ok": True, "pid": os.getpid()}
+            if kind == "run":
+                return self._handle_run(request)
+            if kind == "instrument":
+                return self._handle_instrument(request)
+            if kind == "fuzz_shard":
+                return self._handle_fuzz_shard(request)
+            if kind == "__test__":
+                return self._handle_test_op(request)
+            return {"ok": False, "status": 2,
+                    "error": {"type": "UsageError",
+                              "message": f"unknown request kind {kind!r}"}}
+        except WasmError as exc:
+            return _error_response(exc)
+        except Exception as exc:  # an escape: report, never kill the loop
+            return _error_response(exc)
+
+    # -- run ------------------------------------------------------------------
+
+    def _decode_cached(self, module_bytes: bytes, digest: str):
+        """Decode once per module digest (decoded streams are reused too)."""
+        from ..wasm import decode_module
+        module = self._module_cache.get(digest)
+        if module is None:
+            module = decode_module(module_bytes)
+            self._module_cache[digest] = module
+            if len(self._module_cache) > WARM_CACHE_CAPACITY:
+                self._module_cache.popitem(last=False)
+        else:
+            self._module_cache.move_to_end(digest)
+        return module
+
+    def _handle_run(self, request: dict) -> dict:
+        from ..cli import ANALYSES, _default_linker, _report_analysis
+        from ..core import AnalysisSession
+        from ..interp import Machine, ResourceLimits
+
+        module_bytes: bytes = request["module"]
+        digest = hashlib.sha256(module_bytes).hexdigest()
+        entry: str = request["entry"]
+        call_args = decode_values(request.get("args", []))
+        analysis_name = request.get("analysis", "none")
+        instrument = bool(request.get("instrument", False))
+        limits_dict = request.get("limits")
+        limits = ResourceLimits(**limits_dict) if limits_dict else None
+        predecode = request.get("predecode")
+
+        module = self._decode_cached(module_bytes, digest)
+        warm = False
+        printed: list = []
+        analysis = None
+        base_snapshot = None
+
+        if analysis_name == "none" and not instrument:
+            warm_key = (digest,
+                        json.dumps(limits_dict, sort_keys=True),
+                        bool(predecode) if predecode is not None else None)
+            entry_state = self._warm.get(warm_key)
+            if entry_state is not None:
+                self._warm.move_to_end(warm_key)
+                machine = entry_state["machine"]
+                instance = entry_state["instance"]
+                printed = entry_state["printed"]
+                printed.clear()
+                base_snapshot = entry_state["base"]
+                restore_instance(instance, base_snapshot)
+                warm = True
+            else:
+                linker = _default_linker(printed)
+                machine = (Machine(limits=limits) if predecode is None
+                           else Machine(limits=limits, predecode=predecode))
+                instance = machine.instantiate(module, linker)
+                base_snapshot = snapshot_instance(instance)
+                self._warm[warm_key] = {
+                    "machine": machine, "instance": instance,
+                    "printed": printed,
+                    "base": base_snapshot,
+                }
+                if len(self._warm) > WARM_CACHE_CAPACITY:
+                    self._warm.popitem(last=False)
+            session = None
+        else:
+            linker = _default_linker(printed)
+            analysis = ANALYSES[analysis_name]()
+            session = AnalysisSession(
+                module, analysis, linker=linker, limits=limits,
+                on_analysis_error=request.get("on_analysis_error", "raise"))
+            machine, instance = session.machine, session.instance
+
+        try:
+            results = instance.invoke(entry, call_args)
+        except WasmError as exc:
+            # a failed run leaves arbitrary instance state; restore eagerly
+            # so a later warm hit never resumes from a poisoned instance
+            if base_snapshot is not None:
+                restore_instance(instance, base_snapshot)
+            response = _error_response(exc)
+            response["warm"] = warm
+            return response
+        usage = (machine.resource_usage() if session is None
+                 else session.resource_usage())
+        response = {
+            "ok": True,
+            "results": encode_values(results or []),
+            "printed": encode_values(printed),
+            "usage": usage.as_dict(),
+            "warm": warm,
+            "pid": os.getpid(),
+        }
+        if analysis is not None:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                _report_analysis(analysis)
+            response["analysis_report"] = buffer.getvalue()
+        return response
+
+    # -- instrument ------------------------------------------------------------
+
+    def _handle_instrument(self, request: dict) -> dict:
+        from ..core import ALL_GROUPS, instrument_module
+        from ..wasm import decode_module, encode_module
+        from .cache import artifact_key
+
+        module_bytes: bytes = request["module"]
+        groups = request.get("groups")
+        if groups is not None:
+            groups = frozenset(groups)
+            unknown = groups - ALL_GROUPS
+            if unknown:
+                return {"ok": False, "status": 2,
+                        "error": {"type": "UsageError",
+                                  "message": "unknown hooks: "
+                                             + ", ".join(sorted(unknown))}}
+        key = artifact_key(module_bytes, groups, {"op": "instrument"})
+        if self.cache is not None:
+            cached = self.cache.load(key)
+            if cached is not None:
+                payload, meta = cached
+                return {"ok": True, "module": payload,
+                        "hook_count": meta.get("hook_count", 0),
+                        "cache_hit": True, "pid": os.getpid()}
+        module = decode_module(module_bytes)
+        result = instrument_module(module, groups=groups)
+        raw = encode_module(result.module)
+        if self.cache is not None:
+            self.cache.store(key, raw, {"hook_count": result.hook_count,
+                                        "original_size": len(module_bytes)})
+        return {"ok": True, "module": raw, "hook_count": result.hook_count,
+                "cache_hit": False, "pid": os.getpid()}
+
+    # -- fuzz shard -------------------------------------------------------------
+
+    def _handle_fuzz_shard(self, request: dict) -> dict:
+        from ..eval.fuzz import _shard_worker
+        return {"ok": True, "shard": _shard_worker(request["payload"]),
+                "pid": os.getpid()}
+
+    # -- deterministic fault injection (tests / CI smoke only) ------------------
+
+    def _handle_test_op(self, request: dict) -> dict:
+        if not self.allow_test_ops:
+            return {"ok": False, "status": 2,
+                    "error": {"type": "UsageError",
+                              "message": "__test__ ops are disabled "
+                                         "(start with allow_test_ops)"}}
+        mode = request.get("mode")
+        if mode == "ok":
+            return {"ok": True, "echo": request.get("echo"),
+                    "pid": os.getpid()}
+        if mode == "sleep":
+            time.sleep(float(request.get("seconds", 0.5)))
+            return {"ok": True, "pid": os.getpid()}
+        if mode == "hang":  # pragma: no cover - killed by the watchdog
+            while True:
+                time.sleep(0.05)
+        if mode == "alloc":  # pragma: no cover - killed by the watchdog
+            hoard = []
+            chunk = 8 * 1024 * 1024
+            while True:
+                hoard.append(os.urandom(chunk))  # touched pages: real RSS
+                time.sleep(0.005)
+        if mode == "exit":  # pragma: no cover - abrupt death
+            os._exit(int(request.get("code", 9)))
+        if mode == "flaky":
+            # dies abruptly until its marker file exists: one crash, then ok
+            marker = request["marker"]
+            if os.path.exists(marker):
+                return {"ok": True, "recovered": True, "pid": os.getpid()}
+            with open(marker, "w") as fh:
+                fh.write("crashed once\n")
+            os._exit(17)  # pragma: no cover - abrupt death
+        if mode == "raise":
+            raise RuntimeError(request.get("message", "injected failure"))
+        return {"ok": False, "status": 2,
+                "error": {"type": "UsageError",
+                          "message": f"unknown __test__ mode {mode!r}"}}
+
+
+def worker_main(conn, init: dict) -> None:
+    """Subprocess entry point: serve requests off the pipe until told to stop.
+
+    SIGINT is ignored — a Ctrl-C at the daemon's terminal must drain
+    through the supervisor's shutdown path, not kill workers mid-request.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # pragma: no cover - non-main thread
+        pass
+    handler = RequestHandler(cache_dir=init.get("cache_dir"),
+                             allow_test_ops=bool(init.get("allow_test_ops")))
+    try:
+        conn.send({"ready": True, "pid": os.getpid()})
+    except (OSError, BrokenPipeError):  # pragma: no cover - parent gone
+        return
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if not isinstance(request, dict) or request.get("kind") == "shutdown":
+            return
+        try:
+            response = handler.handle(request)
+        except BaseException as exc:  # the loop itself must never die
+            response = _error_response(exc)
+        try:
+            conn.send(response)
+        except (OSError, BrokenPipeError):  # pragma: no cover - parent gone
+            return

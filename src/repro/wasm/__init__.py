@@ -8,10 +8,12 @@ construction. Execution lives in :mod:`repro.interp`.
 from .builder import FunctionBuilder, ModuleBuilder
 from .decoder import decode_module
 from .encoder import encode_module
-from .errors import (AnalysisAbort, AnalysisError, DeadlineExceeded,
-                     DecodeError, EncodeError, ExhaustionError, FuelExhausted,
-                     ReplayDivergence, ResourceExhausted, SnapshotError, Trap,
-                     ValidationError, WasmError)
+from .errors import (AnalysisAbort, AnalysisError, BreakerOpen,
+                     DeadlineExceeded, DecodeError, EncodeError,
+                     ExhaustionError, FuelExhausted, ReplayDivergence,
+                     ResourceExhausted, ServiceError, ServiceUnavailable,
+                     SnapshotError, Trap, ValidationError, WasmError,
+                     WorkerKilled)
 from .module import (BrTable, CustomSection, DataSegment, ElemSegment, Export,
                      Function, Global, Import, Instr, MemArg, Module)
 from .text import format_body, format_function, format_instr, format_module
@@ -21,14 +23,16 @@ from .validation import ExprValidator, validate_function, validate_module
 from .wat import WatError, parse_wat
 
 __all__ = [
-    "AnalysisAbort", "AnalysisError", "BrTable", "CustomSection",
+    "AnalysisAbort", "AnalysisError", "BrTable", "BreakerOpen",
+    "CustomSection",
     "DataSegment", "DeadlineExceeded", "DecodeError", "ElemSegment",
     "EncodeError", "ExhaustionError", "Export", "ExprValidator", "F32", "F64",
     "FuelExhausted", "FuncType", "Function", "FunctionBuilder", "Global",
     "GlobalType", "I32", "I64", "Import", "Instr", "Limits", "MemArg",
     "MemoryType", "Module", "ModuleBuilder", "PAGE_SIZE", "ReplayDivergence",
-    "ResourceExhausted", "SnapshotError", "TableType", "Trap", "ValType",
-    "ValidationError", "WasmError",
+    "ResourceExhausted", "ServiceError", "ServiceUnavailable",
+    "SnapshotError", "TableType", "Trap", "ValType",
+    "ValidationError", "WasmError", "WorkerKilled",
     "WatError", "decode_module", "encode_module", "format_body",
     "format_function", "format_instr", "format_module", "parse_wat",
     "validate_function", "validate_module",

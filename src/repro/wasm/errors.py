@@ -93,6 +93,37 @@ class ReplayDivergence(WasmError):
         super().__init__(message)
 
 
+class ServiceError(WasmError):
+    """Errors raised by the supervised execution service (:mod:`repro.serve`)."""
+
+
+class WorkerKilled(ServiceError):
+    """The supervisor hard-killed the worker running a request.
+
+    ``kill_class`` is the supervision taxonomy: ``"timeout"`` (the request
+    exceeded its hard wall-clock deadline), ``"oom"`` (the worker's RSS
+    crossed the configured ceiling), or ``"crash"`` (the worker process
+    died unexpectedly mid-request). A clean guest trap is *not* a kill —
+    it comes back as an ordinary error response.
+    """
+
+    def __init__(self, message: str, kill_class: str = "crash"):
+        self.kill_class = kill_class
+        super().__init__(message)
+
+
+class BreakerOpen(ServiceError):
+    """The circuit breaker quarantined this input.
+
+    An input whose requests killed a worker twice is refused fail-fast:
+    no worker is risked on it again for the pool's lifetime.
+    """
+
+
+class ServiceUnavailable(ServiceError):
+    """The service daemon cannot be reached (after bounded client retries)."""
+
+
 class AnalysisError(WasmError):
     """An analysis hook raised during dispatch.
 

@@ -1,0 +1,145 @@
+"""Corrupt and truncated crash bundles must fail with the exit taxonomy.
+
+A bundle directory is just files on disk — hand edits, interrupted writes,
+and copy mishaps all happen. ``repro bundle`` / ``repro replay`` (and the
+`load_crash_bundle` API under them) must answer damaged input with a clean
+taxonomy status and a diagnostic, never a ``json``/``OSError`` traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_FAILURE, EXIT_MALFORMED, main
+from repro.interp import load_crash_bundle
+from repro.interp.replay import load_log
+from repro.wasm import SnapshotError, WasmError
+
+
+TRAP_WAT = """
+(module
+  (memory 1)
+  (func (export "boom") (param i32) (result i32)
+    local.get 0
+    i32.load)
+)
+"""
+
+
+@pytest.fixture
+def trap_file(tmp_path):
+    from repro.wasm import encode_module, parse_wat
+    path = tmp_path / "trap.wasm"
+    path.write_bytes(encode_module(parse_wat(TRAP_WAT)))
+    return path
+
+
+@pytest.fixture
+def bundle(trap_file, tmp_path):
+    """A healthy recorded bundle (module + manifest + snapshot + log)."""
+    target = tmp_path / "bundle"
+    assert main(["run", str(trap_file), "boom", "0",
+                 "--record", str(target)]) == 0
+    return target
+
+
+class TestCorruptManifest:
+    def test_truncated_manifest_raises_wasm_error(self, bundle):
+        text = (bundle / "manifest.json").read_text()
+        (bundle / "manifest.json").write_text(text[: len(text) // 2])
+        with pytest.raises(WasmError, match="corrupt bundle manifest"):
+            load_crash_bundle(bundle)
+
+    def test_non_object_manifest_raises_wasm_error(self, bundle):
+        (bundle / "manifest.json").write_text('["not", "a", "manifest"]\n')
+        with pytest.raises(WasmError, match="not a JSON object"):
+            load_crash_bundle(bundle)
+
+    def test_bad_files_entry_raises_wasm_error(self, bundle):
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        manifest["files"] = "module.wasm"
+        (bundle / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(WasmError, match="'files' entry"):
+            load_crash_bundle(bundle)
+
+    def test_cli_bundle_exits_cleanly(self, bundle, capsys):
+        (bundle / "manifest.json").write_text("{ truncated")
+        assert main(["bundle", str(bundle)]) == EXIT_FAILURE
+        assert "corrupt bundle manifest" in capsys.readouterr().err
+
+    def test_cli_replay_exits_cleanly(self, bundle, capsys):
+        (bundle / "manifest.json").write_text("{ truncated")
+        assert main(["replay", str(bundle)]) == EXIT_FAILURE
+        assert "corrupt bundle manifest" in capsys.readouterr().err
+
+
+class TestMissingFiles:
+    def test_missing_module_raises_wasm_error(self, bundle):
+        (bundle / "module.wasm").unlink()
+        with pytest.raises(WasmError, match="cannot be read"):
+            load_crash_bundle(bundle)
+
+    def test_missing_replay_log_raises_wasm_error(self, bundle):
+        (bundle / "replay.jsonl").unlink()
+        with pytest.raises(WasmError, match="cannot read replay log"):
+            load_crash_bundle(bundle)
+
+    def test_missing_snapshot_raises_snapshot_error(self, bundle):
+        (bundle / "snapshot.json").unlink()
+        with pytest.raises(SnapshotError, match="missing"):
+            load_crash_bundle(bundle)
+
+    def test_cli_bundle_on_missing_module(self, bundle, capsys):
+        (bundle / "module.wasm").unlink()
+        assert main(["bundle", str(bundle)]) == EXIT_FAILURE
+        assert "cannot be read" in capsys.readouterr().err
+
+    def test_cli_replay_on_missing_log(self, bundle, capsys):
+        (bundle / "replay.jsonl").unlink()
+        assert main(["replay", str(bundle)]) == EXIT_FAILURE
+        assert "replay log" in capsys.readouterr().err
+
+    def test_not_a_bundle_directory(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["bundle", str(empty)]) == EXIT_FAILURE
+        assert "not a crash bundle" in capsys.readouterr().err
+
+
+class TestCorruptPayloads:
+    def test_corrupt_replay_log(self, bundle):
+        path = bundle / "replay.jsonl"
+        path.write_text(path.read_text()[:-20] + "\n{ half a line")
+        with pytest.raises(WasmError, match="corrupt replay log"):
+            load_crash_bundle(bundle)
+
+    def test_wrong_schema_replay_log(self, bundle):
+        (bundle / "replay.jsonl").write_text(
+            '{"schema": "something/else"}\n{"kind": "x"}\n')
+        with pytest.raises(WasmError, match="not a repro replay log"):
+            load_crash_bundle(bundle)
+
+    def test_non_object_log_header(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(WasmError, match="not a repro replay log"):
+            load_log(path)
+
+    def test_corrupt_snapshot_raises_snapshot_error(self, bundle):
+        (bundle / "snapshot.json").write_text("{ definitely not json")
+        with pytest.raises(SnapshotError, match="corrupt bundle snapshot"):
+            load_crash_bundle(bundle)
+
+    def test_cli_replay_on_corrupt_snapshot(self, bundle, capsys):
+        (bundle / "snapshot.json").write_text("{ definitely not json")
+        assert main(["replay", str(bundle)]) == EXIT_FAILURE
+        assert "snapshot" in capsys.readouterr().err
+
+    def test_corrupt_module_still_loads_then_fails_taxonomically(
+            self, bundle, capsys):
+        # a module that no longer decodes loads fine (bundle inspection
+        # must work on broken binaries) but replay reports EXIT_MALFORMED
+        (bundle / "module.wasm").write_bytes(b"\x00asm garbage here")
+        loaded = load_crash_bundle(bundle)
+        assert loaded.module_bytes.startswith(b"\x00asm")
+        assert main(["replay", str(bundle)]) == EXIT_MALFORMED

@@ -305,3 +305,88 @@ class TestSessionPlumbing:
         instance = machine.instantiate(grow_module, Linker())
         instance.invoke("grow", [2])
         assert machine.resource_usage().peak_pages == 3
+
+
+class TestSegmentMetering:
+    """Compiled straight-line segments (OP_SEGMENT, PR 7) must not change
+    resource governance: the loop back-edge still charges fuel every
+    iteration, and the deadline is still checked on the
+    DEADLINE_CHECK_INTERVAL cadence even when the loop body collapses to a
+    single segment dispatch."""
+
+    @pytest.fixture
+    def segment_module(self):
+        # ~40 dependent arithmetic statements: one maximal straight-line
+        # run, far above _SEGMENT_MIN, so quickening compiles the loop
+        # body into an OP_SEGMENT slot
+        body = "\n".join(f"                acc = acc * 3 + {k};"
+                         for k in range(40))
+        return compile_source(f"""
+            export func crunch(n: i32) -> i32 {{
+                var i: i32 = 0;
+                var acc: i32 = 0;
+                while (i < n) {{
+{body}
+                    i = i + 1;
+                }}
+                return acc;
+            }}
+        """, "segment")
+
+    def test_quickened_stream_contains_a_segment(self, segment_module):
+        from repro.interp.predecode import OP_SEGMENT, decode_function
+        quickened = [decode_function(f, segment_module, quicken=True).code
+                     for f in segment_module.functions]
+        assert any(slot[0] == OP_SEGMENT
+                   for code in quickened for slot in code)
+        plain = [decode_function(f, segment_module, quicken=False).code
+                 for f in segment_module.functions]
+        assert all(slot[0] != OP_SEGMENT
+                   for code in plain for slot in code)
+
+    def test_fuel_parity_quickened_vs_unquickened(self, segment_module):
+        spent = {}
+        for quicken in (True, False):
+            machine = Machine(predecode=True, quicken=quicken,
+                              limits=ResourceLimits(observe=True))
+            instance = machine.instantiate(segment_module, Linker())
+            instance.invoke("crunch", [500])
+            spent[quicken] = machine.resource_usage().fuel_spent
+        assert spent[True] == spent[False]
+        assert spent[True] >= 500  # the back-edge charges every iteration
+
+    def test_fuel_exhaustion_inside_segment_loop(self, segment_module):
+        machine = Machine(predecode=True, quicken=True,
+                          limits=ResourceLimits(fuel=100))
+        instance = machine.instantiate(segment_module, Linker())
+        with pytest.raises(FuelExhausted):
+            instance.invoke("crunch", [10**9])
+
+    def test_deadline_cadence_with_segments(self, segment_module):
+        from repro.interp.limits import DEADLINE_CHECK_INTERVAL
+
+        reads = [0]
+
+        def counting_clock():
+            # every read advances "time" a full second, so the deadline is
+            # in the past from the first post-arm check onward; the trip
+            # point then measures the *check cadence*, not real time
+            reads[0] += 1
+            return float(reads[0])
+
+        limits = ResourceLimits(fuel=50 * DEADLINE_CHECK_INTERVAL,
+                                deadline_seconds=5.0)
+        machine = Machine(predecode=True, quicken=True, limits=limits)
+        machine._meter = Meter(limits, clock=counting_clock)
+        instance = machine.instantiate(segment_module, Linker())
+        # the fuel budget is a backstop: if segments suppressed the
+        # deadline cadence, this raises FuelExhausted (a clean failure)
+        # instead of spinning for 10**9 iterations
+        with pytest.raises(DeadlineExceeded):
+            instance.invoke("crunch", [10**9])
+        charges = machine._meter.fuel_spent_total
+        # the deadline armed ~5s ahead and the clock leaps 1s per read, so
+        # the trip lands within a handful of 128-charge check windows
+        assert charges <= 10 * DEADLINE_CHECK_INTERVAL
+        # and the clock was actually read on the documented cadence
+        assert reads[0] >= charges // DEADLINE_CHECK_INTERVAL
