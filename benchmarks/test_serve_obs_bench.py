@@ -1,0 +1,121 @@
+"""Enabled-observability overhead on the serve hot path (BENCH_serve_obs.json).
+
+The acceptance criterion for the observability layer: with structured
+logging, the flight recorder, the scrape surface, and per-op latency
+histograms all enabled, ping throughput through the full socket stack
+must be within **2%** of the pre-observability daemon.
+
+Methodology (and what the floor does *not* claim):
+
+* **The floor is asserted on untraced pings.** Tracing is head-sampled:
+  a request only pays for span construction when the *client* attached a
+  trace context. The always-on per-request cost — the ``trace`` field
+  pop, two clock reads, one histogram observe + counter increment under
+  a lock — is what the 2% budget covers. Fully-traced request rates are
+  recorded informationally (``ping_traced_rps``), not asserted, because
+  opting a request into tracing is a caller's explicit choice.
+* **The baseline arm is the same daemon with the per-op accounting
+  stubbed out** — the one piece of observability that sits on every
+  request — which reproduces the pre-observability dispatch path without
+  resurrecting old code.
+* **Interleaved A/B.** Alternating baseline/enabled rounds under one
+  process and one warmed pool, median-of-rounds, so drift (CPU
+  frequency, page cache) hits both arms equally. Ping rates on this
+  transport are noisy at the single-percent level; the interleaving and
+  medians are what make a 2% assertion meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+
+from repro.obs import Telemetry
+from repro.serve import ServeClient, ServeConfig, ServeDaemon, WorkerPool
+
+ROUNDS = 9           # interleaved A/B rounds per arm (median taken)
+PINGS_PER_ROUND = 150
+TRACED_ROUNDS = 3
+OVERHEAD_FLOOR_PCT = 2.0
+
+
+class _BaselineDaemon(ServeDaemon):
+    """The enabled daemon minus the always-on per-request accounting —
+    the pre-observability dispatch path, for the A arm."""
+
+    def _observe_op(self, op, outcome, elapsed):
+        pass
+
+
+def _ping_rate(client: ServeClient, pings: int) -> float:
+    start = time.perf_counter()
+    for _ in range(pings):
+        client.ping()
+    return pings / (time.perf_counter() - start)
+
+
+def _serve(tmp_path, name: str, daemon_cls):
+    pool = WorkerPool(ServeConfig(workers=1, request_timeout=120.0,
+                                  poll_interval=0.005)).start()
+    socket_path = tmp_path / f"{name}.sock"
+    daemon = daemon_cls(socket_path, pool).start()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    return daemon, thread, ServeClient(socket_path)
+
+
+def test_observability_overhead_on_ping(results_dir, tmp_path):
+    base_daemon, base_thread, base_client = _serve(
+        tmp_path, "base", _BaselineDaemon)
+    obs_daemon, obs_thread, obs_client = _serve(
+        tmp_path, "obs", ServeDaemon)
+    try:
+        # warm both stacks (socket path, worker, allocator)
+        for client in (base_client, obs_client):
+            for _ in range(30):
+                assert client.ping()["ok"]
+
+        base_rates, obs_rates = [], []
+        for _ in range(ROUNDS):
+            base_rates.append(_ping_rate(base_client, PINGS_PER_ROUND))
+            obs_rates.append(_ping_rate(obs_client, PINGS_PER_ROUND))
+        baseline_rps = statistics.median(base_rates)
+        enabled_rps = statistics.median(obs_rates)
+
+        # informational: the price a caller pays for *opting in* to tracing
+        traced_client = ServeClient(obs_daemon.socket_path,
+                                    telemetry=Telemetry())
+        traced_rates = [_ping_rate(traced_client, PINGS_PER_ROUND)
+                        for _ in range(TRACED_ROUNDS)]
+        traced_rps = statistics.median(traced_rates)
+    finally:
+        base_daemon.stop()
+        obs_daemon.stop()
+        base_thread.join(timeout=10.0)
+        obs_thread.join(timeout=10.0)
+
+    overhead_pct = 100 * (baseline_rps - enabled_rps) / baseline_rps
+    payload = {
+        "ping_baseline_rps": round(baseline_rps, 1),
+        "ping_enabled_rps": round(enabled_rps, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "floor_pct": OVERHEAD_FLOOR_PCT,
+        "ping_traced_rps": round(traced_rps, 1),
+        "traced_overhead_pct": round(
+            100 * (baseline_rps - traced_rps) / baseline_rps, 2),
+        "rounds": ROUNDS,
+        "pings_per_round": PINGS_PER_ROUND,
+        "methodology": "interleaved A/B, median of rounds; floor asserted "
+                       "on untraced pings (tracing is head-sampled per "
+                       "request); traced rate recorded informationally",
+    }
+    path = results_dir / "BENCH_serve_obs.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"ping baseline {baseline_rps:,.0f}/s vs enabled "
+          f"{enabled_rps:,.0f}/s ({overhead_pct:+.2f}%) | traced "
+          f"{traced_rps:,.0f}/s [recorded in {path}]")
+
+    # the acceptance criterion: enabled observability costs <= 2%
+    assert overhead_pct <= OVERHEAD_FLOOR_PCT, payload

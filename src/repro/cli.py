@@ -50,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import asdict, replace
 from pathlib import Path
 
@@ -259,6 +260,11 @@ def _limits_from_args(args: argparse.Namespace) -> ResourceLimits | None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
+    if telemetry is not None and getattr(args, "serve", None):
+        # service route: open the trace now so the local decode span joins
+        # the same stitched client->daemon->worker tree
+        telemetry.tracer.process = "client"
+        telemetry.tracer.ensure_trace()
     try:
         with maybe_span(telemetry, "decode", path=args.input):
             module = _load(args.input)
@@ -268,7 +274,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     call_args = [float(a) if "." in a else int(a) for a in args.args]
     limits = _limits_from_args(args)
     if getattr(args, "serve", None):
-        return _run_via_service(args, call_args, limits)
+        return _run_via_service(args, call_args, limits, telemetry)
     printed: list = []
     linker = _default_linker(printed)
     recorder = Recorder() if (args.record or args.crash_dir) else None
@@ -286,15 +292,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_via_service(args: argparse.Namespace, call_args,
-                     limits: ResourceLimits | None) -> int:
-    """Route ``repro run --serve SOCKET`` through the service daemon."""
+                     limits: ResourceLimits | None,
+                     telemetry: Telemetry | None = None) -> int:
+    """Route ``repro run --serve SOCKET`` through the service daemon.
+
+    With ``--trace-out``, the client's telemetry sink rides along: the
+    request carries a trace context, the daemon and worker continue it,
+    and the exported artifact is the stitched cross-process trace.
+    """
     from .serve import ServeClient
     if args.record or args.crash_dir or args.pgo_profile:
         print("repro: --record/--crash-dir/--pgo-profile cannot combine with "
               "--serve (the daemon owns bundling and engine flags)",
               file=sys.stderr)
         return EXIT_USAGE
-    client = ServeClient(args.serve)
+    client = ServeClient(args.serve, telemetry=telemetry)
     try:
         response = client.run(
             Path(args.input).read_bytes(), args.entry, call_args,
@@ -311,7 +323,9 @@ def _run_via_service(args: argparse.Namespace, call_args,
     except OSError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return EXIT_FAILURE
-    return _render_service_run(args, call_args, response)
+    status = _render_service_run(args, call_args, response)
+    _write_artifacts(telemetry, args)
+    return status
 
 
 def _render_service_run(args: argparse.Namespace, call_args,
@@ -356,7 +370,8 @@ def _instrument_via_service(args: argparse.Namespace) -> int:
     groups = None
     if args.hooks != "all":
         groups = sorted(set(args.hooks.split(",")))
-    client = ServeClient(args.serve)
+    telemetry = _telemetry_from_args(args)
+    client = ServeClient(args.serve, telemetry=telemetry)
     try:
         response = client.instrument(Path(args.input).read_bytes(), groups)
     except ServiceUnavailable as exc:
@@ -379,6 +394,7 @@ def _instrument_via_service(args: argparse.Namespace) -> int:
     print(f"  hooks generated: {response.get('hook_count')}")
     print(f"  size: {original_size} -> {len(raw)} bytes "
           f"({100 * (len(raw) - original_size) / original_size:+.1f}%)")
+    _write_artifacts(telemetry, args)
     return EXIT_OK
 
 
@@ -386,8 +402,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """Run the supervised instrumentation daemon (see repro.serve)."""
     import signal
 
+    from .obs import StructuredLogger
     from .serve import ServeConfig, ServeDaemon, WorkerPool
     telemetry = _telemetry_from_args(args)
+    # The scrape surface always has a sink: per-op histograms and folded
+    # pool counters must exist even when no --metrics-out flag was given.
+    scrape_telemetry = telemetry if telemetry is not None else Telemetry()
+    logger = StructuredLogger("repro.serve", level=args.log_level,
+                              path=args.log_file, stream="stderr")
     config = ServeConfig(
         workers=args.workers,
         request_timeout=args.request_timeout,
@@ -395,15 +417,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         crash_dir=args.crash_dir,
         allow_test_ops=args.allow_test_ops)
-    pool = WorkerPool(config, telemetry=telemetry).start()
-    if pool.degraded:
-        print(f"repro: service DEGRADED: {pool.degraded_reason} "
-              f"(requests run unsupervised in-process)", file=sys.stderr)
-    daemon = ServeDaemon(args.socket, pool, telemetry=telemetry)
+    pool = WorkerPool(config, telemetry=telemetry, logger=logger).start()
+    daemon = ServeDaemon(args.socket, pool, telemetry=scrape_telemetry,
+                         logger=logger, metrics_port=args.metrics_port)
     daemon.start()
     rss = f"{config.rss_limit_mb:g} MiB" if config.rss_limit_mb else "off"
+    http = (f", metrics http://127.0.0.1:{daemon.metrics_port}/metrics"
+            if daemon.metrics_port is not None else "")
     print(f"repro: serving on {args.socket} ({config.workers} workers, "
-          f"timeout {config.request_timeout:g}s, rss ceiling {rss})",
+          f"timeout {config.request_timeout:g}s, rss ceiling {rss}{http})",
           flush=True)
 
     def _stop_signal(signum, frame):  # pragma: no cover - signal path
@@ -419,14 +441,102 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         daemon.stop()
         stats = pool.stats()
-        pool.fold_into_telemetry(telemetry)
+        pool.fold_into_telemetry(scrape_telemetry)
         kills = sum(stats["kills"].values())
         print(f"repro: served {stats['requests_total']} requests "
               f"({kills} kills, {stats['worker_restarts']} restarts, "
               f"{stats['cache_hits']} cache hits, "
               f"{stats['warm_hits']} warm hits)", file=sys.stderr)
         _write_artifacts(telemetry, args)
+        logger.close()
     return EXIT_OK
+
+
+def _render_top(payload: dict, previous: dict | None = None,
+                interval: float = 2.0) -> str:
+    """One ``repro top`` frame, rendered from a ``stats`` op response.
+
+    Pure: takes this poll's payload (and the previous one, for req/s
+    deltas) and returns the screenful. Tested without a live daemon.
+    """
+    stats = payload.get("stats", {})
+    daemon = payload.get("daemon", {})
+    lines = []
+    uptime = daemon.get("uptime_seconds", 0.0)
+    lines.append(f"repro serve — {daemon.get('socket', '?')}  "
+                 f"pid {daemon.get('pid', '?')}  up {uptime:,.0f}s")
+    total = stats.get("requests_total", 0)
+    rate = ""
+    if previous is not None and interval > 0:
+        delta = total - previous.get("stats", {}).get("requests_total", 0)
+        rate = f"  ({delta / interval:.1f} req/s)"
+    lines.append(f"requests: {total}{rate}   "
+                 f"failed: {stats.get('requests_failed', 0)}   "
+                 f"retried: {stats.get('requests_retried', 0)}")
+    lines.append(f"workers:  {stats.get('workers_live', 0)} live / "
+                 f"{stats.get('workers_idle', 0)} idle   "
+                 f"queue: {stats.get('queue_depth', 0)}   "
+                 f"restarts: {stats.get('worker_restarts', 0)}   "
+                 f"spawned: {stats.get('workers_spawned', 0)}")
+    kills = stats.get("kills", {})
+    lines.append(f"kills:    "
+                 + "  ".join(f"{kind}={kills.get(kind, 0)}"
+                             for kind in ("timeout", "oom", "crash")))
+    lines.append(f"breaker:  {stats.get('breaker_open', 0)} open   "
+                 f"trips: {stats.get('breaker_trips', 0)}")
+    lines.append(f"cache:    {stats.get('cache_hits', 0)} hits / "
+                 f"{stats.get('cache_misses', 0)} misses / "
+                 f"{stats.get('cache_evictions', 0)} evictions   "
+                 f"warm: {stats.get('warm_hits', 0)}/"
+                 f"{stats.get('warm_misses', 0)}")
+    if stats.get("degraded"):
+        lines.append("state:    DEGRADED (unsupervised in-process execution)")
+    ops = daemon.get("ops", {})
+    if ops:
+        lines.append("")
+        lines.append(f"  {'op':<12} {'count':>8} {'mean':>10} "
+                     f"{'p50':>10} {'p95':>10}  outcomes")
+        for op in sorted(ops):
+            row = ops[op]
+            outcomes = " ".join(
+                f"{k}={v}" for k, v in sorted(row.get("outcomes", {}).items()))
+            lines.append(
+                f"  {op:<12} {row.get('count', 0):>8} "
+                f"{row.get('mean_seconds', 0.0) * 1e3:>8.2f}ms "
+                f"{row.get('p50_seconds', 0.0) * 1e3:>8.2f}ms "
+                f"{row.get('p95_seconds', 0.0) * 1e3:>8.2f}ms  {outcomes}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live (or one-shot) view of a running daemon's ``stats`` surface."""
+    from .serve import ServeClient
+    client = ServeClient(args.socket, retries=0)
+    try:
+        payload = client.stats()
+    except ServiceUnavailable as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    if args.once:
+        print(_render_top(payload))
+        return EXIT_OK
+    previous = None
+    try:
+        while True:
+            print("\x1b[2J\x1b[H" + _render_top(payload, previous,
+                                                args.interval), flush=True)
+            previous = payload
+            time.sleep(args.interval)
+            try:
+                payload = client.stats()
+            except ServiceUnavailable as exc:
+                print(f"repro: {exc}", file=sys.stderr)
+                return EXIT_FAILURE
+    except KeyboardInterrupt:
+        return EXIT_OK
 
 
 def _report_analysis(analysis: Analysis) -> None:
@@ -681,6 +791,11 @@ def cmd_bundle(args: argparse.Namespace) -> int:
         kinds = Counter(entry["kind"] for entry in bundle.log)
         detail = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
         print(f"  replay log: {len(bundle.log)} entries ({detail or 'empty'})")
+    if bundle.flight is not None:
+        last = bundle.flight[-1] if bundle.flight else None
+        tail = (f" (last: [{last.get('level')}] {last.get('event')})"
+                if last else "")
+        print(f"  flight log: {len(bundle.flight)} entries{tail}")
     if args.verify:
         problems = _verify_bundle(bundle)
         if problems:
@@ -1169,8 +1284,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--allow-test-ops", action="store_true",
                    help="honor __test__ fault-injection requests (CI smoke "
                         "and tests only)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="also serve GET /metrics (Prometheus text) and "
+                        "GET /stats (JSON) over HTTP on 127.0.0.1:PORT "
+                        "(0 picks an ephemeral port)")
+    p.add_argument("--log-file", metavar="PATH", default=None,
+                   help="append structured JSONL logs (repro.log/1) here, "
+                        "with size-based rotation")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="minimum level written to --log-file and echoed to "
+                        "stderr (default: info); the in-memory flight "
+                        "recorder always captures everything")
     _add_telemetry_flags(p, profile=False)
     p.set_defaults(fn=cmd_serve, profile=False)
+
+    p = sub.add_parser("top", help="live view of a running daemon's stats "
+                                   "(poll the service's `stats` op)")
+    p.add_argument("--socket", default="/tmp/repro-serve.sock",
+                   help="unix socket path (default: /tmp/repro-serve.sock)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="print the raw stats response as JSON and exit")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("bundle", help="inspect a crash bundle directory")
     p.add_argument("bundle", help="crash bundle directory")

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -574,8 +573,11 @@ def run_fuzz_campaign(config: FuzzConfig) -> FuzzResult:
                         backend=default_backend() if config.coverage else None)
     if state.reset_reason is not None:
         result.corpus_reset = state.reset_reason
-        print(f"repro: fuzz corpus reset: {state.reset_reason}; "
-              f"starting a fresh campaign", file=sys.stderr)
+        from ..obs.log import get_logger
+        get_logger("repro.fuzz").warning(
+            "fuzz corpus reset",
+            msg=f"{state.reset_reason}; starting a fresh campaign",
+            reason=state.reset_reason)
     # signatures already in the persisted table are not "new" this run
     result.preexisting = frozenset(state.signatures)
 

@@ -355,7 +355,9 @@ class CrashBundle:
     metrics); ``module_bytes`` the exact binary; ``snapshot`` the
     pre-invocation state (None for pipeline-stage failures that never
     instantiated); ``log`` the recorded host-boundary entries (None
-    likewise).
+    likewise); ``flight`` the service flight-recorder tail — the
+    structured-log records leading up to a worker kill (None for
+    non-service bundles).
     """
 
     path: Path
@@ -363,6 +365,7 @@ class CrashBundle:
     module_bytes: bytes
     snapshot: Snapshot | None = None
     log: list[dict] | None = field(default=None)
+    flight: list[dict] | None = field(default=None)
 
     @property
     def error(self) -> dict:
@@ -376,12 +379,14 @@ class CrashBundle:
 
 def write_crash_bundle(directory: str | Path, module_bytes: bytes,
                        manifest: dict, snapshot: Snapshot | None = None,
-                       recorder: Recorder | None = None) -> Path:
+                       recorder: Recorder | None = None,
+                       flight: list[dict] | None = None) -> Path:
     """Write a self-contained crash bundle directory.
 
     Layout: ``manifest.json`` (schema-tagged), ``module.wasm``,
-    optionally ``snapshot.json`` and ``replay.jsonl``. Existing files are
-    overwritten — a bundle directory is owned by its failure.
+    optionally ``snapshot.json``, ``replay.jsonl``, and ``flight.jsonl``
+    (the service flight-recorder tail). Existing files are overwritten —
+    a bundle directory is owned by its failure.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -392,11 +397,16 @@ def write_crash_bundle(directory: str | Path, module_bytes: bytes,
         full["files"]["snapshot"] = "snapshot.json"
     if recorder is not None:
         full["files"]["replay"] = "replay.jsonl"
+    if flight is not None:
+        full["files"]["flight"] = "flight.jsonl"
     (directory / "module.wasm").write_bytes(module_bytes)
     if snapshot is not None:
         snapshot.write(directory / "snapshot.json")
     if recorder is not None:
         recorder.write(directory / "replay.jsonl")
+    if flight is not None:
+        from ..obs.log import flight_to_jsonl
+        (directory / "flight.jsonl").write_text(flight_to_jsonl(flight))
     (directory / "manifest.json").write_text(
         json.dumps(full, indent=2, default=str) + "\n")
     return directory
@@ -453,5 +463,19 @@ def load_crash_bundle(directory: str | Path) -> CrashBundle:
     log = None
     if "replay" in files:
         log = load_log(directory / files["replay"])
+    flight = None
+    if "flight" in files:
+        from ..obs.log import flight_from_jsonl
+        flight_path = directory / files["flight"]
+        try:
+            flight = flight_from_jsonl(flight_path.read_text())
+        except FileNotFoundError:
+            raise WasmError(
+                f"bundle manifest names flight log {files['flight']!r} "
+                f"but the file is missing") from None
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            raise WasmError(f"{directory}: corrupt bundle flight log "
+                            f"{files['flight']!r}: {exc}") from None
     return CrashBundle(path=directory, manifest=manifest,
-                       module_bytes=module_bytes, snapshot=snapshot, log=log)
+                       module_bytes=module_bytes, snapshot=snapshot, log=log,
+                       flight=flight)

@@ -1,4 +1,4 @@
-"""Observability: metrics, pipeline span tracing, and the engine profiler.
+"""Observability: metrics, span tracing, structured logging, the profiler.
 
 Public surface of the telemetry subsystem. Typical use::
 
@@ -11,11 +11,15 @@ Public surface of the telemetry subsystem. Typical use::
     tele.write_trace("run.trace.json")
 """
 
-from .metrics import (HOOK_LATENCY_BUCKETS, STAGE_SECONDS_BUCKETS, Counter,
-                      Gauge, Histogram, MetricsRegistry, parse_prometheus)
+from .log import (LOG_SCHEMA, FlightRecorder, StructuredLogger,
+                  flight_from_jsonl, flight_to_jsonl, get_logger)
+from .metrics import (HOOK_LATENCY_BUCKETS, SERVE_LATENCY_BUCKETS,
+                      STAGE_SECONDS_BUCKETS, Counter, Gauge, Histogram,
+                      MetricsRegistry, parse_prometheus)
 from .profiler import DEFAULT_SAMPLE_INTERVAL, Profiler
-from .spans import (Span, Tracer, measure, spans_from_chrome_trace,
-                    spans_from_jsonl, spans_to_chrome_trace, spans_to_jsonl)
+from .spans import (Span, SpanContext, Tracer, measure,
+                    spans_from_chrome_trace, spans_from_jsonl,
+                    spans_to_chrome_trace, spans_to_jsonl)
 from .telemetry import (METRICS_SCHEMA, Event, Telemetry, maybe_span,
                         render_report)
 
@@ -26,8 +30,10 @@ __all__ = [
     "MetricsRegistry",
     "HOOK_LATENCY_BUCKETS",
     "STAGE_SECONDS_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
     "parse_prometheus",
     "Span",
+    "SpanContext",
     "Tracer",
     "measure",
     "spans_to_jsonl",
@@ -41,4 +47,10 @@ __all__ = [
     "METRICS_SCHEMA",
     "maybe_span",
     "render_report",
+    "StructuredLogger",
+    "FlightRecorder",
+    "get_logger",
+    "LOG_SCHEMA",
+    "flight_to_jsonl",
+    "flight_from_jsonl",
 ]

@@ -1,0 +1,242 @@
+"""Structured JSONL logging with a bounded in-memory flight recorder.
+
+The service layer needs a durable, greppable event stream — worker kills,
+breaker trips, degradation, respawn failures — that exists even when no
+:class:`~repro.obs.telemetry.Telemetry` sink is attached. This module is
+that stream, in three sinks behind one call:
+
+* **flight recorder** — every record (regardless of level) lands in a
+  bounded ring buffer; :meth:`StructuredLogger.tail` returns the recent
+  history, which the worker pool dumps into every ``kind: service`` crash
+  bundle so each kill ships the events that led up to it;
+* **file** — records at or above the threshold are appended as one JSON
+  object per line (schema ``repro.log/1``), with simple size-based
+  rotation (``path`` → ``path.1`` → … → ``path.N``);
+* **stream** — the same records rendered as a short human-readable line.
+  Pass the literal string ``"stderr"`` to resolve ``sys.stderr`` at write
+  time (so pytest's capture sees it), or any object with ``write``.
+
+The clock is injected (``time.time`` — wall time, since log timestamps are
+for correlation with the outside world, unlike span timestamps).
+Loggers are cheap and unsynchronized except for a single lock around the
+emit path, which the daemon's thread-per-connection model requires.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+LOG_SCHEMA = "repro.log/1"
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_LEVEL_NAMES = {v: k for k, v in LEVELS.items()}
+
+DEFAULT_FLIGHT_CAPACITY = 256
+
+
+def _level_no(level: str | int) -> int:
+    if isinstance(level, int):
+        return level
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ValueError(f"unknown log level {level!r} "
+                         f"(expected one of {sorted(LEVELS)})") from None
+
+
+class FlightRecorder:
+    """A bounded ring buffer of recent log records (dicts).
+
+    Capacity-bounded and allocation-light (one ``deque`` append per
+    record); shared between loggers so the daemon and its pool contribute
+    to one history.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY):
+        self._entries: deque[dict] = deque(maxlen=max(1, capacity))
+
+    def record(self, entry: dict) -> None:
+        self._entries.append(entry)
+
+    def tail(self, n: int | None = None) -> list[dict]:
+        """The most recent ``n`` records (all of them when ``n`` is None)."""
+        entries = list(self._entries)
+        if n is not None and n >= 0:
+            entries = entries[len(entries) - min(n, len(entries)):]
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class StructuredLogger:
+    """Leveled JSONL logger backed by a flight recorder.
+
+    Every record is a flat dict: ``{"ts", "level", "logger", "event",
+    **fields}``. ``event`` is a stable machine-matchable name (e.g.
+    ``serve_worker_killed``); free-form prose goes in a ``msg`` field.
+    """
+
+    def __init__(self, name: str = "repro", *,
+                 level: str | int = "info",
+                 path: str | os.PathLike | None = None,
+                 max_bytes: int = 4 * 1024 * 1024,
+                 backups: int = 2,
+                 stream: object | None = None,
+                 recorder: FlightRecorder | None = None,
+                 clock: Callable[[], float] = time.time):
+        self.name = name
+        self.level = _level_no(level)
+        self.path = os.fspath(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.stream = stream
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._file: io.TextIOWrapper | None = None
+
+    # -- emit path -------------------------------------------------------
+
+    def log(self, level: str | int, event: str, **fields) -> dict:
+        """Record one event; returns the record dict."""
+        level_no = _level_no(level)
+        record = {"ts": self.clock(),
+                  "level": _LEVEL_NAMES.get(level_no, str(level_no)),
+                  "logger": self.name, "event": event}
+        record.update(fields)
+        with self._lock:
+            self.recorder.record(record)
+            if level_no >= self.level:
+                if self.path is not None:
+                    self._write_file(record)
+                if self.stream is not None:
+                    self._write_stream(record)
+        return record
+
+    def debug(self, event: str, **fields) -> dict:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> dict:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> dict:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> dict:
+        return self.log("error", event, **fields)
+
+    def tail(self, n: int | None = None) -> list[dict]:
+        """Recent records from the flight recorder (see that class)."""
+        return self.recorder.tail(n)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    # -- sinks -----------------------------------------------------------
+
+    def _write_file(self, record: dict) -> None:
+        if self._file is None:
+            self._file = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(record, sort_keys=True, default=str)
+        # rotate *before* a write that would overflow, so the active path
+        # always exists and always holds the newest records
+        if (self.max_bytes and self._file.tell()
+                and self._file.tell() + len(line) + 1 > self.max_bytes):
+            self._rotate()
+            self._file = open(self.path, "a", encoding="utf-8")
+        self._file.write(line + "\n")
+        self._file.flush()
+
+    def _rotate(self) -> None:
+        self._file.close()
+        self._file = None
+        for i in range(self.backups, 0, -1):
+            older = f"{self.path}.{i}"
+            newer = f"{self.path}.{i - 1}" if i > 1 else self.path
+            if os.path.exists(newer):
+                os.replace(newer, older)
+
+    def _write_stream(self, record: dict) -> None:
+        stream = sys.stderr if self.stream == "stderr" else self.stream
+        extras = " ".join(f"{k}={_render_field(v)}" for k, v in record.items()
+                          if k not in ("ts", "level", "logger", "event", "msg"))
+        msg = record.get("msg")
+        parts = [f"repro[{record['level']}]", f"{record['logger']}:",
+                 str(record["event"])]
+        if msg:
+            parts.append(f"— {msg}")
+        if extras:
+            parts.append(extras)
+        try:
+            stream.write(" ".join(parts) + "\n")
+            if hasattr(stream, "flush"):
+                stream.flush()
+        except (ValueError, OSError):  # closed stream: logging never raises
+            pass
+
+
+def _render_field(value: object) -> str:
+    if isinstance(value, str):
+        return value if value and " " not in value else json.dumps(value)
+    return json.dumps(value, default=str)
+
+
+# -- flight-log (de)serialization ---------------------------------------------
+
+
+def flight_to_jsonl(entries: list[dict]) -> str:
+    """Render flight-recorder records for a crash bundle: a schema header
+    line followed by one record per line."""
+    lines = [json.dumps({"schema": LOG_SCHEMA, "entries": len(entries)},
+                        sort_keys=True)]
+    lines.extend(json.dumps(entry, sort_keys=True, default=str)
+                 for entry in entries)
+    return "\n".join(lines) + "\n"
+
+
+def flight_from_jsonl(text: str) -> list[dict]:
+    """Inverse of :func:`flight_to_jsonl`; raises ``ValueError`` on a
+    malformed or wrong-schema payload (callers map this to WasmError)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty flight log")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("schema") != LOG_SCHEMA:
+        raise ValueError(f"flight log schema mismatch: {header!r}")
+    entries = []
+    for line in lines[1:]:
+        entry = json.loads(line)
+        if not isinstance(entry, dict):
+            raise ValueError(f"flight log entry is not an object: {entry!r}")
+        entries.append(entry)
+    return entries
+
+
+# -- named default loggers ----------------------------------------------------
+
+_loggers: dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str = "repro") -> StructuredLogger:
+    """Process-wide default logger for ``name``: warnings and errors echo
+    to ``sys.stderr`` (resolved at write time), everything lands in its
+    flight recorder. Library code uses this when no logger is injected, so
+    a bare daemon still records its own kills."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructuredLogger(name, level="warning", stream="stderr")
+            _loggers[name] = logger
+        return logger

@@ -33,6 +33,15 @@ STAGE_SECONDS_BUCKETS: tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
 
+#: Default buckets for service request latencies (seconds): pings land in
+#: the sub-millisecond range, supervised runs anywhere up to the request
+#: timeout, so the range is wider and denser in the middle than the
+#: pipeline-stage buckets.
+SERVE_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
 Labels = tuple[tuple[str, str], ...]
 
 

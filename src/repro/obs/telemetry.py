@@ -71,10 +71,11 @@ class Telemetry:
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter,
                  profile: bool = False,
-                 sample_interval: int = DEFAULT_SAMPLE_INTERVAL):
+                 sample_interval: int = DEFAULT_SAMPLE_INTERVAL,
+                 process: str | None = None):
         self.clock = clock
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(clock=clock)
+        self.tracer = Tracer(clock=clock, process=process)
         self.events: list[Event] = []
         self.profiler: Profiler | None = (
             Profiler(sample_interval=sample_interval) if profile else None)
@@ -99,6 +100,12 @@ class Telemetry:
         event = Event(self.clock(), kind, fields)
         self.events.append(event)
         return event
+
+    def adopt_spans(self, entries: list[dict] | None,
+                    default_process: str | None = None) -> int:
+        """Fold remote span dicts (a ``repro.serve/1`` response's ``spans``)
+        into this run's tracer; they export and fold like local spans."""
+        return self.tracer.adopt(entries, default_process)
 
     def note_grow(self, pages_now: int) -> None:
         """Charge one executed ``memory.grow`` (called from the engines)."""

@@ -11,11 +11,18 @@ requests, and a unix-socket daemon (``repro serve``) + client expose the
 whole thing to other processes. When workers cannot start at all, the
 pool degrades to supervised-in-name-only in-process execution —
 explicitly reported, never silent.
+
+The running service is observable: daemon ops ``stats`` (JSON, schema
+``repro.serve-stats/1``) and ``metrics`` (Prometheus text exposition),
+an optional localhost HTTP listener for real scrapers, request traces
+that cross the client→daemon→worker process boundary, structured
+logging with a flight recorder whose tail ships inside every service
+crash bundle, and a live ``repro top`` view.
 """
 
 from .cache import CACHE_SCHEMA, ArtifactCache, artifact_key
 from .client import ServeClient
-from .daemon import ServeDaemon
+from .daemon import STATS_SCHEMA, ServeDaemon
 from .pool import WorkerPool
 from .supervisor import (KillReport, ServeConfig, WorkerSupervisor,
                          read_rss_mb, rss_monitoring_available)
@@ -23,7 +30,7 @@ from .worker import RequestHandler, worker_main
 
 __all__ = [
     "ArtifactCache", "CACHE_SCHEMA", "KillReport", "RequestHandler",
-    "ServeClient", "ServeConfig", "ServeDaemon", "WorkerPool",
-    "WorkerSupervisor", "artifact_key", "read_rss_mb",
+    "STATS_SCHEMA", "ServeClient", "ServeConfig", "ServeDaemon",
+    "WorkerPool", "WorkerSupervisor", "artifact_key", "read_rss_mb",
     "rss_monitoring_available", "worker_main",
 ]

@@ -9,6 +9,13 @@ the exit-status taxonomy for the caller to act on.
 
 Exhausting the transport retries raises
 :class:`~repro.wasm.errors.ServiceUnavailable`.
+
+Tracing: construct with a :class:`~repro.obs.Telemetry` sink and every
+request opens a client-side ``serve_request`` span, sends its
+:class:`~repro.obs.SpanContext` in the message's ``trace`` field, and
+adopts the daemon/worker spans that come back in the response — so the
+sink's exported trace is the stitched cross-process tree. Without a
+sink, the wire format and request path are unchanged.
 """
 
 from __future__ import annotations
@@ -25,16 +32,34 @@ class ServeClient:
     """Talks to one daemon socket; stateless between requests."""
 
     def __init__(self, socket_path: str | Path, timeout: float = 120.0,
-                 retries: int = 2, retry_delay: float = 0.1):
+                 retries: int = 2, retry_delay: float = 0.1,
+                 telemetry=None):
         self.socket_path = str(socket_path)
         self.timeout = timeout
         self.retries = retries
         self.retry_delay = retry_delay
+        self.telemetry = telemetry
+        if telemetry is not None and telemetry.tracer.process is None:
+            telemetry.tracer.process = "client"
 
     # -- transport -------------------------------------------------------------
 
     def request(self, message: dict, timeout: float | None = None) -> dict:
         """Send one request and return the decoded response dict."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._send(message, timeout)
+        tracer = telemetry.tracer
+        tracer.ensure_trace()
+        with tracer.span("serve_request", op=message.get("kind")):
+            message = dict(message)
+            message["trace"] = tracer.current_context().as_dict()
+            response = self._send(message, timeout)
+        tracer.adopt(response.pop("spans", None) if isinstance(response, dict)
+                     else None)
+        return response
+
+    def _send(self, message: dict, timeout: float | None = None) -> dict:
         budget = timeout if timeout is not None else self.timeout
         payload = wire.dumps(message)
         last_error: Exception | None = None
@@ -92,6 +117,10 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request({"kind": "stats"}, timeout=10.0)
+
+    def metrics(self) -> dict:
+        """The daemon's Prometheus text exposition (``metrics`` op)."""
+        return self.request({"kind": "metrics"}, timeout=10.0)
 
     def shutdown_daemon(self) -> dict:
         return self.request({"kind": "shutdown_daemon"}, timeout=10.0)

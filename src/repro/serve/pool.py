@@ -23,6 +23,12 @@ supervisors:
   in-process execution through the same :class:`RequestHandler` — with
   supervision disabled-but-reported: responses carry
   ``supervised: false`` and telemetry records the reason.
+* **Structured logging.** Every lifecycle event (kill, breaker trip,
+  degradation, respawn failure) goes through a
+  :class:`~repro.obs.log.StructuredLogger` — the module default when none
+  is injected — so a bare pool with no telemetry sink still records its
+  own kills, and the logger's flight-recorder tail is dumped into every
+  service crash bundle.
 
 All public methods are thread-safe; the daemon serves each connection
 from its own thread directly into :meth:`submit`.
@@ -35,17 +41,30 @@ import queue
 import threading
 import time
 
+from ..obs.log import get_logger
 from ..wasm.errors import BreakerOpen, WorkerKilled
 from .supervisor import (KillReport, ServeConfig, WorkerSupervisor,
                          rss_monitoring_available)
+
+#: Log level per pool event kind (everything else logs at ``info``).
+_EVENT_LEVELS = {
+    "serve_worker_killed": "warning",
+    "serve_breaker_open": "warning",
+    "serve_degraded": "error",
+    "serve_respawn_failed": "warning",
+    "serve_worker_slot_abandoned": "error",
+    "serve_rss_monitoring_unavailable": "warning",
+}
 
 
 class WorkerPool:
     """Routes requests onto supervised workers (or the degraded fallback)."""
 
-    def __init__(self, config: ServeConfig | None = None, telemetry=None):
+    def __init__(self, config: ServeConfig | None = None, telemetry=None,
+                 logger=None):
         self.config = config if config is not None else ServeConfig()
         self.telemetry = telemetry
+        self.logger = logger if logger is not None else get_logger("repro.serve")
         self._free: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._next_worker_id = 0
@@ -63,9 +82,12 @@ class WorkerPool:
         self.kills: dict[str, int] = {"timeout": 0, "oom": 0, "crash": 0}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self.warm_hits = 0
+        self.workers_spawned = 0
         self.bundles: list[str] = []
         self._workers_live = 0
+        self._waiting = 0  # requests currently blocked on a free worker
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -97,6 +119,8 @@ class WorkerPool:
             self._next_worker_id += 1
         supervisor = WorkerSupervisor(worker_id, self.config)
         supervisor.start()
+        with self._lock:
+            self.workers_spawned += 1
         return supervisor
 
     def _enter_degraded(self, reason: str) -> None:
@@ -133,12 +157,16 @@ class WorkerPool:
             return hashlib.sha256(basis.encode("utf-8")).hexdigest()
         return None
 
-    def submit(self, request: dict, timeout: float | None = None) -> dict:
+    def submit(self, request: dict, timeout: float | None = None,
+               tracer=None) -> dict:
         """Execute one request; returns the worker's response dict.
 
         Raises :class:`BreakerOpen` for quarantined inputs and
         :class:`WorkerKilled` (carrying ``kill_class`` and the bundle path
         when one was written) when supervision had to kill the request.
+        ``tracer`` (optional) records queue-wait and supervised-execute
+        spans for the cross-process trace; when ``None`` the request path
+        is exactly as before.
         """
         if self._closed:
             raise WorkerKilled("pool is closed", kill_class="crash")
@@ -157,10 +185,26 @@ class WorkerPool:
 
         attempts = 0
         while True:
-            supervisor = self._acquire()
+            waited_from = tracer.clock() if tracer is not None else 0.0
+            with self._lock:
+                self._waiting += 1
+            try:
+                supervisor = self._acquire()
+            finally:
+                with self._lock:
+                    self._waiting -= 1
+            if tracer is not None:
+                now = tracer.clock()
+                tracer.record("queue_wait", waited_from, now - waited_from)
+                executed_from = now
             outcome = supervisor.submit(
                 request, timeout=timeout,
                 rss_limit_mb=request.get("rss_limit_mb", ...))
+            if tracer is not None:
+                tracer.record("supervised_execute", executed_from,
+                              tracer.clock() - executed_from,
+                              worker=supervisor.worker_id, attempt=attempts,
+                              killed=isinstance(outcome, KillReport))
             if not isinstance(outcome, KillReport):
                 self._release(supervisor)
                 outcome["supervised"] = True
@@ -274,8 +318,9 @@ class WorkerPool:
         }
         name = f"{(digest or 'request')[:12]}-{report.kill_class}"
         target = Path(self.config.crash_dir) / name
+        flight = self.logger.tail() if self.logger is not None else None
         try:
-            write_crash_bundle(target, bytes(module), manifest)
+            write_crash_bundle(target, bytes(module), manifest, flight=flight)
         except OSError:
             return None
         return str(target)
@@ -319,10 +364,15 @@ class WorkerPool:
                 self.cache_misses += 1
             if response.get("warm"):
                 self.warm_hits += 1
+            evicted = response.get("cache_evicted")
+            if evicted:
+                self.cache_evictions += int(evicted)
 
     def _event(self, kind: str, **fields) -> None:
         if self.telemetry is not None:
             self.telemetry.event(kind, **fields)
+        if self.logger is not None:
+            self.logger.log(_EVENT_LEVELS.get(kind, "info"), kind, **fields)
 
     def stats(self) -> dict:
         with self._lock:
@@ -331,9 +381,13 @@ class WorkerPool:
                 "retries_total": self.retries_total,
                 "worker_restarts": self.worker_restarts,
                 "workers_live": self._workers_live,
+                "workers_spawned": self.workers_spawned,
+                "workers_idle": self._free.qsize(),
+                "queue_depth": self._waiting,
                 "kills": dict(self.kills),
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
                 "warm_hits": self.warm_hits,
                 "breaker_open": len(self._quarantined),
                 "quarantined": sorted(d[:12] for d in self._quarantined),
@@ -363,14 +417,26 @@ class WorkerPool:
                              labels={"class": kill_class},
                              help="supervised kills per taxonomy class").set(
                 count)
+        registry.counter("repro_serve_workers_spawned_total",
+                         help="worker subprocesses ever spawned").set(
+            stats["workers_spawned"])
         registry.counter("repro_serve_cache_hits_total",
                          help="artifact-cache hits").set(stats["cache_hits"])
         registry.counter("repro_serve_cache_misses_total",
                          help="artifact-cache misses").set(
             stats["cache_misses"])
+        registry.counter("repro_serve_cache_evictions_total",
+                         help="corrupt artifact-cache entries evicted").set(
+            stats["cache_evictions"])
         registry.counter("repro_serve_warm_hits_total",
                          help="runs served from a warm-started instance").set(
             stats["warm_hits"])
+        registry.gauge("repro_serve_workers_live",
+                       help="worker subprocesses currently alive").set(
+            stats["workers_live"])
+        registry.gauge("repro_serve_queue_depth",
+                       help="requests waiting for a free worker").set(
+            stats["queue_depth"])
         registry.gauge("repro_serve_breaker_open",
                        help="inputs currently quarantined").set(
             stats["breaker_open"])

@@ -43,6 +43,7 @@ from collections import OrderedDict
 
 from ..interp.snapshot import (decode_values, encode_values,
                                restore_instance, snapshot_instance)
+from ..obs.spans import SpanContext, Tracer
 from ..wasm.errors import WasmError
 
 #: Warm instances kept per worker (LRU); each holds a machine + snapshot.
@@ -60,6 +61,13 @@ def _error_response(exc: BaseException) -> dict:
     return response
 
 
+def _tspan(tracer: Tracer | None, name: str, **attrs):
+    """A tracer span, or a no-op context when the request is untraced."""
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span(name, **attrs)
+
+
 class RequestHandler:
     """Executes service requests; one per worker (or per degraded pool)."""
 
@@ -73,29 +81,55 @@ class RequestHandler:
         #: (module digest, limits json, flags json) -> warm entry
         self._warm: OrderedDict[tuple, dict] = OrderedDict()
         self._module_cache: OrderedDict[str, object] = OrderedDict()
+        self._tracer: Tracer | None = None  # per-request, set by handle()
 
     # -- dispatch ------------------------------------------------------------
 
     def handle(self, request: dict) -> dict:
         kind = request.get("kind")
+        # continue the caller's trace; pings stay untraced (nothing inside
+        # a ping is worth a span, and it is the latency-floor benchmark op)
+        trace = request.pop("trace", None)
+        tracer = None
+        if trace is not None and kind != "ping":
+            try:
+                tracer = Tracer(context=SpanContext.from_dict(trace),
+                                process="worker")
+            except (KeyError, TypeError):
+                tracer = None
+        self._tracer = tracer
         try:
-            if kind == "ping":
-                return {"ok": True, "pid": os.getpid()}
-            if kind == "run":
-                return self._handle_run(request)
-            if kind == "instrument":
-                return self._handle_instrument(request)
-            if kind == "fuzz_shard":
-                return self._handle_fuzz_shard(request)
-            if kind == "__test__":
-                return self._handle_test_op(request)
-            return {"ok": False, "status": 2,
-                    "error": {"type": "UsageError",
-                              "message": f"unknown request kind {kind!r}"}}
+            if tracer is not None:
+                with tracer.span("worker_handle", op=str(kind),
+                                 pid=os.getpid()):
+                    response = self._dispatch(kind, request)
+            else:
+                response = self._dispatch(kind, request)
         except WasmError as exc:
-            return _error_response(exc)
+            response = _error_response(exc)
         except Exception as exc:  # an escape: report, never kill the loop
-            return _error_response(exc)
+            response = _error_response(exc)
+        finally:
+            self._tracer = None
+        if tracer is not None and isinstance(response, dict):
+            response.setdefault("spans", []).extend(
+                span.as_dict() for span in tracer.spans)
+        return response
+
+    def _dispatch(self, kind: str | None, request: dict) -> dict:
+        if kind == "ping":
+            return {"ok": True, "pid": os.getpid()}
+        if kind == "run":
+            return self._handle_run(request)
+        if kind == "instrument":
+            return self._handle_instrument(request)
+        if kind == "fuzz_shard":
+            return self._handle_fuzz_shard(request)
+        if kind == "__test__":
+            return self._handle_test_op(request)
+        return {"ok": False, "status": 2,
+                "error": {"type": "UsageError",
+                          "message": f"unknown request kind {kind!r}"}}
 
     # -- run ------------------------------------------------------------------
 
@@ -127,7 +161,9 @@ class RequestHandler:
         limits = ResourceLimits(**limits_dict) if limits_dict else None
         predecode = request.get("predecode")
 
-        module = self._decode_cached(module_bytes, digest)
+        tracer = self._tracer
+        with _tspan(tracer, "decode", cached=digest in self._module_cache):
+            module = self._decode_cached(module_bytes, digest)
         warm = False
         printed: list = []
         analysis = None
@@ -145,14 +181,17 @@ class RequestHandler:
                 printed = entry_state["printed"]
                 printed.clear()
                 base_snapshot = entry_state["base"]
-                restore_instance(instance, base_snapshot)
+                with _tspan(tracer, "warm_restore"):
+                    restore_instance(instance, base_snapshot)
                 warm = True
             else:
                 linker = _default_linker(printed)
                 machine = (Machine(limits=limits) if predecode is None
                            else Machine(limits=limits, predecode=predecode))
-                instance = machine.instantiate(module, linker)
-                base_snapshot = snapshot_instance(instance)
+                with _tspan(tracer, "instantiate"):
+                    instance = machine.instantiate(module, linker)
+                with _tspan(tracer, "snapshot"):
+                    base_snapshot = snapshot_instance(instance)
                 self._warm[warm_key] = {
                     "machine": machine, "instance": instance,
                     "printed": printed,
@@ -164,13 +203,16 @@ class RequestHandler:
         else:
             linker = _default_linker(printed)
             analysis = ANALYSES[analysis_name]()
-            session = AnalysisSession(
-                module, analysis, linker=linker, limits=limits,
-                on_analysis_error=request.get("on_analysis_error", "raise"))
+            with _tspan(tracer, "instantiate", analysis=analysis_name):
+                session = AnalysisSession(
+                    module, analysis, linker=linker, limits=limits,
+                    on_analysis_error=request.get("on_analysis_error",
+                                                  "raise"))
             machine, instance = session.machine, session.instance
 
         try:
-            results = instance.invoke(entry, call_args)
+            with _tspan(tracer, "invoke", entry=entry, warm=warm):
+                results = instance.invoke(entry, call_args)
         except WasmError as exc:
             # a failed run leaves arbitrary instance state; restore eagerly
             # so a later warm hit never resumes from a poisoned instance
@@ -213,22 +255,32 @@ class RequestHandler:
                         "error": {"type": "UsageError",
                                   "message": "unknown hooks: "
                                              + ", ".join(sorted(unknown))}}
+        tracer = self._tracer
         key = artifact_key(module_bytes, groups, {"op": "instrument"})
+        evicted_before = self.cache.corrupt if self.cache is not None else 0
         if self.cache is not None:
-            cached = self.cache.load(key)
+            with _tspan(tracer, "cache_lookup"):
+                cached = self.cache.load(key)
             if cached is not None:
                 payload, meta = cached
                 return {"ok": True, "module": payload,
                         "hook_count": meta.get("hook_count", 0),
-                        "cache_hit": True, "pid": os.getpid()}
-        module = decode_module(module_bytes)
-        result = instrument_module(module, groups=groups)
-        raw = encode_module(result.module)
+                        "cache_hit": True, "cache_evicted": 0,
+                        "pid": os.getpid()}
+        with _tspan(tracer, "instrument"):
+            module = decode_module(module_bytes)
+            result = instrument_module(module, groups=groups)
+            raw = encode_module(result.module)
         if self.cache is not None:
-            self.cache.store(key, raw, {"hook_count": result.hook_count,
-                                        "original_size": len(module_bytes)})
+            with _tspan(tracer, "cache_store"):
+                self.cache.store(key, raw,
+                                 {"hook_count": result.hook_count,
+                                  "original_size": len(module_bytes)})
+        evicted = (self.cache.corrupt - evicted_before
+                   if self.cache is not None else 0)
         return {"ok": True, "module": raw, "hook_count": result.hook_count,
-                "cache_hit": False, "pid": os.getpid()}
+                "cache_hit": False, "cache_evicted": evicted,
+                "pid": os.getpid()}
 
     # -- fuzz shard -------------------------------------------------------------
 

@@ -1,0 +1,161 @@
+"""Structured logging and the flight recorder (repro.obs.log).
+
+The contract the service layer leans on:
+
+* every record lands in the bounded flight recorder regardless of level —
+  the ring is the crash-bundle black box, the level only gates the
+  file/stream sinks;
+* the file sink is one JSON object per line (schema ``repro.log/1``) with
+  size-based rotation;
+* the stream sink renders a short human-readable line, resolving the
+  literal ``"stderr"`` at write time so pytest capture works;
+* ``flight_to_jsonl``/``flight_from_jsonl`` round-trip the ring into the
+  bundle file format, rejecting corrupt payloads loudly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (LOG_SCHEMA, FlightRecorder, StructuredLogger,
+                       flight_from_jsonl, flight_to_jsonl, get_logger)
+from repro.obs.log import LEVELS
+
+
+class TestFlightRecorder:
+    def test_bounded_ring(self):
+        ring = FlightRecorder(capacity=3)
+        for i in range(10):
+            ring.record({"event": f"e{i}"})
+        assert len(ring) == 3
+        assert [e["event"] for e in ring.tail()] == ["e7", "e8", "e9"]
+
+    def test_tail_n(self):
+        ring = FlightRecorder(capacity=8)
+        for i in range(5):
+            ring.record({"event": f"e{i}"})
+        assert [e["event"] for e in ring.tail(2)] == ["e3", "e4"]
+        assert len(ring.tail(100)) == 5
+        assert ring.tail(0) == []
+
+
+class TestStructuredLogger:
+    def test_levels_gate_sinks_but_not_ring(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = StructuredLogger("t", level="warning", path=path)
+        logger.debug("below")
+        logger.info("also_below")
+        logger.warning("at_threshold")
+        logger.error("above")
+        # the ring saw everything
+        assert [e["event"] for e in logger.tail()] == [
+            "below", "also_below", "at_threshold", "above"]
+        # the file only saw warning+
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [e["event"] for e in lines] == ["at_threshold", "above"]
+        logger.close()
+
+    def test_record_shape_and_injected_clock(self):
+        ticks = iter([100.5, 101.0])
+        logger = StructuredLogger("shape", clock=lambda: next(ticks))
+        record = logger.info("worker_killed", worker=3, kill_class="oom")
+        assert record == {"ts": 100.5, "level": "info", "logger": "shape",
+                          "event": "worker_killed", "worker": 3,
+                          "kill_class": "oom"}
+        assert logger.error("next")["ts"] == 101.0
+
+    def test_unknown_level_rejected(self):
+        logger = StructuredLogger("t")
+        with pytest.raises(ValueError, match="unknown log level"):
+            logger.log("loud", "event")
+
+    def test_file_is_jsonl_sorted_keys(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = StructuredLogger("t", level="debug", path=path)
+        logger.info("b_event", zeta=1, alpha=2)
+        logger.close()
+        line = path.read_text().splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_rotation(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = StructuredLogger("t", level="debug", path=path,
+                                  max_bytes=200, backups=2)
+        for i in range(40):
+            logger.info("filler", n=i, pad="x" * 40)
+        logger.close()
+        assert path.exists()
+        assert (tmp_path / "log.jsonl.1").exists()
+        assert (tmp_path / "log.jsonl.2").exists()
+        assert not (tmp_path / "log.jsonl.3").exists()
+        # every surviving line is still valid JSON
+        for name in ("log.jsonl", "log.jsonl.1", "log.jsonl.2"):
+            for line in (tmp_path / name).read_text().splitlines():
+                json.loads(line)
+
+    def test_stderr_resolved_at_write_time(self, capsys):
+        logger = StructuredLogger("echo", level="warning", stream="stderr")
+        logger.warning("serve_worker_killed", msg="deadline blown",
+                       worker=1, kill_class="timeout")
+        err = capsys.readouterr().err
+        assert "repro[warning] echo: serve_worker_killed" in err
+        assert "deadline blown" in err
+        assert "kill_class=timeout" in err
+
+    def test_stream_below_level_is_silent(self, capsys):
+        logger = StructuredLogger("quiet", level="error", stream="stderr")
+        logger.info("chatter")
+        assert capsys.readouterr().err == ""
+
+    def test_shared_recorder(self):
+        ring = FlightRecorder(capacity=16)
+        a = StructuredLogger("a", recorder=ring)
+        b = StructuredLogger("b", recorder=ring)
+        a.info("from_a")
+        b.info("from_b")
+        assert [e["logger"] for e in ring.tail()] == ["a", "b"]
+
+    def test_get_logger_is_singleton_per_name(self):
+        assert get_logger("repro.test-x") is get_logger("repro.test-x")
+        assert get_logger("repro.test-x") is not get_logger("repro.test-y")
+
+
+class TestFlightSerialization:
+    def test_round_trip(self):
+        entries = [{"ts": 1.0, "level": "info", "logger": "t",
+                    "event": "spawn", "worker": 0},
+                   {"ts": 2.0, "level": "warning", "logger": "t",
+                    "event": "kill", "kill_class": "oom"}]
+        text = flight_to_jsonl(entries)
+        header = json.loads(text.splitlines()[0])
+        assert header == {"schema": LOG_SCHEMA, "entries": 2}
+        assert flight_from_jsonl(text) == entries
+
+    def test_empty_round_trip(self):
+        assert flight_from_jsonl(flight_to_jsonl([])) == []
+
+    def test_rejects_empty_text(self):
+        with pytest.raises(ValueError, match="empty flight log"):
+            flight_from_jsonl("")
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema mismatch"):
+            flight_from_jsonl('{"schema": "not-a-log/9"}\n')
+
+    def test_rejects_non_object_entry(self):
+        text = flight_to_jsonl([]) + "[1, 2, 3]\n"
+        with pytest.raises(ValueError, match="not an object"):
+            flight_from_jsonl(text)
+
+    def test_rejects_garbage(self):
+        with pytest.raises((ValueError, json.JSONDecodeError)):
+            flight_from_jsonl("not json at all\n")
+
+
+def test_level_table_is_ordered():
+    assert (LEVELS["debug"] < LEVELS["info"]
+            < LEVELS["warning"] < LEVELS["error"])
