@@ -66,7 +66,8 @@ from .interp.snapshot import decode_values, encode_values
 from .minic import compile_source
 from .obs import Telemetry, maybe_span, render_report
 from .wasm import (AnalysisError, BreakerOpen, DecodeError, EncodeError,
-                   ReplayDivergence, ResourceExhausted, ServiceUnavailable,
+                   ReplayDivergence, ResourceExhausted, ServiceError,
+                   ServiceUnavailable,
                    SnapshotError, Trap, ValidationError, WasmError,
                    WorkerKilled, decode_module, encode_module, format_module,
                    validate_module)
@@ -246,16 +247,76 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def _limits_from_args(args: argparse.Namespace) -> ResourceLimits | None:
     limits = None
+    wasi_bounds = {
+        "max_open_fds": getattr(args, "max_open_fds", None),
+        "max_file_bytes": getattr(args, "max_file_bytes", None),
+        "max_fs_bytes": getattr(args, "max_fs_bytes", None),
+        "max_syscalls": getattr(args, "max_syscalls", None),
+    }
     if not (args.fuel is None and args.timeout is None
-            and args.max_memory_pages is None):
+            and args.max_memory_pages is None
+            and all(v is None for v in wasi_bounds.values())):
         limits = ResourceLimits(fuel=args.fuel, deadline_seconds=args.timeout,
-                                max_memory_pages=args.max_memory_pages)
+                                max_memory_pages=args.max_memory_pages,
+                                **wasi_bounds)
     if getattr(args, "verbose", False):
         # -v reports resource usage, which requires the meter even when no
         # bound is set; observe=True meters without bounding anything
         limits = (replace(limits, observe=True) if limits is not None
                   else ResourceLimits(observe=True))
     return limits
+
+
+def _wasi_from_args(args: argparse.Namespace, module, limits, telemetry,
+                    recorder):
+    """Build the WASI host context for ``repro run``, or ``None``.
+
+    Auto-enabled when the module imports from ``wasi_snapshot_preview1``;
+    ``--wasi`` forces it on (e.g. a module that only *might* call in).
+    Guest argv is the module path plus the entry arguments, so WASI
+    programs observe the same invocation the CLI performed.
+    """
+    from .wasi import FaultPlane, WasiContext, module_imports_wasi
+    if not getattr(args, "wasi", False) and not module_imports_wasi(module):
+        return None
+    stdin = b""
+    if args.stdin_file is not None:
+        stdin = Path(args.stdin_file).read_bytes()
+    files: dict[str, bytes] = {}
+    if args.fs_dir is not None:
+        root = Path(args.fs_dir)
+        if not root.is_dir():
+            raise OSError(f"--fs-dir {root} is not a directory")
+        files = {entry.name: entry.read_bytes()
+                 for entry in sorted(root.iterdir()) if entry.is_file()}
+    faults = None
+    if args.wasi_fault_seed is not None:
+        faults = FaultPlane(seed=args.wasi_fault_seed,
+                            rate=args.wasi_fault_rate,
+                            escalate_rate=args.wasi_escalate_rate)
+    return WasiContext(args=[args.input, *args.args], stdin=stdin,
+                       files=files, faults=faults, limits=limits,
+                       telemetry=telemetry, replay=recorder)
+
+
+def _normalize_proc_exit(error):
+    """``proc_exit(0)`` is a clean guest exit, not a failure."""
+    from .wasm.errors import ProcExit
+    if isinstance(error, ProcExit) and error.code == 0:
+        return None
+    return error
+
+
+def _emit_wasi_streams(wasi) -> None:
+    """Write the guest's captured stdout/stderr to the real streams."""
+    out = wasi.stdout_bytes()
+    if out:
+        sys.stdout.buffer.write(out)
+        sys.stdout.buffer.flush()
+    err = wasi.stderr_bytes()
+    if err:
+        sys.stderr.buffer.write(err)
+        sys.stderr.buffer.flush()
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -274,10 +335,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     call_args = [float(a) if "." in a else int(a) for a in args.args]
     limits = _limits_from_args(args)
     if getattr(args, "serve", None):
-        return _run_via_service(args, call_args, limits, telemetry)
+        try:
+            wasi = _wasi_from_args(args, module, None, None, None)
+        except OSError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        return _run_via_service(args, call_args, limits, telemetry,
+                                wasi_cfg=wasi.config() if wasi else None)
     printed: list = []
     linker = _default_linker(printed)
     recorder = Recorder() if (args.record or args.crash_dir) else None
+    try:
+        wasi = _wasi_from_args(args, module, limits, telemetry, recorder)
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    if wasi is not None:
+        wasi.register(linker)
     if args.pgo_profile is not None:
         # load eagerly for a clean diagnostic (Machine would also resolve a
         # path, but a typo'd path should not read as an engine error)
@@ -288,12 +362,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"repro: cannot load PGO profile: {exc}", file=sys.stderr)
             return EXIT_FAILURE
     return _run(args, module, call_args, printed, linker, limits, telemetry,
-                recorder)
+                recorder, wasi=wasi)
 
 
 def _run_via_service(args: argparse.Namespace, call_args,
                      limits: ResourceLimits | None,
-                     telemetry: Telemetry | None = None) -> int:
+                     telemetry: Telemetry | None = None,
+                     wasi_cfg: dict | None = None) -> int:
     """Route ``repro run --serve SOCKET`` through the service daemon.
 
     With ``--trace-out``, the client's telemetry sink rides along: the
@@ -313,7 +388,7 @@ def _run_via_service(args: argparse.Namespace, call_args,
             analysis=args.analysis, instrument=bool(args.instrument),
             limits=asdict(limits) if limits is not None else None,
             on_analysis_error=args.on_analysis_error,
-            request_timeout=args.serve_timeout)
+            request_timeout=args.serve_timeout, wasi=wasi_cfg)
     except (BreakerOpen, WorkerKilled) as exc:
         print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
         return exit_status(exc)
@@ -331,6 +406,12 @@ def _run_via_service(args: argparse.Namespace, call_args,
 def _render_service_run(args: argparse.Namespace, call_args,
                         response: dict) -> int:
     """Print a service run's response exactly like a local ``repro run``."""
+    if response.get("stdout"):
+        sys.stdout.buffer.write(response["stdout"])
+        sys.stdout.buffer.flush()
+    if response.get("stderr"):
+        sys.stderr.buffer.write(response["stderr"])
+        sys.stderr.buffer.flush()
     if not response.get("ok"):
         error = response.get("error", {})
         detail = f"{error.get('type')}: {error.get('message')}"
@@ -360,6 +441,11 @@ def _render_service_run(args: argparse.Namespace, call_args,
               file=sys.stderr)
         if summary:
             print(f"repro: {summary}", file=sys.stderr)
+        if response.get("wasi_usage"):
+            wasi_summary = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(response["wasi_usage"].items()))
+            print(f"repro: wasi {wasi_summary}", file=sys.stderr)
     return EXIT_OK
 
 
@@ -420,7 +506,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     pool = WorkerPool(config, telemetry=telemetry, logger=logger).start()
     daemon = ServeDaemon(args.socket, pool, telemetry=scrape_telemetry,
                          logger=logger, metrics_port=args.metrics_port)
-    daemon.start()
+    try:
+        daemon.start()
+    except ServiceError as exc:
+        pool.close()
+        logger.close()
+        print(f"repro: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
     rss = f"{config.rss_limit_mb:g} MiB" if config.rss_limit_mb else "off"
     http = (f", metrics http://127.0.0.1:{daemon.metrics_port}/metrics"
             if daemon.metrics_port is not None else "")
@@ -508,15 +600,25 @@ def _render_top(payload: dict, previous: dict | None = None,
     return "\n".join(lines)
 
 
+def _daemon_down(socket_path: str) -> int:
+    """The ``repro top`` no-daemon outcome: one clean line, nonzero exit.
+
+    Connection-refused against a monitoring command is an expected state
+    (the daemon simply is not up), not a transport stack trace — so the
+    message is a single diagnostic line, not the client's retry report.
+    """
+    print(f"repro: daemon not running at {socket_path}", file=sys.stderr)
+    return EXIT_FAILURE
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Live (or one-shot) view of a running daemon's ``stats`` surface."""
     from .serve import ServeClient
     client = ServeClient(args.socket, retries=0)
     try:
         payload = client.stats()
-    except ServiceUnavailable as exc:
-        print(f"repro: {exc}", file=sys.stderr)
-        return EXIT_FAILURE
+    except ServiceUnavailable:
+        return _daemon_down(args.socket)
     if args.as_json:
         print(json.dumps(payload, indent=2, sort_keys=True))
         return EXIT_OK
@@ -532,9 +634,8 @@ def cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
             try:
                 payload = client.stats()
-            except ServiceUnavailable as exc:
-                print(f"repro: {exc}", file=sys.stderr)
-                return EXIT_FAILURE
+            except ServiceUnavailable:
+                return _daemon_down(args.socket)
     except KeyboardInterrupt:
         return EXIT_OK
 
@@ -570,7 +671,7 @@ def _error_info(error: WasmError | None) -> dict | None:
 
 def _run(args: argparse.Namespace, module, call_args, printed, linker,
          limits: ResourceLimits | None, telemetry: Telemetry | None,
-         recorder: Recorder | None = None) -> int:
+         recorder: Recorder | None = None, wasi=None) -> int:
     analysis = None
     pgo_profile = getattr(args, "pgo_profile", None)
     if args.analysis == "none" and not args.instrument:
@@ -596,6 +697,8 @@ def _run(args: argparse.Namespace, module, call_args, printed, linker,
                                   on_analysis_error=args.on_analysis_error,
                                   telemetry=telemetry, replay=recorder)
         machine, instance = session.machine, session.instance
+    if wasi is not None:
+        wasi.bind_memory(instance)
     # the pre-invocation state snapshot anchoring a recorded bundle
     pre = snapshot_instance(instance) if recorder is not None else None
     error: WasmError | None = None
@@ -625,6 +728,9 @@ def _run(args: argparse.Namespace, module, call_args, printed, linker,
                 "error": _error_info(error),
                 "metrics": usage.as_dict(),
             }
+            if wasi is not None:
+                # the replay path rebuilds an equivalent context from this
+                manifest["wasi"] = wasi.config()
             if error is None:
                 manifest["results"] = encode_values(result)
             # post-invocation state, for the bit-identical replay check
@@ -636,6 +742,16 @@ def _run(args: argparse.Namespace, module, call_args, printed, linker,
             write_crash_bundle(target, Path(args.input).read_bytes(), manifest,
                                snapshot=pre, recorder=recorder)
             print(f"repro: crash bundle written to {target}", file=sys.stderr)
+
+    graceful_exit = False
+    if wasi is not None:
+        _emit_wasi_streams(wasi)
+        # the bundle manifest above keeps the raw ProcExit (replay must see
+        # the identical outcome); the CLI surface treats proc_exit(0) as a
+        # clean exit with no return value
+        normalized = _normalize_proc_exit(error)
+        graceful_exit = normalized is None and error is not None
+        error = normalized
 
     if error is not None:
         if isinstance(error, ResourceExhausted):
@@ -649,9 +765,14 @@ def _run(args: argparse.Namespace, module, call_args, printed, linker,
         _report_analysis(analysis)
     for value in printed:
         print(f"[print] {value}")
-    print(f"{args.entry}({', '.join(map(str, call_args))}) = {result}")
+    shown = "proc_exit(0)" if graceful_exit else result
+    print(f"{args.entry}({', '.join(map(str, call_args))}) = {shown}")
     if args.verbose:
         print(f"repro: {usage.summary()}", file=sys.stderr)
+        if wasi is not None:
+            wasi_summary = " ".join(f"{key}={value}" for key, value
+                                    in sorted(wasi.usage().items()))
+            print(f"repro: wasi {wasi_summary}", file=sys.stderr)
     _write_artifacts(telemetry, args, usage)
     return 0
 
@@ -686,7 +807,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                             time_budget=args.time_budget,
                             supervised=args.supervise,
                             shard_timeout=args.shard_timeout,
-                            shard_rss_limit_mb=args.shard_rss_limit_mb)
+                            shard_rss_limit_mb=args.shard_rss_limit_mb,
+                            wasi=args.wasi_faults)
         with maybe_span(telemetry, "fuzz_campaign", mutants=args.mutants,
                         seed=args.seed, parallel=args.parallel,
                         coverage=args.coverage):
@@ -715,7 +837,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                     seed=args.seed):
         result = run_campaign(mutants=args.mutants, seed=args.seed,
                               execute=not args.no_execute, engines=engines,
-                              save_failures=args.save_failures)
+                              save_failures=args.save_failures,
+                              wasi=args.wasi_faults)
     if telemetry is not None:
         registry = telemetry.registry
         for stage, count in sorted(result.rejected_at.items()):
@@ -953,6 +1076,14 @@ def _replay_invoke_bundle(args: argparse.Namespace, bundle) -> int:
         print(f"repro: {bundle.path} has no replay log", file=sys.stderr)
         return EXIT_FAILURE
     linker = replay_linker(module)
+    wasi_ctx = None
+    if manifest.get("wasi") is not None:
+        # WASI syscalls replay through the context (the log's wasi_call
+        # entries re-apply recorded memory writes), not through the
+        # generic host-call placeholders — register over them
+        from .wasi import WasiContext
+        wasi_ctx = WasiContext.from_config(manifest["wasi"], replay=replayer)
+        wasi_ctx.register(linker)
 
     analysis_name = manifest.get("analysis", "none")
     machine = Machine(predecode=predecode,
@@ -969,6 +1100,8 @@ def _replay_invoke_bundle(args: argparse.Namespace, bundle) -> int:
             instance = session.instance
         if bundle.snapshot is not None:
             instance.restore(bundle.snapshot)
+        if wasi_ctx is not None:
+            wasi_ctx.bind_memory(instance)
         error: WasmError | None = None
         results = None
         for inv in manifest.get("invocations", []):
@@ -1165,6 +1298,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock budget per invocation")
     p.add_argument("--max-memory-pages", type=int, default=None,
                    help="cap linear memory at this many 64 KiB pages")
+    p.add_argument("--wasi", action="store_true",
+                   help="provide the WASI-preview1 subset host module "
+                        "(auto-enabled when the module imports from "
+                        "wasi_snapshot_preview1)")
+    p.add_argument("--stdin-file", metavar="PATH", default=None,
+                   help="file whose bytes back the guest's WASI stdin (fd 0)")
+    p.add_argument("--fs-dir", metavar="DIR", default=None,
+                   help="directory whose top-level files seed the guest's "
+                        "in-memory WASI filesystem (preopen fd 3)")
+    p.add_argument("--wasi-fault-seed", type=int, default=None,
+                   metavar="SEED",
+                   help="inject deterministic host-boundary faults (errno "
+                        "failures, short reads/writes, clock skew) from "
+                        "this seed")
+    p.add_argument("--wasi-fault-rate", type=float, default=0.05,
+                   metavar="RATE",
+                   help="per-syscall fault probability under "
+                        "--wasi-fault-seed (default: 0.05)")
+    p.add_argument("--wasi-escalate-rate", type=float, default=0.0,
+                   metavar="RATE",
+                   help="probability a fired fault escalates to the hard "
+                        "WasiExhausted tier instead of an errno "
+                        "(default: 0)")
+    p.add_argument("--max-open-fds", type=int, default=None,
+                   help="cap concurrently open WASI file descriptors "
+                        "(EMFILE past the bound)")
+    p.add_argument("--max-file-bytes", type=int, default=None,
+                   help="cap any single WASI file's size (short write, "
+                        "then ENOSPC)")
+    p.add_argument("--max-fs-bytes", type=int, default=None,
+                   help="cap total bytes across the WASI filesystem "
+                        "(short write, then ENOSPC)")
+    p.add_argument("--max-syscalls", type=int, default=None,
+                   help="hard budget of WASI syscalls per run "
+                        "(WasiExhausted past the bound)")
     p.add_argument("--on-analysis-error", choices=ERROR_POLICIES,
                    default="raise",
                    help="policy when an analysis hook raises (default: raise)")
@@ -1238,6 +1406,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(requires --save-failures)")
     p.add_argument("--no-execute", action="store_true",
                    help="skip executing statically valid mutants")
+    p.add_argument("--wasi-faults", action="store_true",
+                   help="widen the corpus with WASI-preview1 workloads; "
+                        "their mutants execute against an injected-fault "
+                        "host module (fault seed derived from the mutant "
+                        "bytes)")
     p.add_argument("--parallel", type=int, default=1, metavar="N",
                    help="shard the campaign across N worker processes")
     p.add_argument("--coverage", action="store_true",

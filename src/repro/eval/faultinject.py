@@ -86,12 +86,33 @@ def _kitchen_sink_module():
     return builder.build()
 
 
-def seed_corpus() -> dict[str, bytes]:
+def wasi_corpus() -> dict[str, bytes]:
+    """Known-good WASI-preview1 binaries for host-boundary fuzzing.
+
+    Mutants of these exercise the syscall surface: :func:`_execute_mutant`
+    detects the preview1 imports and attaches a :class:`~repro.wasi.WasiContext`
+    whose fault plane is seeded from the mutant's own bytes, so every run
+    is still a pure function of the binary. Deterministic by construction
+    (the MiniC sources are fixed and compilation is randomness-free).
+    """
+    from ..wasm.encoder import encode_module as _encode
+    from ..workloads.wasi_io import wasi_io_module, wasi_io_names
+    return {f"wasi_{name}": _encode(wasi_io_module(name))
+            for name in wasi_io_names()}
+
+
+def seed_corpus(wasi: bool = False) -> dict[str, bytes]:
     """Encoded known-good binaries the mutator corrupts.
 
     Deterministic by construction (no randomness in generation), so the
-    same seed always yields byte-identical mutants.
+    same seed always yields byte-identical mutants. The default set is
+    pinned by tests; ``wasi=True`` additionally merges :func:`wasi_corpus`
+    so campaigns cover the host-boundary syscall surface.
     """
+    if wasi:
+        corpus = seed_corpus()
+        corpus.update(wasi_corpus())
+        return corpus
     fib = compile_source("""
         export func fib(n: i32) -> i32 {
             if (n < 2) { return n; }
@@ -333,6 +354,33 @@ def _permissive_linker() -> Linker:
     return linker
 
 
+def _wasi_for_mutant(binary: bytes, module):
+    """A deterministic WASI context for mutants importing preview1 syscalls.
+
+    The fault-plane seed derives from the mutant's own bytes, so
+    :func:`classify` stays a pure function of the binary: the same mutant
+    always sees the same injected errno failures, short transfers, and
+    clock skew — reduced bundles replay exactly. Governance bounds are
+    tight for the same reason the execute fuel budget is: the campaign
+    proves clean failure, not useful work.
+    """
+    import hashlib
+
+    from ..wasi import FaultPlane, WasiContext, module_imports_wasi
+    from ..workloads.wasi_io import SAMPLE_FILES, SAMPLE_STDIN
+    if not module_imports_wasi(module):
+        return None
+    fault_seed = int.from_bytes(hashlib.sha256(binary).digest()[:8], "big")
+    from dataclasses import replace
+    limits = replace(EXECUTE_LIMITS, max_open_fds=8, max_file_bytes=4096,
+                     max_fs_bytes=16384, max_syscalls=512)
+    return WasiContext(args=["mutant"], stdin=SAMPLE_STDIN,
+                       files=dict(SAMPLE_FILES),
+                       faults=FaultPlane(seed=fault_seed, rate=0.25,
+                                         escalate_rate=0.02),
+                       limits=limits)
+
+
 def _execute_mutant(binary: bytes, predecode: bool) -> None:
     """Instantiate and poke a statically valid mutant under tight limits.
 
@@ -340,10 +388,19 @@ def _execute_mutant(binary: bytes, predecode: bool) -> None:
     the pipeline records them as clean execute-stage rejections, so their
     error class (Trap, FuelExhausted, ResourceExhausted, ...) is part of
     the signature space rather than being silently folded into "pass".
+    WASI mutants additionally run against an injected-fault host module
+    (:func:`_wasi_for_mutant`); any raw host exception crossing the
+    boundary — instead of a well-formed errno or WasmError — is an escape.
     """
     module = decode_module(binary)
     machine = Machine(predecode=predecode, limits=EXECUTE_LIMITS)
-    instance = machine.instantiate(module, _permissive_linker())
+    linker = _permissive_linker()
+    wasi = _wasi_for_mutant(binary, module)
+    if wasi is not None:
+        wasi.register(linker)
+    instance = machine.instantiate(module, linker)
+    if wasi is not None:
+        wasi.bind_memory(instance)
     for export in module.exports:
         if export.kind != "func":
             continue
@@ -453,14 +510,16 @@ def run_campaign(mutants: int = 5000, seed: int = 20260806,
                  corpus: dict[str, bytes] | None = None,
                  execute: bool = True,
                  engines: tuple[bool, ...] = (True, False),
-                 save_failures: str | None = None) -> CampaignResult:
+                 save_failures: str | None = None,
+                 wasi: bool = False) -> CampaignResult:
     """Run a full seeded campaign; never raises on escapes, records them.
 
     With ``save_failures`` set, every escape is additionally persisted as a
     self-contained crash bundle under that directory (one subdirectory per
     failure, named ``<corpus>-<index>``), loadable by ``repro replay``.
+    ``wasi=True`` widens the default corpus with :func:`wasi_corpus`.
     """
-    corpus = corpus if corpus is not None else seed_corpus()
+    corpus = corpus if corpus is not None else seed_corpus(wasi=wasi)
     result = CampaignResult(mutants=mutants, seed=seed)
     names = sorted(corpus)
     for index in range(mutants):

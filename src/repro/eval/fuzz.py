@@ -99,6 +99,10 @@ class FuzzConfig:
     shard_timeout: float = 120.0
     #: RSS ceiling per supervised shard worker (``None``/0 disables).
     shard_rss_limit_mb: float | None = 2048.0
+    #: widen the seed corpus with the WASI-preview1 workloads; their
+    #: mutants execute against an injected-fault host module whose fault
+    #: seed derives from the mutant bytes (still a pure function).
+    wasi: bool = False
 
     def resolved_signatures_dir(self) -> str | None:
         if self.signatures_dir is not None:
@@ -221,7 +225,9 @@ class CorpusState:
         directory = Path(directory)
         entries_dir = directory / "entries"
         entries_dir.mkdir(parents=True, exist_ok=True)
-        seed_names = set(seed_corpus())
+        # WASI seeds count as seed entries too: both sets regenerate
+        # deterministically and must never persist as evolved entries
+        seed_names = set(seed_corpus(wasi=True))
         for name, data in self.entries.items():
             if name in seed_names:
                 continue
@@ -567,6 +573,10 @@ def run_fuzz_campaign(config: FuzzConfig) -> FuzzResult:
     started = time.perf_counter()
     state = (CorpusState.load(config.corpus_dir)
              if config.corpus_dir is not None else CorpusState())
+    if config.wasi:
+        from .faultinject import wasi_corpus
+        for name, data in wasi_corpus().items():
+            state.entries.setdefault(name, data)
     result = FuzzResult(seed=config.seed, parallel=max(1, config.parallel),
                         coverage=config.coverage,
                         supervised=config.supervised,

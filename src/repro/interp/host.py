@@ -29,6 +29,13 @@ class HostFunction:
     #: them would make replay logs engine-dependent.
     is_wasabi_hook = False
 
+    #: True on WASI syscalls (set by :class:`repro.wasi.WasiContext`).
+    #: WASI functions are excluded from the machine's *generic* host-call
+    #: recording because they also write guest memory: the WASI layer
+    #: records them itself as ``wasi_call`` entries carrying the memory
+    #: writes, and is entered live during replay to re-apply them.
+    is_wasi = False
+
     def __init__(self, functype: FuncType, fn: Callable[..., object],
                  name: str = "<host>"):
         self.functype = functype

@@ -78,6 +78,22 @@ class ResourceLimits:
     #: ``repro run -v`` and the telemetry layer to report resource usage
     #: for otherwise-unlimited runs.
     observe: bool = False
+    #: Maximum simultaneously open WASI file descriptors (stdio and the
+    #: preopen excluded). Exceeding it degrades gracefully: the opening
+    #: syscall returns ``EMFILE`` to the guest.
+    max_open_fds: int | None = None
+    #: Maximum size in bytes of any single file in the WASI in-memory FS.
+    #: A write growing a file past it is truncated to the boundary (short
+    #: write), then ``ENOSPC``.
+    max_file_bytes: int | None = None
+    #: Maximum total bytes across all files in the WASI FS; same graceful
+    #: short-write-then-``ENOSPC`` degradation as ``max_file_bytes``.
+    max_fs_bytes: int | None = None
+    #: Budget of WASI syscalls per machine. This is the *hard* tier:
+    #: exhaustion raises :class:`~repro.wasm.errors.WasiExhausted`
+    #: instead of an errno — a guest that ignores graceful degradation
+    #: cannot spin on the host boundary forever.
+    max_syscalls: int | None = None
 
     @property
     def metered(self) -> bool:

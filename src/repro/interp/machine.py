@@ -657,7 +657,8 @@ class Machine:
                     tele.n_host_calls += 1
                 replay = self._replay
                 if replay is not None and \
-                        not getattr(func, "is_wasabi_hook", False):
+                        not getattr(func, "is_wasabi_hook", False) and \
+                        not getattr(func, "is_wasi", False):
                     return replay.host_call(
                         func.name, args,
                         lambda: self._host_results(func, func.fn(args)))
@@ -726,10 +727,13 @@ class Machine:
             tele.n_host_calls += 1
         replay = self._replay
         if replay is not None and \
-                not getattr(callee, "is_wasabi_hook", False):
+                not getattr(callee, "is_wasabi_hook", False) and \
+                not getattr(callee, "is_wasi", False):
             # Wasabi hooks stay un-recorded: specialized OP_HOOK sites
             # bypass this path entirely, so recording them here would make
-            # logs depend on the engine and hook-dispatch mode
+            # logs depend on the engine and hook-dispatch mode. WASI
+            # syscalls record themselves (with their memory writes) as
+            # wasi_call entries and run live during replay.
             return replay.host_call(callee.name, call_args,
                                     lambda: self._host_invoke(callee, call_args))
         raw = callee.fn(call_args)

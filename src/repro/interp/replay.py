@@ -43,6 +43,7 @@ machine.
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -61,7 +62,7 @@ BUNDLE_SCHEMA = "repro.bundle/1"
 #: Entry kinds verified strictly during replay; leftover entries of these
 #: kinds at :meth:`Replayer.finish` are divergences. (``clock`` is
 #: intentionally absent: deadline-check cadence is engine pacing.)
-STRICT_KINDS = ("host_call", "hook_fault", "quarantine")
+STRICT_KINDS = ("host_call", "wasi_call", "hook_fault", "quarantine")
 
 
 def _encode_error(exc: BaseException) -> dict:
@@ -122,6 +123,31 @@ class Recorder:
         entry["results"] = encode_values(results)
         self.entries.append(entry)
         return results
+
+    def wasi_call(self, name: str, args, invoke):
+        """Invoke a WASI syscall and record its outcome *and memory writes*.
+
+        Unlike :meth:`host_call`, WASI syscalls have guest-visible side
+        effects beyond their return values — ``fd_read`` writes into
+        linear memory. ``invoke`` returns ``(values, writes)`` where
+        ``writes`` is a list of ``(addr, bytes)`` pairs already applied to
+        memory; both are recorded so a replay (which never re-enters the
+        in-memory FS) can re-apply them byte-for-byte.
+        """
+        entry = {"kind": "wasi_call", "name": name,
+                 "args": encode_values(args)}
+        try:
+            values, writes = invoke()
+        except Exception as exc:
+            entry["error"] = _encode_error(exc)
+            self.entries.append(entry)
+            raise
+        entry["results"] = encode_values(values)
+        entry["writes"] = [
+            {"addr": addr, "data": base64.b64encode(bytes(data)).decode("ascii")}
+            for addr, data in writes]
+        self.entries.append(entry)
+        return values, writes
 
     def bind_clock(self, base_clock):
         """Wrap a clock so every reading is recorded.
@@ -248,6 +274,36 @@ class Replayer:
         if "error" in entry:
             raise _decode_error(entry["error"])
         return decode_values(entry["results"])
+
+    def wasi_call(self, name: str, args, invoke):
+        """Serve one WASI syscall from the log; ``invoke`` is never called.
+
+        Returns ``(values, writes)`` mirroring the recording protocol; the
+        caller (the WASI context) applies ``writes`` to guest memory, so
+        replayed runs see identical memory effects without the in-memory
+        FS, the fault plane, or the host clock.
+        """
+        index, entry = self._next("wasi_call")
+        if entry is None:
+            raise ReplayDivergence(
+                f"WASI call {name}({list(args)!r}) but the recorded log has "
+                f"no more WASI calls", index=index)
+        if entry["name"] != name:
+            raise ReplayDivergence(
+                f"WASI call {name} but the log recorded {entry['name']}",
+                index=index)
+        if entry["args"] != encode_values(args):
+            raise ReplayDivergence(
+                f"WASI call {name} with arguments {list(args)!r}, but the "
+                f"log recorded {decode_values(entry['args'])!r}", index=index)
+        tele = self.telemetry
+        if tele is not None:
+            tele.n_replayed_host_calls += 1
+        if "error" in entry:
+            raise _decode_error(entry["error"])
+        writes = [(w["addr"], base64.b64decode(w["data"]))
+                  for w in entry.get("writes", ())]
+        return decode_values(entry["results"]), writes
 
     def bind_clock(self, base_clock):
         """Replace a clock with the recorded reading stream.

@@ -123,6 +123,17 @@ class Telemetry:
             buckets=HOOK_LATENCY_BUCKETS,
             help="dispatch latency per monomorphized low-level hook")
 
+    def wasi_syscall_histogram(self, syscall: str) -> Histogram:
+        """Host-boundary latency histogram for one WASI syscall.
+
+        Resolved once per syscall by the WASI context and cached there,
+        mirroring :meth:`hook_histogram`'s per-dispatch cost discipline.
+        """
+        return self.registry.histogram(
+            "repro_wasi_syscall_seconds", labels={"syscall": syscall},
+            buckets=HOOK_LATENCY_BUCKETS,
+            help="time spent at the host boundary per WASI syscall")
+
     # -- folding & artifacts ---------------------------------------------------
 
     def snapshot(self, usage: "ResourceUsage | None" = None) -> MetricsRegistry:
@@ -271,6 +282,20 @@ def render_report(payload: dict, top: int = 10) -> str:
                 continue
             stage = dict(hist.labels).get("stage", "?")
             lines.append(f"  {stage:<14} {hist.count:>5} "
+                         f"{_fmt_seconds(hist.sum):>10} "
+                         f"{_fmt_seconds(hist.mean):>10}")
+
+    syscalls = [h for h in registry.series("repro_wasi_syscall_seconds")
+                if h.count]
+    if syscalls:
+        syscalls.sort(key=lambda h: -h.sum)
+        lines.append("")
+        lines.append("WASI syscalls (by total host-boundary time):")
+        lines.append(f"  {'syscall':<20} {'count':>8} {'total':>10} "
+                     f"{'mean':>10}")
+        for hist in syscalls:
+            syscall = dict(hist.labels).get("syscall", "?")
+            lines.append(f"  {syscall:<20} {hist.count:>8} "
                          f"{_fmt_seconds(hist.sum):>10} "
                          f"{_fmt_seconds(hist.mean):>10}")
 

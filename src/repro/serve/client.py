@@ -95,7 +95,8 @@ class ServeClient:
     def run(self, module_bytes: bytes, entry: str, args=None,
             analysis: str = "none", limits: dict | None = None,
             instrument: bool = False, on_analysis_error: str = "raise",
-            request_timeout: float | None = None) -> dict:
+            request_timeout: float | None = None,
+            wasi: dict | None = None) -> dict:
         from ..interp.snapshot import encode_values
         message = {
             "kind": "run", "module": module_bytes, "entry": entry,
@@ -103,6 +104,10 @@ class ServeClient:
             "limits": limits, "instrument": instrument,
             "on_analysis_error": on_analysis_error,
         }
+        if wasi is not None:
+            # a WasiContext.config() record: packed FS image (b64 files +
+            # stdin), guest argv/env, fault plane, clock/random seeds
+            message["wasi"] = wasi
         if request_timeout is not None:
             message["request_timeout"] = request_timeout
         return self.request(message)

@@ -87,11 +87,18 @@ class ServeDaemon:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "ServeDaemon":
-        """Bind and listen (stale socket files from a killed daemon are
-        replaced — the service owns its path)."""
+        """Bind and listen.
+
+        A pre-existing socket file is probed before it is touched: if a
+        daemon still answers on it, starting here would silently steal its
+        path (clients would reach whichever daemon bound last), so that is
+        a :class:`~repro.wasm.errors.ServiceError`. Only a *stale* socket —
+        one nothing accepts on, left by a killed daemon — is removed. A
+        non-socket file at the path is never deleted.
+        """
         path = Path(self.socket_path)
         if path.exists():
-            path.unlink()
+            self._remove_stale_socket(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         listener.bind(self.socket_path)
@@ -106,6 +113,29 @@ class ServeDaemon:
                          workers=self.pool.config.workers,
                          metrics_port=self.metrics_port)
         return self
+
+    def _remove_stale_socket(self, path: Path) -> None:
+        """Unlink ``path`` iff it is a socket nothing is accepting on."""
+        import stat
+
+        from ..wasm.errors import ServiceError
+        if not stat.S_ISSOCK(path.lstat().st_mode):
+            raise ServiceError(
+                f"{path} exists and is not a socket; refusing to replace it")
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(str(path))
+        except (ConnectionRefusedError, socket.timeout, OSError):
+            # nothing answered: a stale file from a killed daemon
+            self.logger.info("stale_socket_removed", socket=str(path))
+            path.unlink(missing_ok=True)
+        else:
+            raise ServiceError(
+                f"a daemon is already serving on {path}; stop it first "
+                f"(or pick another --socket)")
+        finally:
+            probe.close()
 
     def stop(self) -> None:
         """Stop accepting, drain handler threads, close the pool.

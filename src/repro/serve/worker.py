@@ -160,6 +160,10 @@ class RequestHandler:
         limits_dict = request.get("limits")
         limits = ResourceLimits(**limits_dict) if limits_dict else None
         predecode = request.get("predecode")
+        wasi = None
+        if request.get("wasi") is not None:
+            from ..wasi import WasiContext
+            wasi = WasiContext.from_config(request["wasi"], limits=limits)
 
         tracer = self._tracer
         with _tspan(tracer, "decode", cached=digest in self._module_cache):
@@ -169,7 +173,7 @@ class RequestHandler:
         analysis = None
         base_snapshot = None
 
-        if analysis_name == "none" and not instrument:
+        if analysis_name == "none" and not instrument and wasi is None:
             warm_key = (digest,
                         json.dumps(limits_dict, sort_keys=True),
                         bool(predecode) if predecode is not None else None)
@@ -200,8 +204,20 @@ class RequestHandler:
                 if len(self._warm) > WARM_CACHE_CAPACITY:
                     self._warm.popitem(last=False)
             session = None
+        elif analysis_name == "none" and not instrument:
+            # WASI runs never warm-start: the packed FS image, fault-plane
+            # cursor, and syscall counters are per-request state
+            linker = _default_linker(printed)
+            wasi.register(linker)
+            machine = (Machine(limits=limits) if predecode is None
+                       else Machine(limits=limits, predecode=predecode))
+            with _tspan(tracer, "instantiate", wasi=True):
+                instance = machine.instantiate(module, linker)
+            session = None
         else:
             linker = _default_linker(printed)
+            if wasi is not None:
+                wasi.register(linker)
             analysis = ANALYSES[analysis_name]()
             with _tspan(tracer, "instantiate", analysis=analysis_name):
                 session = AnalysisSession(
@@ -209,18 +225,29 @@ class RequestHandler:
                     on_analysis_error=request.get("on_analysis_error",
                                                   "raise"))
             machine, instance = session.machine, session.instance
+        if wasi is not None:
+            wasi.bind_memory(instance)
 
         try:
             with _tspan(tracer, "invoke", entry=entry, warm=warm):
                 results = instance.invoke(entry, call_args)
         except WasmError as exc:
-            # a failed run leaves arbitrary instance state; restore eagerly
-            # so a later warm hit never resumes from a poisoned instance
-            if base_snapshot is not None:
-                restore_instance(instance, base_snapshot)
-            response = _error_response(exc)
-            response["warm"] = warm
-            return response
+            from ..wasm.errors import ProcExit
+            if isinstance(exc, ProcExit) and exc.code == 0:
+                results = None  # a clean WASI exit, not a failure
+            else:
+                # a failed run leaves arbitrary instance state; restore
+                # eagerly so a later warm hit never resumes from a
+                # poisoned instance
+                if base_snapshot is not None:
+                    restore_instance(instance, base_snapshot)
+                response = _error_response(exc)
+                response["warm"] = warm
+                if wasi is not None:
+                    response["stdout"] = wasi.stdout_bytes()
+                    response["stderr"] = wasi.stderr_bytes()
+                    response["wasi_usage"] = wasi.usage()
+                return response
         usage = (machine.resource_usage() if session is None
                  else session.resource_usage())
         response = {
@@ -231,6 +258,10 @@ class RequestHandler:
             "warm": warm,
             "pid": os.getpid(),
         }
+        if wasi is not None:
+            response["stdout"] = wasi.stdout_bytes()
+            response["stderr"] = wasi.stderr_bytes()
+            response["wasi_usage"] = wasi.usage()
         if analysis is not None:
             buffer = io.StringIO()
             with contextlib.redirect_stdout(buffer):

@@ -1,0 +1,19 @@
+"""WASI preview1 subset: deterministic, fault-injectable, replayable I/O.
+
+Public surface:
+
+* :class:`WasiContext` — the host module; register into a linker, bind
+  the instance memory, run.
+* :class:`WasiFS` / :class:`WasiFile` — the deterministic in-memory FS.
+* :class:`FaultPlane` / :class:`Fault` — the syscall fault-injection
+  plane (seeded schedules, explicit schedules, predicates).
+* :data:`WASI_MODULE` and the errno constants in :mod:`repro.wasi.abi`.
+"""
+
+from .abi import WASI_MODULE, errno_name
+from .faults import Fault, FaultPlane
+from .fs import WasiFile, WasiFS
+from .preview1 import WasiContext, module_imports_wasi
+
+__all__ = ["WASI_MODULE", "errno_name", "Fault", "FaultPlane", "WasiFile",
+           "WasiFS", "WasiContext", "module_imports_wasi"]

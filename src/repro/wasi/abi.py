@@ -1,0 +1,72 @@
+"""WASI preview1 ABI constants for the subset this host module implements.
+
+Values follow the ``wasi_snapshot_preview1`` witx definitions; only the
+constants the subset actually touches are defined. Everything a guest can
+observe — errno numbers, filetypes, whence values — must match real WASI
+toolchain output, since workloads are compiled against the official ABI.
+"""
+
+from __future__ import annotations
+
+#: The import-module name every preview1 toolchain emits.
+WASI_MODULE = "wasi_snapshot_preview1"
+
+# -- errno ---------------------------------------------------------------------
+
+ERRNO_SUCCESS = 0
+ERRNO_BADF = 8       # bad file descriptor
+ERRNO_FAULT = 21     # bad address (OOB pointer from the guest)
+ERRNO_INTR = 27      # interrupted (injected EINTR faults)
+ERRNO_INVAL = 28     # invalid argument
+ERRNO_IO = 29        # I/O error (injected EIO faults)
+ERRNO_MFILE = 33     # too many open files (max_open_fds governance)
+ERRNO_NOENT = 44     # no such file
+ERRNO_NOSPC = 51     # no space left (max_file_bytes / max_fs_bytes)
+ERRNO_NOTCAPABLE = 76
+
+#: errno → symbolic name, for telemetry labels and fault diagnostics.
+ERRNO_NAMES = {
+    ERRNO_SUCCESS: "success",
+    ERRNO_BADF: "badf",
+    ERRNO_FAULT: "fault",
+    ERRNO_INTR: "intr",
+    ERRNO_INVAL: "inval",
+    ERRNO_IO: "io",
+    ERRNO_MFILE: "mfile",
+    ERRNO_NOENT: "noent",
+    ERRNO_NOSPC: "nospc",
+    ERRNO_NOTCAPABLE: "notcapable",
+}
+
+
+def errno_name(errno: int) -> str:
+    return ERRNO_NAMES.get(errno, str(errno))
+
+
+# -- filetype (fd_fdstat_get) --------------------------------------------------
+
+FILETYPE_UNKNOWN = 0
+FILETYPE_CHARACTER_DEVICE = 2
+FILETYPE_DIRECTORY = 3
+FILETYPE_REGULAR_FILE = 4
+
+# -- whence (fd_seek) ----------------------------------------------------------
+
+WHENCE_SET = 0
+WHENCE_CUR = 1
+WHENCE_END = 2
+
+# -- clockid (clock_time_get) --------------------------------------------------
+
+CLOCKID_REALTIME = 0
+CLOCKID_MONOTONIC = 1
+
+# -- oflags (path_open) --------------------------------------------------------
+
+OFLAGS_CREAT = 1 << 0
+OFLAGS_DIRECTORY = 1 << 1
+OFLAGS_EXCL = 1 << 2
+OFLAGS_TRUNC = 1 << 3
+
+#: The preopened directory descriptor (stdio is 0/1/2, the root preopen 3).
+PREOPEN_FD = 3

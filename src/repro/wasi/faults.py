@@ -1,0 +1,116 @@
+"""The syscall fault-injection plane: deterministic host-boundary failures.
+
+Real hosts fail at the syscall boundary — disks fill, reads get
+interrupted, clocks jump. This module makes every such failure mode
+*injectable and reproducible*: a :class:`FaultPlane` decides, per
+``(syscall, call-index)`` site, whether a fault fires and what kind, from
+one of three sources (checked in order):
+
+1. an explicit **schedule** — ``{(syscall, index): Fault}`` — for tests
+   that pin one exact failure at one exact call;
+2. a **predicate** — ``fn(syscall, index) -> Fault | None`` — for
+   campaign-style targeted injection;
+3. a **seeded schedule** — each site draws from
+   ``random.Random(f"{seed}:{syscall}:{index}")``, so the full fault
+   pattern is a pure function of the seed and the guest's own syscall
+   sequence, independent of host state, engine, or wall clock.
+
+Injected faults are *well-formed guest-visible outcomes*: an errno return,
+a shortened transfer, or skewed clock readings — never a host exception.
+The one exception is ``escalate=True``, the hard tier: the syscall raises
+:class:`~repro.wasm.errors.WasiExhausted` (a trap), aborting the
+invocation the way an exhausted resource budget does — the path that
+produces replayable crash bundles from I/O workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .abi import ERRNO_INTR, ERRNO_IO, ERRNO_NOSPC
+
+#: Seeded-mode default: fraction of syscall sites that receive a fault.
+DEFAULT_FAULT_RATE = 0.05
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected outcome for one syscall site.
+
+    Exactly one effect applies per site: ``escalate`` wins, then
+    ``errno``, then ``short`` (cap the transfer length of a read/write),
+    then ``clock_skew_ns`` (added to ``clock_time_get`` readings from
+    this site on).
+    """
+
+    errno: int | None = None
+    short: int | None = None
+    clock_skew_ns: int = 0
+    escalate: bool = False
+
+    def describe(self) -> str:
+        if self.escalate:
+            return "escalate"
+        if self.errno is not None:
+            return f"errno={self.errno}"
+        if self.short is not None:
+            return f"short={self.short}"
+        return f"clock_skew_ns={self.clock_skew_ns}"
+
+
+#: Seeded-mode fault menu per syscall: (weight, fault) choices. Syscalls
+#: absent here never fault under a pure seed (argument marshalling like
+#: ``args_get`` has no real-world failure mode worth modelling).
+_SEEDED_MENU: dict[str, list[Fault]] = {
+    "fd_read": [Fault(errno=ERRNO_IO), Fault(errno=ERRNO_INTR),
+                Fault(short=1), Fault(short=7)],
+    "fd_write": [Fault(errno=ERRNO_IO), Fault(errno=ERRNO_INTR),
+                 Fault(errno=ERRNO_NOSPC), Fault(short=1), Fault(short=7)],
+    "fd_seek": [Fault(errno=ERRNO_IO)],
+    "random_get": [Fault(errno=ERRNO_IO)],
+    "clock_time_get": [Fault(clock_skew_ns=1_000_000),
+                       Fault(clock_skew_ns=50_000_000)],
+    "path_open": [Fault(errno=ERRNO_IO), Fault(errno=ERRNO_INTR)],
+}
+
+
+class FaultPlane:
+    """Per-site fault decisions, deterministic by construction.
+
+    ``schedule`` and ``predicate`` compose with the seed: an explicit
+    schedule entry wins, then the predicate, then the seeded draw. With
+    neither a seed, schedule, nor predicate the plane injects nothing
+    (but still counts sites, so ``repro run -v`` reporting is uniform).
+    """
+
+    def __init__(self, seed: int | None = None,
+                 schedule: dict[tuple[str, int], Fault] | None = None,
+                 predicate=None, rate: float = DEFAULT_FAULT_RATE,
+                 escalate_rate: float = 0.0):
+        self.seed = seed
+        self.schedule = dict(schedule) if schedule else {}
+        self.predicate = predicate
+        self.rate = rate
+        self.escalate_rate = escalate_rate
+        #: Faults actually fired, as ``(syscall, index, description)`` —
+        #: the audit trail tests and ``repro run -v`` read.
+        self.fired: list[tuple[str, int, str]] = []
+
+    def check(self, syscall: str, index: int) -> Fault | None:
+        """The fault for call ``index`` of ``syscall``, or None."""
+        fault = self.schedule.get((syscall, index))
+        if fault is None and self.predicate is not None:
+            fault = self.predicate(syscall, index)
+        if fault is None and self.seed is not None:
+            menu = _SEEDED_MENU.get(syscall)
+            if menu:
+                rng = random.Random(f"{self.seed}:{syscall}:{index}")
+                if rng.random() < self.rate:
+                    fault = menu[rng.randrange(len(menu))]
+                    if self.escalate_rate and \
+                            rng.random() < self.escalate_rate:
+                        fault = Fault(escalate=True)
+        if fault is not None:
+            self.fired.append((syscall, index, fault.describe()))
+        return fault

@@ -60,6 +60,42 @@ class FuelExhausted(ResourceExhausted):
     """The fuel budget (metered back-edges and calls) ran out."""
 
 
+class WasiExhausted(ResourceExhausted):
+    """A WASI resource bound hit its *hard* escalation tier.
+
+    Graceful degradation surfaces governance limits to the guest as WASI
+    errnos (``ENOSPC``/``EMFILE``); this class is the escalation tier —
+    the syscall-count budget ran out, or an injected fault was configured
+    with ``escalate=True``. Raised as a trap (via
+    :class:`ResourceExhausted`) so the invocation aborts cleanly and a
+    crash bundle can capture it.
+    """
+
+
+class ProcExit(Trap):
+    """The guest called WASI ``proc_exit``.
+
+    Carries the exit ``code``; a zero code is a *successful* termination
+    that the CLI normalizes to a clean exit rather than a trap. The
+    constructor accepts either the integer code or a previously formatted
+    message (``"proc_exit(N)"``) so replay's error decoding — which passes
+    the recorded message string — round-trips the code.
+    """
+
+    def __init__(self, code: "int | str" = 0):
+        if isinstance(code, str):
+            message = code
+            digits = code[code.find("(") + 1:code.rfind(")")]
+            try:
+                self.code = int(digits)
+            except ValueError:
+                self.code = 1
+        else:
+            self.code = int(code)
+            message = f"proc_exit({self.code})"
+        super().__init__(message)
+
+
 class DeadlineExceeded(ResourceExhausted):
     """The wall-clock deadline for one top-level invocation passed."""
 

@@ -3,6 +3,9 @@
 from . import polybench
 from .spec_corpus import CorpusProgram, corpus, corpus_names
 from .synthetic import engine_demo, pdf_toolkit
+from .wasi_io import (SAMPLE_FILES, SAMPLE_STDIN, wasi_io_entry,
+                      wasi_io_module, wasi_io_names)
 
 __all__ = ["CorpusProgram", "corpus", "corpus_names", "engine_demo",
-           "pdf_toolkit", "polybench"]
+           "pdf_toolkit", "polybench", "SAMPLE_FILES", "SAMPLE_STDIN",
+           "wasi_io_entry", "wasi_io_module", "wasi_io_names"]

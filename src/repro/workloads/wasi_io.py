@@ -1,0 +1,362 @@
+"""I/O-bound workloads over the WASI subset, compiled via MiniC.
+
+Three realistic host-boundary kernels (plus a startup smoke program),
+each written the way robust native code is written — every syscall's
+errno is checked, ``EINTR`` is retried with a bounded budget, short
+reads/writes are resumed — so the fault-injection plane exercises real
+error-handling paths rather than crashing the guest:
+
+* ``line_filter`` — stream stdin, echo lines containing a needle byte to
+  stdout, return the match count (grep's inner loop);
+* ``checksum`` — FNV-1a over stdin in chunks, bracketed by monotonic
+  clock reads, result written as ``CHK:xxxxxxxx\\n`` (hash pipelines);
+* ``extract`` — open ``data.csv`` from the preopen, ``fd_seek`` to
+  size it, sum the second comma-separated field per line, write the
+  decimal total to stdout *and* a created ``out.txt`` (ETL inner loop);
+* ``startup`` — args/environ marshalling, ``random_get``, and the
+  ``proc_exit`` path.
+
+Negative return values are ``-errno`` from a syscall the program could
+not recover from — visible, well-formed failure, never a trap.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..minic import compile_source
+from ..wasm.module import Module
+
+#: Memory layout (one 64 KiB page): scratch words at 0, the single iovec
+#: at byte 8, transfer counts at 16, u64 outputs (clock/seek) at 24,
+#: path strings at 64/96, stream buffer at 1024, output buffer at 8192,
+#: slurp buffer at 16384 (cap 40000).
+
+_RUNTIME = '''
+memory 1;
+import from "wasi_snapshot_preview1"
+    func fd_read(fd: i32, iovs: i32, iovs_len: i32, nread: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func fd_write(fd: i32, iovs: i32, iovs_len: i32, nwritten: i32) -> i32;
+
+// One fd_read through the scratch iovec, retrying EINTR a bounded
+// number of times. Returns bytes read (0 at EOF) or -errno.
+func read_chunk(fd: i32, buf: i32, cap: i32) -> i32 {
+    var tries: i32 = 0;
+    while (1) {
+        mem_i32[2] = buf;
+        mem_i32[3] = cap;
+        var err: i32 = fd_read(fd, 8, 1, 16);
+        if (err == 0) { return mem_i32[4]; }
+        if (err == 27) {            // EINTR: retry, bounded
+            tries = tries + 1;
+            if (tries > 16) { return 0 - err; }
+            continue;
+        }
+        return 0 - err;
+    }
+    return 0;
+}
+
+// Write all of [buf, buf+len), resuming short writes, retrying EINTR.
+// Returns len or -errno.
+func write_all(fd: i32, buf: i32, len: i32) -> i32 {
+    var off: i32 = 0;
+    var tries: i32 = 0;
+    while (off < len) {
+        mem_i32[2] = buf + off;
+        mem_i32[3] = len - off;
+        var err: i32 = fd_write(fd, 8, 1, 16);
+        if (err == 27) {            // EINTR
+            tries = tries + 1;
+            if (tries > 16) { return 0 - err; }
+            continue;
+        }
+        if (err != 0) { return 0 - err; }
+        var n: i32 = mem_i32[4];
+        if (n == 0) {
+            tries = tries + 1;
+            if (tries > 16) { return 0 - 29; }   // treat as EIO
+        }
+        off = off + n;
+    }
+    return len;
+}
+
+// Read fd to EOF into [dst, dst+cap). Returns total length or -errno.
+func slurp(fd: i32, dst: i32, cap: i32) -> i32 {
+    var total: i32 = 0;
+    while (total < cap) {
+        var n: i32 = read_chunk(fd, dst + total, cap - total);
+        if (n < 0) { return n; }
+        if (n == 0) { break; }
+        total = total + n;
+    }
+    return total;
+}
+'''
+
+_LINE_FILTER = _RUNTIME + '''
+export func line_filter(needle: i32) -> i32 {
+    var len: i32 = slurp(0, 16384, 40000);
+    if (len < 0) { return len; }
+    var count: i32 = 0;
+    var pos: i32 = 0;
+    var line_start: i32 = 0;
+    var found: i32 = 0;
+    while (pos <= len) {
+        var ch: i32 = 10;
+        if (pos < len) { ch = mem_u8[16384 + pos]; }
+        if (ch == 10) {
+            if (found) {
+                count = count + 1;
+                var end: i32 = pos + 1;
+                if (end > len) { end = len; }
+                var w: i32 = write_all(1, 16384 + line_start,
+                                       end - line_start);
+                if (w < 0) { return w; }
+            }
+            line_start = pos + 1;
+            found = 0;
+        } else {
+            if (ch == needle) { found = 1; }
+        }
+        pos = pos + 1;
+    }
+    return count;
+}
+'''
+
+_CHECKSUM = _RUNTIME + '''
+import from "wasi_snapshot_preview1"
+    func clock_time_get(clockid: i32, precision: i64, time: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func fd_fdstat_get(fd: i32, buf: i32) -> i32;
+
+export func checksum() -> i32 {
+    var stat_err: i32 = fd_fdstat_get(0, 32);
+    if (stat_err != 0) { return 0 - stat_err; }
+    var t_err: i32 = clock_time_get(1, 0L, 24);
+    var hash: i32 = 0 - 2128831035;       // FNV-1a offset basis
+    while (1) {
+        var n: i32 = read_chunk(0, 1024, 4096);
+        if (n < 0) { return n; }
+        if (n == 0) { break; }
+        var i: i32 = 0;
+        while (i < n) {
+            hash = (hash ^ mem_u8[1024 + i]) * 16777619;
+            i = i + 1;
+        }
+    }
+    t_err = clock_time_get(1, 0L, 24);
+    // render "CHK:xxxxxxxx\\n"
+    mem_u8[8192] = 67;  mem_u8[8193] = 72;
+    mem_u8[8194] = 75;  mem_u8[8195] = 58;
+    var k: i32 = 0;
+    while (k < 8) {
+        var nib: i32 = (hash >> ((7 - k) * 4)) & 15;
+        var c: i32 = nib + 48;
+        if (nib > 9) { c = nib + 87; }
+        mem_u8[8196 + k] = c;
+        k = k + 1;
+    }
+    mem_u8[8204] = 10;
+    var w: i32 = write_all(1, 8192, 13);
+    if (w < 0) { return w; }
+    return hash;
+}
+'''
+
+_EXTRACT = _RUNTIME + '''
+import from "wasi_snapshot_preview1"
+    func path_open(dirfd: i32, dirflags: i32, path: i32, path_len: i32,
+                   oflags: i32, rights_base: i64, rights_inh: i64,
+                   fdflags: i32, fd_out: i32) -> i32;
+import from "wasi_snapshot_preview1" func fd_close(fd: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func fd_seek(fd: i32, offset: i64, whence: i32, newoffset: i32) -> i32;
+
+// poke "data.csv" at 64 and "out.txt" at 96
+func poke_paths() {
+    mem_u8[64] = 100; mem_u8[65] = 97;  mem_u8[66] = 116; mem_u8[67] = 97;
+    mem_u8[68] = 46;  mem_u8[69] = 99;  mem_u8[70] = 115; mem_u8[71] = 118;
+    mem_u8[96] = 111; mem_u8[97] = 117; mem_u8[98] = 116; mem_u8[99] = 46;
+    mem_u8[100] = 116; mem_u8[101] = 120; mem_u8[102] = 116;
+}
+
+export func extract() -> i32 {
+    poke_paths();
+    var err: i32 = path_open(3, 0, 64, 8, 0, 0L, 0L, 0, 60);
+    if (err != 0) { return 0 - err; }
+    var fd: i32 = mem_i32[15];
+    err = fd_seek(fd, 0L, 2, 24);          // size = seek(0, END)
+    if (err != 0) { return 0 - err; }
+    var size: i32 = mem_i32[6];
+    err = fd_seek(fd, 0L, 0, 24);          // rewind
+    if (err != 0) { return 0 - err; }
+    var len: i32 = slurp(fd, 16384, 40000);
+    if (len < 0) { return len; }
+    if (len != size) { return 0 - 29; }    // short file: surface as EIO
+    err = fd_close(fd);
+    if (err != 0) { return 0 - err; }
+
+    // sum the second comma-separated field of every line
+    var sum: i32 = 0;
+    var field: i32 = 0;
+    var cur: i32 = 0;
+    var pos: i32 = 0;
+    while (pos <= len) {
+        var ch: i32 = 10;
+        if (pos < len) { ch = mem_u8[16384 + pos]; }
+        if (ch >= 48 && ch <= 57) {
+            cur = cur * 10 + (ch - 48);
+        } else if (ch == 44) {
+            if (field == 1) { sum = sum + cur; }
+            field = field + 1;
+            cur = 0;
+        } else if (ch == 10) {
+            if (field == 1) { sum = sum + cur; }
+            field = 0;
+            cur = 0;
+        }
+        pos = pos + 1;
+    }
+
+    // render the decimal total + newline into the output buffer
+    var v: i32 = sum;
+    var ndigits: i32 = 0;
+    if (v == 0) {
+        mem_u8[8300] = 48;
+        ndigits = 1;
+    } else {
+        while (v > 0) {
+            mem_u8[8300 + ndigits] = 48 + v % 10;
+            v = v / 10;
+            ndigits = ndigits + 1;
+        }
+    }
+    var j: i32 = 0;
+    while (j < ndigits) {
+        mem_u8[8192 + j] = mem_u8[8300 + ndigits - 1 - j];
+        j = j + 1;
+    }
+    mem_u8[8192 + ndigits] = 10;
+    var outlen: i32 = ndigits + 1;
+    var w: i32 = write_all(1, 8192, outlen);
+    if (w < 0) { return w; }
+
+    // persist to a created out.txt as well (exercises CREAT + governance)
+    err = path_open(3, 0, 96, 7, 1, 0L, 0L, 0, 60);
+    if (err != 0) { return 0 - err; }
+    var ofd: i32 = mem_i32[15];
+    w = write_all(ofd, 8192, outlen);
+    if (w < 0) { return w; }
+    err = fd_close(ofd);
+    if (err != 0) { return 0 - err; }
+    return sum;
+}
+'''
+
+_STARTUP = '''
+memory 1;
+import from "wasi_snapshot_preview1"
+    func args_sizes_get(argc: i32, buf_size: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func args_get(argv: i32, buf: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func environ_sizes_get(count: i32, buf_size: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func environ_get(env: i32, buf: i32) -> i32;
+import from "wasi_snapshot_preview1"
+    func random_get(buf: i32, buf_len: i32) -> i32;
+import from "wasi_snapshot_preview1" func proc_exit(code: i32);
+
+export func startup(limit: i32) -> i32 {
+    var err: i32 = args_sizes_get(0, 4);
+    if (err != 0) { return 0 - err; }
+    var argc: i32 = mem_i32[0];
+    err = args_get(64, 256);
+    if (err != 0) { return 0 - err; }
+    err = environ_sizes_get(0, 4);
+    if (err != 0) { return 0 - err; }
+    err = environ_get(1024, 2048);
+    if (err != 0) { return 0 - err; }
+    err = random_get(4096, 16);
+    if (err != 0) { return 0 - err; }
+    var mix: i32 = 0;
+    var i: i32 = 0;
+    while (i < 16) {
+        mix = mix * 31 + mem_u8[4096 + i];
+        i = i + 1;
+    }
+    if (argc > limit) { proc_exit(7); }
+    return argc * 65536 + (mix & 65535);
+}
+'''
+
+#: name -> (MiniC source, exported entry, default invoke args)
+WASI_IO_PROGRAMS: dict[str, tuple[str, str, tuple]] = {
+    "line_filter": (_LINE_FILTER, "line_filter", (ord("@"),)),
+    "checksum": (_CHECKSUM, "checksum", ()),
+    "extract": (_EXTRACT, "extract", ()),
+    "startup": (_STARTUP, "startup", (8,)),
+}
+
+#: Deterministic default inputs matched to the programs above.
+SAMPLE_STDIN = (b"alpha @one\nbeta two\ngamma @three\n"
+                b"delta four\nepsilon @five\n")
+SAMPLE_CSV = (b"a,10,x\nb,20,y\nc,30,z\nd,40,w\ne,5,q\n")
+SAMPLE_FILES = {"data.csv": SAMPLE_CSV}
+
+
+def wasi_io_names() -> list[str]:
+    return sorted(WASI_IO_PROGRAMS)
+
+
+@lru_cache(maxsize=None)
+def wasi_io_module(name: str) -> Module:
+    """Compile one wasi_io program (cached — sources are constants)."""
+    source, _entry, _args = WASI_IO_PROGRAMS[name]
+    return compile_source(source, name=f"wasi_io_{name}")
+
+
+def wasi_io_entry(name: str) -> tuple[str, tuple]:
+    """The exported entry point and its default invoke arguments."""
+    _source, entry, args = WASI_IO_PROGRAMS[name]
+    return entry, args
+
+
+# -- Python reference models (the tests' oracle) -------------------------------
+
+
+def ref_line_filter(stdin: bytes, needle: int) -> tuple[int, bytes]:
+    """Expected (return value, stdout) of ``line_filter``."""
+    out = bytearray()
+    count = 0
+    segments = stdin.split(b"\n")
+    for i, line in enumerate(segments):
+        last = i == len(segments) - 1
+        if last and not line:
+            break  # input ended with a newline: no trailing line
+        if needle in line:
+            count += 1
+            out += line if last else line + b"\n"
+    return count, bytes(out)
+
+
+def ref_checksum(stdin: bytes) -> tuple[int, bytes]:
+    """Expected (return value, stdout) of ``checksum``."""
+    value = 2166136261
+    for byte in stdin:
+        value = ((value ^ byte) * 16777619) & 0xFFFFFFFF
+    return value, b"CHK:%08x\n" % value
+
+
+def ref_extract(csv: bytes) -> tuple[int, bytes]:
+    """Expected (return value, stdout) of ``extract``."""
+    total = 0
+    for line in csv.split(b"\n"):
+        fields = line.split(b",")
+        if len(fields) >= 2 and fields[1].isdigit():
+            total += int(fields[1])
+    return total, b"%d\n" % total

@@ -454,6 +454,59 @@ class TestDaemonAndClient:
             client.ping()
 
 
+class TestSocketOwnership:
+    """Stale-socket reclamation vs live-daemon protection at start()."""
+
+    def test_stale_socket_is_reclaimed(self, tmp_path):
+        import socket as socketlib
+        path = tmp_path / "serve.sock"
+        stale = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        stale.bind(str(path))
+        stale.close()  # file remains, nothing accepts: a killed daemon
+        assert path.exists()
+        pool = make_pool(tmp_path, workers=0)
+        daemon = ServeDaemon(path, pool).start()
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert ServeClient(path, retries=1, retry_delay=0.05).ping()["ok"]
+        finally:
+            daemon.stop()
+            thread.join(timeout=10.0)
+            pool.close()
+
+    def test_live_socket_is_protected(self, tmp_path):
+        from repro.wasm import ServiceError
+        path = tmp_path / "serve.sock"
+        pool = make_pool(tmp_path, workers=0)
+        daemon = ServeDaemon(path, pool).start()
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        pool2 = make_pool(tmp_path, workers=0)
+        try:
+            with pytest.raises(ServiceError, match="already serving"):
+                ServeDaemon(path, pool2).start()
+            # the usurper must not have unlinked the live daemon's socket
+            assert ServeClient(path, retries=1, retry_delay=0.05).ping()["ok"]
+        finally:
+            daemon.stop()
+            thread.join(timeout=10.0)
+            pool.close()
+            pool2.close()
+
+    def test_non_socket_file_is_never_deleted(self, tmp_path):
+        from repro.wasm import ServiceError
+        path = tmp_path / "serve.sock"
+        path.write_text("precious data, not a socket\n")
+        pool = make_pool(tmp_path, workers=0)
+        try:
+            with pytest.raises(ServiceError, match="not a socket"):
+                ServeDaemon(path, pool).start()
+            assert path.read_text() == "precious data, not a socket\n"
+        finally:
+            pool.close()
+
+
 class TestServeCLI:
     """`repro run/instrument --serve` against a live daemon."""
 

@@ -285,10 +285,12 @@ class TestTopCLI:
         assert "workers:" in out and "kills:" in out
 
     def test_unreachable_daemon_fails_cleanly(self, tmp_path, capsys):
-        status = main(["top", "--socket", str(tmp_path / "nope.sock"),
-                       "--once"])
+        socket_path = str(tmp_path / "nope.sock")
+        status = main(["top", "--socket", socket_path, "--once"])
         assert status == 1
-        assert "cannot reach" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # one clean diagnostic line, not the client's transport retry report
+        assert err == f"repro: daemon not running at {socket_path}\n"
 
     def test_render_top_is_pure(self):
         payload = {

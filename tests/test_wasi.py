@@ -1,0 +1,467 @@
+"""WASI preview1 subset: errno surfacing, fault injection, governance,
+and deterministic cross-engine replay.
+
+Pins the PR's acceptance criteria directly:
+
+* every syscall outcome — including every *injected* fault — surfaces to
+  the guest as a well-formed WASI errno return, never as a host
+  exception escaping the boundary;
+* the four ``wasi_io`` workloads produce identical results and identical
+  output bytes on both engines, matching pure-Python oracles;
+* a recorded seeded-fault run is crash-free and replays bit-identically
+  on the *other* engine (memory digests, globals, results, errors);
+* an escalated-fault crash bundle replays with the identical
+  :class:`~repro.wasm.errors.WasiExhausted` on both engines;
+* resource governance degrades gracefully (short write → ENOSPC,
+  EMFILE) below the hard :class:`~repro.wasm.errors.ResourceExhausted`
+  escalation tier (fd/FS/syscall budgets).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import (EXIT_OK, EXIT_RESOURCE_EXHAUSTED, EXIT_TRAP, main)
+from repro.interp import Machine, ResourceLimits
+from repro.interp.host import Linker
+from repro.interp.replay import Recorder, Replayer, replay_linker
+from repro.interp.snapshot import restore_instance, snapshot_instance
+from repro.obs import Telemetry
+from repro.wasi import (Fault, FaultPlane, WasiContext, WasiFS, errno_name,
+                        module_imports_wasi)
+from repro.wasi.abi import (ERRNO_BADF, ERRNO_INTR, ERRNO_IO, ERRNO_MFILE,
+                            ERRNO_NOENT, ERRNO_NOSPC, ERRNO_SUCCESS,
+                            OFLAGS_CREAT, PREOPEN_FD, WHENCE_SET)
+from repro.wasm.errors import (ProcExit, ResourceExhausted, Trap,
+                               WasiExhausted)
+from repro.workloads.wasi_io import (SAMPLE_FILES, SAMPLE_STDIN,
+                                     ref_checksum, ref_extract,
+                                     ref_line_filter, wasi_io_entry,
+                                     wasi_io_module, wasi_io_names)
+
+BOTH_ENGINES = pytest.mark.parametrize(
+    "predecode", [True, False], ids=["predecode", "legacy"])
+
+
+def run_workload(name, predecode=True, faults=None, limits=None,
+                 telemetry=None, recorder=None, stdin=SAMPLE_STDIN,
+                 files=None):
+    module = wasi_io_module(name)
+    ctx = WasiContext(args=["prog"], stdin=stdin,
+                      files=dict(SAMPLE_FILES if files is None else files),
+                      faults=faults, limits=limits, telemetry=telemetry,
+                      replay=recorder)
+    linker = Linker()
+    ctx.register(linker)
+    machine = Machine(predecode=predecode, limits=limits, replay=recorder)
+    instance = machine.instantiate(module, linker)
+    pre = snapshot_instance(instance) if recorder is not None else None
+    ctx.bind_memory(instance)
+    entry, args = wasi_io_entry(name)
+    error = None
+    result = None
+    try:
+        result = instance.invoke(entry, args)
+    except Exception as exc:  # noqa: BLE001 - tests classify below
+        error = exc
+    post = snapshot_instance(instance)
+    return {"result": result, "error": error, "ctx": ctx, "pre": pre,
+            "post": post, "recorder": recorder, "instance": instance}
+
+
+def replay_recording(name, recorder, pre, predecode):
+    """Replay a recorded run log-driven (no FS, no faults) on an engine."""
+    module = wasi_io_module(name)
+    replayer = Replayer(recorder.entries)
+    ctx = WasiContext(replay=replayer)
+    linker = replay_linker(module)
+    ctx.register(linker)
+    machine = Machine(predecode=predecode, replay=replayer)
+    instance = machine.instantiate(module, linker, run_start=False)
+    restore_instance(instance, pre)
+    ctx.bind_memory(instance)
+    entry, args = wasi_io_entry(name)
+    error = None
+    result = None
+    try:
+        result = instance.invoke(entry, args)
+    except Exception as exc:  # noqa: BLE001
+        error = exc
+    replayer.finish()
+    return {"result": result, "error": error,
+            "post": snapshot_instance(instance)}
+
+
+# -- workload correctness on both engines ------------------------------------
+
+
+class TestWasiIoWorkloads:
+    @BOTH_ENGINES
+    def test_line_filter_matches_oracle(self, predecode):
+        run = run_workload("line_filter", predecode)
+        count, out = ref_line_filter(SAMPLE_STDIN, ord("@"))
+        assert run["error"] is None
+        assert run["result"] == [count]
+        assert run["ctx"].stdout_bytes() == out
+
+    @BOTH_ENGINES
+    def test_checksum_matches_oracle(self, predecode):
+        run = run_workload("checksum", predecode)
+        assert run["error"] is None
+        assert run["result"] == [ref_checksum(SAMPLE_STDIN)[0]]
+        assert run["ctx"].stdout_bytes() == ref_checksum(SAMPLE_STDIN)[1]
+
+    @BOTH_ENGINES
+    def test_extract_reads_preopen_and_writes_back(self, predecode):
+        run = run_workload("extract", predecode)
+        assert run["error"] is None
+        assert run["result"] == [ref_extract(SAMPLE_FILES["data.csv"])[0]]
+        # the workload also creates out.txt through path_open(CREAT)
+        fs = run["ctx"].fs
+        assert "out.txt" in fs.files
+        assert fs.files["out.txt"].data == run["ctx"].stdout_bytes()
+
+    def test_engines_agree_bit_for_bit(self):
+        for name in wasi_io_names():
+            a = run_workload(name, predecode=True)
+            b = run_workload(name, predecode=False)
+            assert a["result"] == b["result"], name
+            assert a["ctx"].stdout_bytes() == b["ctx"].stdout_bytes(), name
+            assert a["post"].as_dict() == b["post"].as_dict(), name
+
+    def test_module_imports_wasi_detection(self):
+        assert module_imports_wasi(wasi_io_module("checksum"))
+        from repro.minic import compile_source
+        plain = compile_source(
+            "export func f() -> i32 { return 1; }", "plain")
+        assert not module_imports_wasi(plain)
+
+
+# -- errno surfacing and the fault plane --------------------------------------
+
+
+class TestFaultInjection:
+    @BOTH_ENGINES
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_faults_never_escape_as_host_exceptions(self, predecode,
+                                                           seed):
+        """Under a high fault rate, guests see errnos and retry or fail
+        cleanly; the host boundary never leaks a Python exception."""
+        for name in wasi_io_names():
+            run = run_workload(name, predecode,
+                               faults=FaultPlane(seed=seed, rate=0.35))
+            error = run["error"]
+            assert error is None or isinstance(error, Trap), (
+                f"{name} seed {seed}: host exception escaped: {error!r}")
+
+    def test_fault_schedule_is_deterministic(self):
+        fired = []
+        for _ in range(2):
+            run = run_workload("checksum",
+                               faults=FaultPlane(seed=11, rate=0.5))
+            fired.append(list(run["ctx"].faults.fired))
+        assert fired[0] == fired[1]
+        assert fired[0], "a 50% plane over 6+ syscalls should fire"
+
+    def test_explicit_schedule_surfaces_exact_errno(self):
+        """A scheduled EIO on the first fd_read comes back to the guest as
+        errno 29; the guest's retry loop then gives up cleanly."""
+        plane = FaultPlane(schedule={
+            ("fd_read", i): Fault(errno=ERRNO_IO) for i in range(32)})
+        run = run_workload("checksum", faults=plane)
+        assert run["error"] is None
+        # i32 results surface as unsigned u32 values.
+        assert run["result"] == [(1 << 32) - ERRNO_IO]
+
+    def test_eintr_is_retried_by_the_guest_runtime(self):
+        plane = FaultPlane(schedule={("fd_read", 0): Fault(errno=ERRNO_INTR)})
+        run = run_workload("checksum", faults=plane)
+        assert run["error"] is None
+        assert run["result"] == [ref_checksum(SAMPLE_STDIN)[0]]
+        assert any("errno=27" in d or "EINTR" in d.upper() or "27" in d
+                   for (_, _, d) in run["ctx"].faults.fired)
+
+    def test_short_reads_and_writes_still_converge(self):
+        plane = FaultPlane(schedule={
+            ("fd_read", i): Fault(short=1) for i in range(0, 64, 2)})
+        run = run_workload("checksum", faults=plane)
+        assert run["error"] is None
+        assert run["result"] == [ref_checksum(SAMPLE_STDIN)[0]]
+
+    def test_escalated_fault_raises_hard_tier(self):
+        plane = FaultPlane(schedule={("fd_read", 0): Fault(escalate=True)})
+        run = run_workload("checksum", faults=plane)
+        assert isinstance(run["error"], WasiExhausted)
+        assert isinstance(run["error"], ResourceExhausted)
+
+    def test_clock_skew_fault_keeps_monotonicity(self):
+        plane = FaultPlane(schedule={
+            ("clock_time_get", 0): Fault(clock_skew_ns=50_000_000)})
+        run = run_workload("checksum", faults=plane)
+        assert run["error"] is None  # checksum brackets with two clock reads
+
+
+# -- fd/FS resource governance ------------------------------------------------
+
+
+class TestGovernance:
+    def test_max_file_bytes_short_write_then_enospc(self):
+        fs = WasiFS(files={"f": b""}, max_file_bytes=10)
+        errno, fd = fs.open_path("f", 0)
+        assert errno == ERRNO_SUCCESS
+        errno, n = fs.write(fd, b"0123456789abcdef")
+        assert errno == ERRNO_SUCCESS and n == 10  # graceful short write
+        errno, n = fs.write(fd, b"more")
+        assert errno == ERRNO_NOSPC and n == 0
+
+    def test_max_fs_bytes_counts_all_regular_files(self):
+        fs = WasiFS(files={"a": b"12345", "b": b""}, max_fs_bytes=8)
+        errno, fd = fs.open_path("b", 0)
+        assert errno == ERRNO_SUCCESS
+        errno, n = fs.write(fd, b"abcdef")
+        assert errno == ERRNO_SUCCESS and n == 3
+        errno, n = fs.write(fd, b"x")
+        assert errno == ERRNO_NOSPC and n == 0
+
+    def test_max_open_fds_yields_emfile(self):
+        fs = WasiFS(files={"a": b"", "b": b"", "c": b""}, max_open_fds=2)
+        assert fs.open_path("a", 0)[0] == ERRNO_SUCCESS
+        assert fs.open_path("b", 0)[0] == ERRNO_SUCCESS
+        errno, _ = fs.open_path("c", 0)
+        assert errno == ERRNO_MFILE
+        # stdio and the preopen dir never count against the bound
+        assert fs.close(PREOPEN_FD) == ERRNO_BADF
+
+    def test_missing_file_is_enoent_and_creat_creates(self):
+        fs = WasiFS()
+        assert fs.open_path("nope", 0)[0] == ERRNO_NOENT
+        errno, fd = fs.open_path("new.txt", OFLAGS_CREAT)
+        assert errno == ERRNO_SUCCESS
+        assert fs.write(fd, b"hi") == (ERRNO_SUCCESS, 2)
+        assert fs.seek(fd, 0, WHENCE_SET) == (ERRNO_SUCCESS, 0)
+        assert fs.read(fd, 16) == (ERRNO_SUCCESS, b"hi")
+
+    def test_syscall_budget_is_a_hard_tier(self):
+        limits = ResourceLimits(max_syscalls=3)
+        run = run_workload("checksum", limits=limits)
+        assert isinstance(run["error"], WasiExhausted)
+        assert run["ctx"].total_syscalls <= 4
+
+    def test_governance_limits_roundtrip_asdict(self):
+        from dataclasses import asdict
+        limits = ResourceLimits(fuel=10, max_open_fds=4, max_file_bytes=64,
+                                max_fs_bytes=256, max_syscalls=99)
+        again = ResourceLimits(**asdict(limits))
+        assert again == limits
+
+
+# -- deterministic cross-engine replay ----------------------------------------
+
+
+class TestCrossEngineReplay:
+    @pytest.mark.parametrize("record_predecode", [True, False],
+                             ids=["rec-predecode", "rec-legacy"])
+    def test_faulted_run_replays_bit_identically_on_other_engine(
+            self, record_predecode):
+        faults = FaultPlane(seed=3, rate=0.3)
+        rec = run_workload("checksum", record_predecode, faults=faults,
+                           recorder=Recorder())
+        assert rec["error"] is None
+        rep = replay_recording("checksum", rec["recorder"], rec["pre"],
+                               predecode=not record_predecode)
+        assert rep["error"] is None
+        assert rep["result"] == rec["result"]
+        assert rep["post"].as_dict() == rec["post"].as_dict()
+
+    def test_wasi_calls_recorded_as_wasi_call_entries(self):
+        rec = run_workload("extract", recorder=Recorder())
+        kinds = {entry["kind"] for entry in rec["recorder"].entries}
+        assert kinds == {"wasi_call"}
+
+    def test_escalated_fault_replays_with_identical_error(self):
+        faults = FaultPlane(seed=42, rate=0.4,
+                            schedule={("fd_read", 1): Fault(escalate=True)})
+        rec = run_workload("checksum", True, faults=faults,
+                           recorder=Recorder())
+        assert isinstance(rec["error"], WasiExhausted)
+        rep = replay_recording("checksum", rec["recorder"], rec["pre"],
+                               predecode=False)
+        assert isinstance(rep["error"], WasiExhausted)
+        assert str(rep["error"]) == str(rec["error"])
+        assert rep["post"].as_dict() == rec["post"].as_dict()
+
+    def test_proc_exit_replays_with_code(self):
+        rec = run_workload("startup", recorder=Recorder())
+        # startup(8) exits normally; force the exit path via args
+        module = wasi_io_module("startup")
+        recorder = Recorder()
+        ctx = WasiContext(args=["a", "b", "c"], replay=recorder)
+        linker = Linker()
+        ctx.register(linker)
+        machine = Machine(replay=recorder)
+        instance = machine.instantiate(module, linker)
+        pre = snapshot_instance(instance)
+        ctx.bind_memory(instance)
+        with pytest.raises(ProcExit) as excinfo:
+            instance.invoke("startup", [0])
+        assert excinfo.value.code == 7
+        rep_module = wasi_io_module("startup")
+        replayer = Replayer(recorder.entries)
+        rep_ctx = WasiContext(replay=replayer)
+        rep_linker = replay_linker(rep_module)
+        rep_ctx.register(rep_linker)
+        rep_machine = Machine(predecode=False, replay=replayer)
+        rep_instance = rep_machine.instantiate(rep_module, rep_linker,
+                                               run_start=False)
+        restore_instance(rep_instance, pre)
+        rep_ctx.bind_memory(rep_instance)
+        with pytest.raises(ProcExit) as rep_excinfo:
+            rep_instance.invoke("startup", [0])
+        assert rep_excinfo.value.code == 7
+
+
+# -- CLI integration ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def wasi_artifacts(tmp_path_factory):
+    from repro.wasm import encode_module
+    root = tmp_path_factory.mktemp("wasi_cli")
+    paths = {}
+    for name in wasi_io_names():
+        path = root / f"{name}.wasm"
+        path.write_bytes(encode_module(wasi_io_module(name)))
+        paths[name] = str(path)
+    stdin = root / "stdin.txt"
+    stdin.write_bytes(SAMPLE_STDIN)
+    fs_dir = root / "fs"
+    fs_dir.mkdir()
+    for fname, data in SAMPLE_FILES.items():
+        (fs_dir / fname).write_bytes(data)
+    paths["stdin"] = str(stdin)
+    paths["fs_dir"] = str(fs_dir)
+    paths["root"] = root
+    return paths
+
+
+class TestCli:
+    def test_run_with_stdin_prints_guest_stdout(self, wasi_artifacts,
+                                                capsys):
+        status = main(["run", wasi_artifacts["checksum"], "checksum",
+                       "--stdin-file", wasi_artifacts["stdin"]])
+        assert status == EXIT_OK
+        out = capsys.readouterr().out
+        assert ref_checksum(SAMPLE_STDIN)[1].decode() in out
+
+    def test_run_with_fs_dir(self, wasi_artifacts, capsys):
+        status = main(["run", wasi_artifacts["extract"], "extract",
+                       "--fs-dir", wasi_artifacts["fs_dir"]])
+        assert status == EXIT_OK
+        assert "105" in capsys.readouterr().out
+
+    def test_proc_exit_nonzero_maps_to_trap_status(self, wasi_artifacts,
+                                                   capsys):
+        status = main(["run", wasi_artifacts["startup"], "startup", "0"])
+        assert status == EXIT_TRAP
+        assert "proc_exit(7)" in capsys.readouterr().err
+
+    def test_syscall_budget_maps_to_resource_status(self, wasi_artifacts,
+                                                    capsys):
+        status = main(["run", wasi_artifacts["checksum"], "checksum",
+                       "--stdin-file", wasi_artifacts["stdin"],
+                       "--max-syscalls", "2"])
+        assert status == EXIT_RESOURCE_EXHAUSTED
+        assert "syscall budget" in capsys.readouterr().err
+
+    def test_recorded_faulted_run_replays_on_both_engines(
+            self, wasi_artifacts, capsys):
+        """The acceptance pin: record a seeded-fault wasi_io run, then
+        replay the bundle on each engine with zero divergence."""
+        bundle = str(wasi_artifacts["root"] / "bundle")
+        status = main(["run", wasi_artifacts["checksum"], "checksum",
+                       "--stdin-file", wasi_artifacts["stdin"],
+                       "--wasi-fault-seed", "7", "--wasi-fault-rate", "0.3",
+                       "--record", bundle])
+        assert status == EXIT_OK
+        manifest = json.loads(
+            (wasi_artifacts["root"] / "bundle" / "manifest.json").read_text())
+        assert manifest["wasi"]["faults"]["seed"] == 7
+        for engine in ("predecode", "legacy"):
+            capsys.readouterr()
+            assert main(["replay", bundle, "--engine", engine]) == EXIT_OK
+            assert "reproduced" in capsys.readouterr().out
+
+    def test_escalated_bundle_replays_identical_error(self, wasi_artifacts,
+                                                      capsys):
+        """An escalated-fault crash bundle reproduces its WasiExhausted on
+        both engines, bit-identical post state included."""
+        bundle = str(wasi_artifacts["root"] / "escalated")
+        status = main(["run", wasi_artifacts["checksum"], "checksum",
+                       "--stdin-file", wasi_artifacts["stdin"],
+                       "--wasi-fault-seed", "13", "--wasi-fault-rate", "0.9",
+                       "--wasi-escalate-rate", "1.0", "--record", bundle])
+        assert status == EXIT_RESOURCE_EXHAUSTED
+        manifest = json.loads(
+            (wasi_artifacts["root"] / "escalated" /
+             "manifest.json").read_text())
+        assert manifest["error"]["type"] == "WasiExhausted"
+        for engine in ("predecode", "legacy"):
+            capsys.readouterr()
+            assert main(["replay", bundle, "--engine", engine]) == EXIT_OK
+            assert "WasiExhausted" in capsys.readouterr().out
+
+    def test_fuzz_wasi_faults_smoke(self, capsys):
+        assert main(["fuzz", "--mutants", "60", "--wasi-faults"]) == EXIT_OK
+        assert "0 escapes" in capsys.readouterr().out
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_syscall_histograms_and_counters(self):
+        telemetry = Telemetry()
+        run = run_workload("checksum", telemetry=telemetry)
+        assert run["error"] is None
+        rendered = telemetry.snapshot().to_prometheus()
+        assert "repro_wasi_syscall_seconds" in rendered
+        assert 'syscall="fd_read"' in rendered
+        assert "repro_wasi_syscalls_total" in rendered
+        assert 'errno="success"' in rendered
+
+    def test_usage_accounting(self):
+        run = run_workload("checksum")
+        usage = run["ctx"].usage()
+        assert usage["syscalls"] == run["ctx"].total_syscalls
+        assert usage["bytes_read"] == len(SAMPLE_STDIN)
+        assert usage["bytes_written"] == len(ref_checksum(SAMPLE_STDIN)[1])
+
+
+# -- fuzz corpus purity --------------------------------------------------------
+
+
+class TestFuzzIntegration:
+    def test_default_seed_corpus_is_unchanged(self):
+        from repro.eval.faultinject import seed_corpus
+        assert set(seed_corpus()) == {"kitchen_sink", "fib", "memory"}
+
+    def test_wasi_corpus_names_and_determinism(self):
+        from repro.eval.faultinject import seed_corpus, wasi_corpus
+        names = set(wasi_corpus())
+        assert names == {f"wasi_{n}" for n in wasi_io_names()}
+        assert set(seed_corpus(wasi=True)) == names | set(seed_corpus())
+        assert wasi_corpus() == wasi_corpus()
+
+    def test_classify_is_pure_for_wasi_mutants(self):
+        from repro.eval.faultinject import classify, wasi_corpus
+        binary = wasi_corpus()["wasi_checksum"]
+        a = classify(binary)
+        b = classify(binary)
+        assert a == b
+        assert a.outcome == "pass"
+
+    def test_errno_name_helper(self):
+        assert errno_name(ERRNO_NOSPC) == "nospc"
+        assert errno_name(ERRNO_SUCCESS) == "success"

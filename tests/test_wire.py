@@ -1,0 +1,127 @@
+"""Property and boundary tests for the service wire codec.
+
+The codec carries every supervised request — module bytes, packed WASI
+filesystem images, fuzz corpus snapshots — so its two contracts get
+pinned here directly:
+
+* **round-trip**: any JSON-able message whose leaves may be ``bytes``
+  (nested arbitrarily deep, including the ``$bytes`` marker shape itself
+  appearing as *data*) decodes back exactly;
+* **bounded**: a frame just over the 64 MiB cap raises the documented
+  :class:`~repro.serve.wire.WireError` on both the reader and the
+  decoder, never an allocation or a silent truncation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.serve import wire
+
+# Dict keys must avoid the reserved "$bytes" marker (a user dict with
+# exactly that key is indistinguishable from packed bytes on the wire —
+# the codec owns that shape) and the envelope's "schema" slot.
+_keys = st.text(min_size=1, max_size=8).filter(
+    lambda k: k not in ("$bytes", "schema"))
+
+_leaves = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 53), max_value=2 ** 53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=32),
+    st.binary(max_size=64),
+)
+
+_values = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(_keys, children, max_size=4),
+    ),
+    max_leaves=16,
+)
+
+_messages = st.dictionaries(_keys, _values, max_size=6)
+
+
+@settings(max_examples=200, suppress_health_check=[HealthCheck.too_slow])
+@given(_messages)
+def test_roundtrip_nested_bytes_payloads(message):
+    assert wire.loads(wire.dumps(message)) == message
+
+
+def test_roundtrip_packed_fs_image_shape():
+    """The WASI serve-request shape specifically: bytes nested in dicts
+    in lists in dicts, mixed with scalars."""
+    message = {
+        "kind": "run",
+        "module": b"\x00asm\x01\x00\x00\x00",
+        "wasi": {
+            "stdin": b"alpha\nbeta\n",
+            "files": {"data.csv": b"a,1\nb,2\n", "empty": b""},
+            "faults": {"seed": 7, "rate": 0.25,
+                       "schedule": [{"syscall": "fd_read", "index": 1,
+                                     "errno": 29}]},
+        },
+        "limits": None,
+    }
+    assert wire.loads(wire.dumps(message)) == message
+
+
+def test_bytes_marker_as_data_survives():
+    """A *string* field whose value looks like the marker is not bytes,
+    and a dict with extra keys next to ``$bytes`` is left alone."""
+    message = {"a": {"$bytes": "not-base64!", "x": 1}}
+    packed = wire.dumps(message)
+    decoded = wire.loads(packed)
+    assert decoded == message
+
+
+def test_empty_and_exact_bytes_roundtrip():
+    for payload in (b"", b"\x00", bytes(range(256))):
+        assert wire.loads(wire.dumps({"m": payload})) == {"m": payload}
+
+
+# -- the 64 MiB cap, both ends ------------------------------------------------
+
+
+def _oversized_line() -> bytes:
+    """A syntactically valid frame one byte past MAX_MESSAGE_BYTES."""
+    filler = b"x" * (wire.MAX_MESSAGE_BYTES + 1 - 20)
+    line = b'{"schema":"?","p":"' + filler + b'"}\n'
+    assert len(line) > wire.MAX_MESSAGE_BYTES
+    return line
+
+
+def test_loads_rejects_over_cap():
+    with pytest.raises(wire.WireError, match="exceeds"):
+        wire.loads(_oversized_line())
+
+
+def test_read_line_rejects_over_cap():
+    with pytest.raises(wire.WireError, match="size cap"):
+        wire.read_line(io.BytesIO(_oversized_line()))
+
+
+def test_read_line_accepts_frame_at_cap_boundary():
+    """A line of exactly MAX_MESSAGE_BYTES passes the reader (the cap is
+    an exclusive upper bound on overage, not a fuzzy threshold)."""
+    line = b"y" * (wire.MAX_MESSAGE_BYTES - 1) + b"\n"
+    assert wire.read_line(io.BytesIO(line)) == line
+
+
+def test_dumps_then_reader_roundtrip_under_cap():
+    blob = {"module": b"\x01" * 1024}
+    line = wire.dumps(blob)
+    assert wire.loads(wire.read_line(io.BytesIO(line))) == blob
+
+
+def test_schema_tag_is_enforced():
+    naked = json.dumps({"kind": "ping"}).encode() + b"\n"
+    with pytest.raises(wire.WireError, match="schema"):
+        wire.loads(naked)
